@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (and the Section 2 study).
+//
+// Usage:
+//
+//	experiments                  # everything, reference inputs
+//	experiments -only fig13      # one artifact
+//	experiments -scale train     # smaller inputs
+//	experiments -out results/    # one file per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fvcache/internal/experiments"
+	"fvcache/internal/workload"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
+		only      = flag.String("only", "", "comma-separated artifact ids (default: all)")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		outDir    = flag.String("out", "", "write one file per artifact into this directory")
+		markdown  = flag.Bool("md", false, "render tables as Markdown")
+		list      = flag.Bool("list", false, "list artifacts and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, err := workload.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	var todo []experiments.Experiment
+	if *only == "" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			todo = append(todo, e)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	opt := experiments.Options{Scale: scale, Workers: *workers, Markdown: *markdown}
+	for _, e := range todo {
+		start := time.Now()
+		var out io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			out = f
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
+		fmt.Fprintf(out, "== %s: %s == (scale=%s)\n\n", e.ID, e.Title, scale)
+		if err := e.Run(opt, out); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Fprintln(out)
+		if f != nil {
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Truncate(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command fvcsim simulates one cache configuration over one workload
+// and prints hierarchy statistics.
+//
+// Usage:
+//
+//	fvcsim -workload goboard -scale ref -size 16384 -line 32 \
+//	       -fvc-entries 512 -fvc-bits 3
+//
+// With -fvc-entries 0 and -victim 0 it simulates a plain main cache.
+// The frequent value table is filled by a profiling pre-pass over the
+// same workload and input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/energy"
+	"fvcache/internal/fvc"
+	"fvcache/internal/report"
+	"fvcache/internal/sim"
+	"fvcache/internal/workload"
+)
+
+func main() {
+	var (
+		wlName     = flag.String("workload", "goboard", "workload name (see -list)")
+		scaleName  = flag.String("scale", "ref", "input scale: test, train or ref")
+		size       = flag.Int("size", 16<<10, "main cache size in bytes")
+		line       = flag.Int("line", 32, "line size in bytes")
+		assoc      = flag.Int("assoc", 1, "main cache associativity")
+		fvcEntries = flag.Int("fvc-entries", 0, "FVC entries (0 = no FVC)")
+		fvcBits    = flag.Int("fvc-bits", 3, "FVC code bits (1..3: top 1/3/7 values)")
+		victim     = flag.Int("victim", 0, "victim cache entries (0 = none)")
+		verify     = flag.Bool("verify", false, "enable value-verification asserts")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		fvtMode    = flag.String("fvt", "profiled", "FVT selection: profiled (pre-pass) or online (Space-Saving sketch)")
+		showEnergy = flag.Bool("energy", false, "print an energy estimate (0.8um model)")
+	)
+	flag.Parse()
+
+	if *list {
+		t := report.NewTable("Workloads", "name", "analogue", "fvl", "description")
+		for _, w := range workload.All() {
+			t.AddRow(w.Name(), w.Analogue(), fmt.Sprint(w.FVL()), w.Description())
+		}
+		t.Render(os.Stdout)
+		return
+	}
+
+	w, err := workload.Get(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := workload.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Main:          cache.Params{SizeBytes: *size, LineBytes: *line, Assoc: *assoc},
+		VictimEntries: *victim,
+	}
+	if *fvcEntries > 0 {
+		cfg.FVC = &fvc.Params{Entries: *fvcEntries, LineBytes: *line, Bits: *fvcBits}
+		switch *fvtMode {
+		case "online":
+			cfg.OnlineFVTEvery = 100_000
+			fmt.Println("online FVT identification (Space-Saving sketch, update every 100k accesses)")
+		case "profiled":
+			fmt.Printf("profiling %s/%s for top %d values...\n", w.Name(), scale, fvc.MaxValues(*fvcBits))
+			cfg.FrequentValues = sim.ProfileTopAccessed(w, scale, fvc.MaxValues(*fvcBits))
+			fmt.Printf("frequent values:")
+			for _, v := range cfg.FrequentValues {
+				fmt.Printf(" %#x", v)
+			}
+			fmt.Println()
+		default:
+			fatal(fmt.Errorf("unknown -fvt mode %q (want profiled or online)", *fvtMode))
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{
+		VerifyValues: *verify,
+		SampleEvery:  100_000,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+
+	t := report.NewTable(fmt.Sprintf("%s @ %s — main %s", w.Name(), scale, cfg.Main), "metric", "value")
+	t.AddRow("accesses", fmt.Sprintf("%d (loads %d, stores %d)", st.Accesses(), st.Loads, st.Stores))
+	t.AddRow("main hits", fmt.Sprintf("%d", st.MainHits))
+	if cfg.FVC != nil {
+		t.AddRow("fvc hits", fmt.Sprintf("%d", st.FVCHits))
+		t.AddRow("fvc write-miss allocs", fmt.Sprintf("%d", st.WriteMissAllocs))
+		t.AddRow("fvc frequent content", report.Pct(res.FVCFreqFrac))
+		t.AddRow("fvc geometry", fmt.Sprintf("%s (%.3gKB encoded data)", cfg.FVC, cfg.FVC.DataSizeBytes()/1024))
+	}
+	if cfg.VictimEntries > 0 {
+		t.AddRow("victim hits", fmt.Sprintf("%d", st.VictimHits))
+	}
+	t.AddRow("misses", fmt.Sprintf("%d", st.Misses))
+	t.AddRow("miss rate", fmt.Sprintf("%.4f%%", st.MissRate()*100))
+	t.AddRow("line fetches", fmt.Sprintf("%d", st.LineFetches))
+	t.AddRow("line writebacks", fmt.Sprintf("%d", st.LineWritebacks))
+	t.AddRow("fvc writeback words", fmt.Sprintf("%d", st.FVCWritebackWords))
+	if cfg.OnlineFVTEvery > 0 {
+		t.AddRow("fvt updates", fmt.Sprintf("%d", st.FVTUpdates))
+	}
+	t.AddRow("traffic", fmt.Sprintf("%d words (%d bytes)", st.TrafficWords, st.TrafficBytes()))
+	if *showEnergy {
+		est := energy.Default08um().Estimate(cfg, st)
+		t.AddRow("energy", fmt.Sprintf("%.2f uJ (off-chip %.2f uJ)", est.TotalNJ()/1000, est.OffChipNJ/1000))
+	}
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvcsim:", err)
+	os.Exit(1)
+}

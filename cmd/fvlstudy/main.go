@@ -1,0 +1,56 @@
+// Command fvlstudy runs the paper's Section 2 characterization study —
+// Figures 1-5 and Tables 1-4 — over the synthetic workload suite.
+//
+// Usage:
+//
+//	fvlstudy                 # full study on reference inputs
+//	fvlstudy -scale test     # quick pass on small inputs
+//	fvlstudy -only tab4,fig1 # selected artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fvcache/internal/experiments"
+	"fvcache/internal/workload"
+)
+
+var studyIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "tab4"}
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
+		only      = flag.String("only", "", "comma-separated artifact ids (default: all of section 2)")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+	)
+	flag.Parse()
+
+	scale, err := workload.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ids := studyIDs
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	opt := experiments.Options{Scale: scale, Workers: *workers}
+	for _, id := range ids {
+		e, err := experiments.Get(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
+		if err := e.Run(opt, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fvlstudy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command tracegen records a workload's memory trace to a compact
+// binary file, inspects existing traces, and replays them through a
+// cache configuration.
+//
+// Usage:
+//
+//	tracegen -workload ccomp -scale test -o ccomp.fvt     # record
+//	tracegen -stats ccomp.fvt                             # inspect
+//	tracegen -replay ccomp.fvt -size 16384 -line 32       # simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/memsim"
+	"fvcache/internal/report"
+	"fvcache/internal/trace"
+	"fvcache/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "", "workload to record")
+		scaleName = flag.String("scale", "test", "input scale: test, train or ref")
+		outPath   = flag.String("o", "trace.fvt", "output trace file")
+		statsPath = flag.String("stats", "", "print statistics of an existing trace")
+		replay    = flag.String("replay", "", "replay a trace through a cache")
+		size      = flag.Int("size", 16<<10, "replay: main cache size in bytes")
+		line      = flag.Int("line", 32, "replay: line size in bytes")
+		assoc     = flag.Int("assoc", 1, "replay: associativity")
+	)
+	flag.Parse()
+
+	switch {
+	case *statsPath != "":
+		if err := statsCmd(*statsPath); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := replayCmd(*replay, *size, *line, *assoc); err != nil {
+			fatal(err)
+		}
+	case *wlName != "":
+		if err := recordCmd(*wlName, *scaleName, *outPath); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func recordCmd(wlName, scaleName, outPath string) error {
+	w, err := workload.Get(wlName)
+	if err != nil {
+		return err
+	}
+	scale, err := workload.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	env := memsim.NewEnv(tw)
+	w.Run(env, scale)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events (%d accesses) to %s (%d bytes, %.2f bytes/event)\n",
+		tw.Count(), env.Accesses(), outPath, info.Size(), float64(info.Size())/float64(tw.Count()))
+	return nil
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func statsCmd(path string) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st := trace.NewStats()
+	hist := trace.NewValueHistogram()
+	n, err := r.Drain(trace.MultiSink(st, hist))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("trace %s", path), "metric", "value")
+	t.AddRow("events", fmt.Sprintf("%d", n))
+	t.AddRow("accesses", fmt.Sprintf("%d (ld %d / st %d)", st.Accesses(), st.Loads, st.Stores))
+	t.AddRow("footprint", fmt.Sprintf("%d bytes (%d words)", st.Footprint(), st.UniqueAddrs()))
+	t.AddRow("distinct values", fmt.Sprintf("%d", st.UniqueValues()))
+	for _, k := range []int{1, 3, 7, 10} {
+		t.AddRow(fmt.Sprintf("top-%d access coverage", k), report.Pct(hist.CoverageOfTopK(k)))
+	}
+	top := hist.TopK(10)
+	for i, vc := range top {
+		t.AddRow(fmt.Sprintf("top value #%d", i+1), fmt.Sprintf("%#x (%d accesses)", vc.Value, vc.Count))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func replayCmd(path string, size, line, assoc int) error {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sys, err := core.New(core.Config{Main: cache.Params{SizeBytes: size, LineBytes: line, Assoc: assoc}})
+	if err != nil {
+		return err
+	}
+	if _, err := r.Drain(sys); err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Printf("%s over %s: accesses=%d misses=%d missrate=%.4f%% traffic=%dB\n",
+		path, sys.Config().Main, st.Accesses(), st.Misses, st.MissRate()*100, st.TrafficBytes())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Compression: demonstrates the FVC's frequent-value encoding — the
+// paper's Figure 7 — and measures how much storage the encoding saves
+// on a real workload (the paper's Figure 11 analysis).
+package main
+
+import (
+	"fmt"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/sim"
+	"fvcache/internal/workload"
+)
+
+func main() {
+	// --- Part 1: the encoding itself (paper Figure 7) ---
+	// Seven frequent values in 3-bit codes; code 7 = "infrequent".
+	table := fvc.MustTable(3, []uint32{0, 0xffffffff, 1, 2, 4, 8, 10})
+	line := []uint32{0, 1000, 0, 99999, 0xffffffff, 10, 1, 0xffffffff}
+
+	fmt.Println("uncompressed 8-word line (256 bits):")
+	fmt.Printf("  %v\n", line)
+	fmt.Println("FVC encoding (24 bits):")
+	fmt.Print("  codes:")
+	for _, v := range line {
+		code, ok := table.Encode(v)
+		if ok {
+			fmt.Printf(" %03b", code)
+		} else {
+			fmt.Printf(" %03b(escape)", code)
+		}
+	}
+	fmt.Println()
+	fmt.Println("  random access preserved: decode(code[6]) =",
+		func() uint32 { c, _ := table.Encode(line[6]); return table.Decode(c) }())
+
+	// --- Part 2: measured compression effectiveness (Figure 11) ---
+	for _, name := range []string{"goboard", "cpusim", "strproc"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		values := sim.ProfileTopAccessed(w, workload.Train, 7)
+		res, err := sim.Measure(w, workload.Train, core.Config{
+			Main:           cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1},
+			FVC:            &fvc.Params{Entries: 512, LineBytes: 32, Bits: 3},
+			FrequentValues: values,
+		}, sim.MeasureOptions{SampleEvery: 50_000})
+		if err != nil {
+			panic(err)
+		}
+		// A 32-byte line compresses to 3 bytes of codes; weighting by
+		// how many codes actually name frequent values gives the
+		// effective storage advantage over an uncompressed cache.
+		factor := 32.0 / 3.0 * res.FVCFreqFrac
+		fmt.Printf("\n%s: %.0f%% of FVC codes hold frequent values\n",
+			name, res.FVCFreqFrac*100)
+		fmt.Printf("  effective storage advantage vs DMC: %.2fx (paper reports ~4.27x at 40%%)\n", factor)
+	}
+}

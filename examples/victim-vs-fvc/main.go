@@ -1,0 +1,66 @@
+// Victim cache vs frequent value cache: the paper's Figure 15
+// comparison, including the CACTI access-time model that justifies the
+// "equal access time" pairing (a 512-entry direct-mapped FVC is faster
+// than a 4-entry fully-associative victim cache).
+package main
+
+import (
+	"fmt"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/cacti"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/sim"
+	"fvcache/internal/workload"
+)
+
+func main() {
+	m := cacti.Default08um()
+	fmt.Println("access times (0.8um model):")
+	fmt.Printf("  4KB DMC:           %.1f ns\n",
+		m.CacheAccessNs(cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}))
+	fmt.Printf("  4-entry VC (FA):   %.1f ns\n", m.VictimAccessNs(4, 32))
+	fmt.Printf("  16-entry VC (FA):  %.1f ns\n", m.VictimAccessNs(16, 32))
+	fmt.Printf("  128-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvc.Params{Entries: 128, LineBytes: 32, Bits: 3}))
+	fmt.Printf("  512-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvc.Params{Entries: 512, LineBytes: 32, Bits: 3}))
+	fmt.Println()
+
+	main4 := cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
+	scale := workload.Train
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
+		"workload", "DMC miss%", "VC16", "FVC128", "VC4", "FVC512")
+	for _, name := range []string{"goboard", "cpusim", "ccomp", "strproc"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			panic(err)
+		}
+		values := sim.ProfileTopAccessed(w, scale, 7)
+		missRate := func(cfg core.Config) float64 {
+			res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{})
+			if err != nil {
+				panic(err)
+			}
+			return res.Stats.MissRate() * 100
+		}
+		withFVC := func(entries int) core.Config {
+			return core.Config{
+				Main:           main4,
+				FVC:            &fvc.Params{Entries: entries, LineBytes: 32, Bits: 3},
+				FrequentValues: values,
+			}
+		}
+		base := missRate(core.Config{Main: main4})
+		red := func(v float64) string {
+			return fmt.Sprintf("-%.1f%%", (base-v)/base*100)
+		}
+		fmt.Printf("%-10s %9.3f%% %12s %12s %12s %12s\n", name, base,
+			// Equal area: 16-entry VC vs 128-entry FVC.
+			red(missRate(core.Config{Main: main4, VictimEntries: 16})),
+			red(missRate(withFVC(128))),
+			// Equal access time: 4-entry VC vs 512-entry FVC.
+			red(missRate(core.Config{Main: main4, VictimEntries: 4})),
+			red(missRate(withFVC(512))))
+	}
+	fmt.Println("\npaper: equal-size VC wins; equal-access-time FVC wins; both help small DMCs")
+}

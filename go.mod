@@ -1,0 +1,3 @@
+module fvcache
+
+go 1.22

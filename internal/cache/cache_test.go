@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{
+		{SizeBytes: 4096, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 16384, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 65536, LineBytes: 64, Assoc: 4},
+		{SizeBytes: 64, LineBytes: 32, Assoc: 2}, // fully associative
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", p, err)
+		}
+	}
+	bad := []Params{
+		{SizeBytes: 0, LineBytes: 16, Assoc: 1},
+		{SizeBytes: 4096, LineBytes: 0, Assoc: 1},
+		{SizeBytes: 4096, LineBytes: 24, Assoc: 1}, // not power of two
+		{SizeBytes: 4100, LineBytes: 16, Assoc: 1}, // not multiple
+		{SizeBytes: 4096, LineBytes: 16, Assoc: 0}, // bad assoc
+		{SizeBytes: 4096, LineBytes: 16, Assoc: 3}, // lines % assoc != 0... 256 lines, 256%3 != 0
+		{SizeBytes: 4096, LineBytes: 16, Assoc: 2}, // fine actually
+	}
+	// Last entry above is actually valid; trim it.
+	bad = bad[:len(bad)-1]
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v should fail validation", p)
+		}
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{SizeBytes: 16384, LineBytes: 32, Assoc: 2}
+	if p.NumLines() != 512 {
+		t.Errorf("NumLines = %d, want 512", p.NumLines())
+	}
+	if p.NumSets() != 256 {
+		t.Errorf("NumSets = %d, want 256", p.NumSets())
+	}
+	if p.WordsPerLine() != 8 {
+		t.Errorf("WordsPerLine = %d, want 8", p.WordsPerLine())
+	}
+	if got := p.String(); got != "16KB/32B/2-way" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int]string{
+		128:     "128B",
+		1024:    "1KB",
+		3 << 10: "3KB",
+		1 << 20: "1MB",
+		1536:    "1536B", // not a whole KB
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDirectMappedHitMiss(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1}) // 4 lines
+	if c.Touch(0x0, false) {
+		t.Error("cold cache must miss")
+	}
+	c.Insert(0x0, false)
+	if !c.Touch(0x0, false) {
+		t.Error("line just inserted must hit")
+	}
+	if !c.Touch(0xc, false) {
+		t.Error("same line, different word must hit")
+	}
+	if c.Touch(0x10, false) {
+		t.Error("next line must miss")
+	}
+	// 4 lines of 16B: addresses 0x0 and 0x40 conflict.
+	c.Insert(0x40, false)
+	if c.Touch(0x0, false) {
+		t.Error("conflicting insert must evict the old line")
+	}
+	if !c.Touch(0x40, false) {
+		t.Error("newly inserted conflicting line must hit")
+	}
+}
+
+func TestInsertReturnsVictim(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	v := c.Insert(0x0, true)
+	if v.Valid {
+		t.Error("insert into empty slot must not report a victim")
+	}
+	v = c.Insert(0x40, false) // conflicts with 0x0
+	if !v.Valid || v.Tag != c.LineAddr(0x0) || !v.Dirty {
+		t.Errorf("victim = %+v, want valid dirty line 0", v)
+	}
+}
+
+func TestStoreSetsDirty(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	c.Insert(0x0, false)
+	c.Touch(0x4, true) // store hit dirties the line
+	v := c.Insert(0x40, false)
+	if !v.Dirty {
+		t.Error("store hit must mark the line dirty")
+	}
+}
+
+func TestSetAssocLRU(t *testing.T) {
+	// 2 sets, 2-way: lines 0,2,4 map to set 0.
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 2})
+	c.Insert(0x00, false) // line 0 -> set 0
+	c.Insert(0x20, false) // line 2 -> set 0
+	c.Touch(0x00, false)  // make line 0 MRU
+	v := c.Insert(0x40, false)
+	if !v.Valid || v.Tag != c.LineAddr(0x20) {
+		t.Errorf("LRU eviction chose %+v, want line %#x", v, c.LineAddr(0x20))
+	}
+	if !c.Touch(0x00, false) {
+		t.Error("MRU line must survive")
+	}
+	if !c.Touch(0x40, false) {
+		t.Error("inserted line must be present")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 4})
+	for _, a := range []uint32{0x0, 0x40, 0x80, 0xc0} {
+		c.Insert(a, false)
+	}
+	for _, a := range []uint32{0x0, 0x40, 0x80, 0xc0} {
+		if !c.Touch(a, false) {
+			t.Errorf("line %#x should be present in FA cache", a)
+		}
+	}
+	if c.ValidLines() != 4 {
+		t.Errorf("ValidLines = %d, want 4", c.ValidLines())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	c.Insert(0x0, true)
+	v := c.Invalidate(0x4)
+	if !v.Valid || !v.Dirty {
+		t.Errorf("Invalidate = %+v, want prior dirty line", v)
+	}
+	if c.Touch(0x0, false) {
+		t.Error("invalidated line must miss")
+	}
+	if v := c.Invalidate(0x0); v.Valid {
+		t.Error("second invalidate must find nothing")
+	}
+}
+
+func TestLookupDoesNotMutate(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 2})
+	c.Insert(0x00, false)
+	c.Insert(0x20, false)
+	// Lookup of 0x00 must NOT refresh LRU: inserting a conflicting
+	// line should still evict 0x00 (it is LRU).
+	if !c.Lookup(0x00) {
+		t.Fatal("Lookup should find line 0")
+	}
+	v := c.Insert(0x40, false)
+	if v.Tag != c.LineAddr(0x00) {
+		t.Errorf("Lookup mutated LRU state: victim %+v", v)
+	}
+	if c.Lookup(0x1000) {
+		t.Error("Lookup of absent line must be false")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	c.Insert(0x0, true)
+	c.Insert(0x10, false)
+	if got := c.Flush(); got != 1 {
+		t.Errorf("Flush returned %d dirty lines, want 1", got)
+	}
+	if c.ValidLines() != 0 {
+		t.Error("flush must invalidate everything")
+	}
+}
+
+func TestVisitValid(t *testing.T) {
+	c := New(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	c.Insert(0x0, false)
+	c.Insert(0x10, true)
+	var n, dirty int
+	c.VisitValid(func(ln Line) {
+		n++
+		if ln.Dirty {
+			dirty++
+		}
+	})
+	if n != 2 || dirty != 1 {
+		t.Errorf("VisitValid saw %d lines (%d dirty), want 2 (1 dirty)", n, dirty)
+	}
+}
+
+func TestLineAddrBaseAddrRoundTrip(t *testing.T) {
+	c := New(Params{SizeBytes: 4096, LineBytes: 32, Assoc: 1})
+	f := func(addr uint32) bool {
+		tag := c.LineAddr(addr)
+		base := c.BaseAddr(tag)
+		return base <= addr && addr < base+32 && base%32 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The cache must behave identically regardless of access word within a
+// line (property over random accesses: hit iff line present in a model
+// map for direct-mapped).
+func TestDirectMappedModelEquivalence(t *testing.T) {
+	p := Params{SizeBytes: 512, LineBytes: 16, Assoc: 1}
+	c := New(p)
+	model := make(map[uint32]uint32) // set index -> line tag
+	numSets := uint32(p.NumSets())
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			tag := a >> 4
+			set := tag % numSets
+			wantHit := false
+			if got, ok := model[set]; ok && got == tag {
+				wantHit = true
+			}
+			gotHit := c.Touch(a, false)
+			if gotHit != wantHit {
+				return false
+			}
+			if !gotHit {
+				c.Insert(a, false)
+				model[set] = tag
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

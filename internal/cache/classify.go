@@ -1,0 +1,113 @@
+package cache
+
+import "container/list"
+
+// MissKind classifies a cache miss per the classic three-C model.
+type MissKind uint8
+
+const (
+	// Hit means the access was not a miss.
+	Hit MissKind = iota
+	// Compulsory is the first-ever reference to a line.
+	Compulsory
+	// Capacity misses would occur even in a fully-associative LRU
+	// cache of the same capacity.
+	Capacity
+	// Conflict misses are the remainder: caused by limited
+	// associativity.
+	Conflict
+)
+
+// String names the kind.
+func (k MissKind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case Compulsory:
+		return "compulsory"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	}
+	return "unknown"
+}
+
+// Classifier runs a shadow simulation that classifies every access's
+// miss kind for a given geometry. It is independent of the real cache
+// hierarchy: feed it the same access stream and read the tallies.
+//
+// The shadow is a fully-associative LRU cache with the same capacity
+// and line size as the target geometry plus a seen-set for compulsory
+// detection; the target cache itself decides hit vs miss.
+type Classifier struct {
+	target *Cache
+	seen   map[uint32]struct{}
+
+	// Fully-associative LRU shadow.
+	faLines int
+	faList  *list.List               // front = MRU, values are line tags
+	faIndex map[uint32]*list.Element // tag -> element
+
+	Counts [4]uint64 // indexed by MissKind
+}
+
+// NewClassifier builds a classifier for geometry p.
+func NewClassifier(p Params) *Classifier {
+	return &Classifier{
+		target:  New(p),
+		seen:    make(map[uint32]struct{}),
+		faLines: p.NumLines(),
+		faList:  list.New(),
+		faIndex: make(map[uint32]*list.Element),
+	}
+}
+
+// faTouch simulates the fully-associative shadow and reports a hit.
+func (c *Classifier) faTouch(tag uint32) bool {
+	if el, ok := c.faIndex[tag]; ok {
+		c.faList.MoveToFront(el)
+		return true
+	}
+	if c.faList.Len() >= c.faLines {
+		back := c.faList.Back()
+		delete(c.faIndex, back.Value.(uint32))
+		c.faList.Remove(back)
+	}
+	c.faIndex[tag] = c.faList.PushFront(tag)
+	return false
+}
+
+// Access classifies one access and updates the tallies.
+func (c *Classifier) Access(addr uint32, store bool) MissKind {
+	tag := c.target.LineAddr(addr)
+	targetHit := c.target.Touch(addr, store)
+	if !targetHit {
+		c.target.Insert(addr, store)
+	}
+	_, seenBefore := c.seen[tag]
+	c.seen[tag] = struct{}{}
+	faHit := c.faTouch(tag)
+
+	var kind MissKind
+	switch {
+	case targetHit:
+		kind = Hit
+	case !seenBefore:
+		kind = Compulsory
+	case !faHit:
+		kind = Capacity
+	default:
+		kind = Conflict
+	}
+	c.Counts[kind]++
+	return kind
+}
+
+// Misses returns the total number of misses of all kinds.
+func (c *Classifier) Misses() uint64 {
+	return c.Counts[Compulsory] + c.Counts[Capacity] + c.Counts[Conflict]
+}
+
+// Accesses returns the total number of classified accesses.
+func (c *Classifier) Accesses() uint64 { return c.Misses() + c.Counts[Hit] }

@@ -1,0 +1,89 @@
+package cache
+
+// VictimCache is a small fully-associative cache of lines recently
+// evicted from the main cache, after Jouppi (ISCA 1990). On a main
+// cache miss that hits in the victim cache, the two lines are swapped.
+//
+// Like Cache, it models metadata only (tags, valid, dirty) with LRU
+// replacement.
+type VictimCache struct {
+	entries   []Line
+	lineBytes int
+	lineShift uint32
+	clock     uint64
+}
+
+// NewVictimCache builds a victim cache with the given number of entries
+// and line size in bytes (which must match the main cache's line size).
+func NewVictimCache(entries, lineBytes int) *VictimCache {
+	if entries <= 0 {
+		panic("cache: victim cache needs at least one entry")
+	}
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("cache: victim cache line size must be a positive power of two")
+	}
+	return &VictimCache{
+		entries:   make([]Line, entries),
+		lineBytes: lineBytes,
+		lineShift: uint32(log2(lineBytes)),
+	}
+}
+
+// Entries returns the capacity in lines.
+func (v *VictimCache) Entries() int { return len(v.entries) }
+
+// LineBytes returns the line size in bytes.
+func (v *VictimCache) LineBytes() int { return v.lineBytes }
+
+// SizeBytes returns the data capacity in bytes.
+func (v *VictimCache) SizeBytes() int { return len(v.entries) * v.lineBytes }
+
+// lineAddr returns the line address for a byte address.
+func (v *VictimCache) lineAddr(addr uint32) uint32 { return addr >> v.lineShift }
+
+// Probe removes and returns the entry holding addr's line, if present.
+// The swap semantics of a victim hit mean the line always leaves the
+// victim cache (it moves into the main cache), so Probe extracts.
+func (v *VictimCache) Probe(addr uint32) (Line, bool) {
+	tag := v.lineAddr(addr)
+	for i := range v.entries {
+		e := &v.entries[i]
+		if e.Valid && e.Tag == tag {
+			out := *e
+			*e = Line{}
+			return out, true
+		}
+	}
+	return Line{}, false
+}
+
+// Insert stores an evicted main-cache line (given by its line address)
+// and returns the displaced victim, if any.
+func (v *VictimCache) Insert(lineTag uint32, dirty bool) Victim {
+	slot := &v.entries[0]
+	for i := range v.entries {
+		e := &v.entries[i]
+		if !e.Valid {
+			slot = e
+			break
+		}
+		if e.lru < slot.lru {
+			slot = e
+		}
+	}
+	out := Victim{Tag: slot.Tag, Dirty: slot.Dirty, Valid: slot.Valid}
+	v.clock++
+	*slot = Line{Tag: lineTag, Valid: true, Dirty: dirty, lru: v.clock}
+	return out
+}
+
+// ValidLines returns the number of occupied entries.
+func (v *VictimCache) ValidLines() int {
+	n := 0
+	for i := range v.entries {
+		if v.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package cache
+
+import "testing"
+
+func TestVictimCacheProbeExtracts(t *testing.T) {
+	v := NewVictimCache(4, 32)
+	v.Insert(5, true)
+	ln, ok := v.Probe(5 * 32)
+	if !ok || ln.Tag != 5 || !ln.Dirty {
+		t.Fatalf("Probe = %+v/%v, want dirty line 5", ln, ok)
+	}
+	if _, ok := v.Probe(5 * 32); ok {
+		t.Error("Probe must extract: second probe should miss")
+	}
+}
+
+func TestVictimCacheMiss(t *testing.T) {
+	v := NewVictimCache(4, 32)
+	if _, ok := v.Probe(0x100); ok {
+		t.Error("empty victim cache must miss")
+	}
+}
+
+func TestVictimCacheLRUReplacement(t *testing.T) {
+	v := NewVictimCache(2, 32)
+	v.Insert(1, false)
+	v.Insert(2, false)
+	disp := v.Insert(3, false) // displaces LRU = line 1
+	if !disp.Valid || disp.Tag != 1 {
+		t.Errorf("displaced %+v, want line 1", disp)
+	}
+	if _, ok := v.Probe(2 * 32); !ok {
+		t.Error("line 2 should remain")
+	}
+	if _, ok := v.Probe(3 * 32); !ok {
+		t.Error("line 3 should remain")
+	}
+}
+
+func TestVictimCacheInsertIntoEmpty(t *testing.T) {
+	v := NewVictimCache(2, 32)
+	if disp := v.Insert(9, false); disp.Valid {
+		t.Errorf("insert into empty cache displaced %+v", disp)
+	}
+	if v.ValidLines() != 1 {
+		t.Errorf("ValidLines = %d, want 1", v.ValidLines())
+	}
+}
+
+func TestVictimCacheGeometry(t *testing.T) {
+	v := NewVictimCache(16, 32)
+	if v.Entries() != 16 || v.LineBytes() != 32 || v.SizeBytes() != 512 {
+		t.Errorf("geometry: entries=%d line=%d size=%d", v.Entries(), v.LineBytes(), v.SizeBytes())
+	}
+}
+
+func TestVictimCacheBadConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewVictimCache(0, 32) },
+		func() { NewVictimCache(4, 0) },
+		func() { NewVictimCache(4, 24) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad construction must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClassifierCompulsory(t *testing.T) {
+	cl := NewClassifier(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	if kind := cl.Access(0x0, false); kind != Compulsory {
+		t.Errorf("first access = %v, want compulsory", kind)
+	}
+	if kind := cl.Access(0x4, false); kind != Hit {
+		t.Errorf("second access to line = %v, want hit", kind)
+	}
+}
+
+func TestClassifierConflict(t *testing.T) {
+	// 4-line DM cache; 0x0 and 0x40 conflict but fit in FA capacity.
+	cl := NewClassifier(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	cl.Access(0x00, false) // compulsory
+	cl.Access(0x40, false) // compulsory, evicts 0x00 in DM
+	if kind := cl.Access(0x00, false); kind != Conflict {
+		t.Errorf("re-access = %v, want conflict", kind)
+	}
+}
+
+func TestClassifierCapacity(t *testing.T) {
+	// 2-line DM cache; touch 4 distinct lines cyclically: second round
+	// misses are capacity (FA LRU of 2 lines also misses).
+	cl := NewClassifier(Params{SizeBytes: 32, LineBytes: 16, Assoc: 1})
+	addrs := []uint32{0x00, 0x10, 0x20, 0x30}
+	for _, a := range addrs {
+		cl.Access(a, false)
+	}
+	if kind := cl.Access(0x00, false); kind != Capacity {
+		t.Errorf("cyclic re-access = %v, want capacity", kind)
+	}
+}
+
+func TestClassifierTallies(t *testing.T) {
+	cl := NewClassifier(Params{SizeBytes: 64, LineBytes: 16, Assoc: 1})
+	for _, a := range []uint32{0x00, 0x00, 0x40, 0x00} {
+		cl.Access(a, false)
+	}
+	if cl.Accesses() != 4 {
+		t.Errorf("Accesses = %d, want 4", cl.Accesses())
+	}
+	if cl.Misses() != 3 {
+		t.Errorf("Misses = %d, want 3", cl.Misses())
+	}
+	if cl.Counts[Hit] != 1 || cl.Counts[Compulsory] != 2 || cl.Counts[Conflict] != 1 {
+		t.Errorf("Counts = %v", cl.Counts)
+	}
+}
+
+func TestMissKindString(t *testing.T) {
+	want := map[MissKind]string{Hit: "hit", Compulsory: "compulsory", Capacity: "capacity", Conflict: "conflict", MissKind(9): "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package cacti estimates on-chip cache access times with a CACTI-style
+// analytic stage model (Jouppi & Wilton, DEC WRL TR 93/5), calibrated
+// to the 0.8µm technology point the paper uses for its Figure 9
+// feasibility argument.
+//
+// This is a reimplementation of the model's *structure* — decoder,
+// wordline, bitline, sense amplifier, tag comparator and output stages,
+// each with a fixed cost plus a term growing with the stage's fan —
+// with constants fitted to the two anchors the paper reports: a
+// 512-entry/7-value FVC at ~6ns and a 4-entry fully-associative victim
+// cache at ~9ns. Absolute numbers are indicative; the experiments only
+// rely on the relative ordering of geometries (bigger and wider arrays
+// are slower; a small narrow FVC sits at or below a large DMC).
+package cacti
+
+import (
+	"math"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// AddressBits is the machine address width (SPEC95-era 32-bit).
+const AddressBits = 32
+
+// Model holds the per-stage coefficients (ns and ns-per-unit terms).
+// The zero value is unusable; use Default08um.
+type Model struct {
+	// Fixed overhead: address drivers, sense amplifier, data output.
+	Base float64
+	// Decoder delay per address bit decoded (log2 rows).
+	PerDecodeBit float64
+	// Wordline delay per column (bit of row width).
+	PerColumn float64
+	// Bitline delay per row.
+	PerRow float64
+	// Tag comparator delay per tag bit.
+	PerTagBit float64
+	// Output multiplexor delay per way beyond the first (set
+	// associativity) in log2 terms.
+	PerMuxBit float64
+
+	// Fully-associative (CAM) stage constants.
+	CAMBase      float64
+	CAMPerTagBit float64
+}
+
+// Default08um is the model calibrated for 0.8µm, matching the paper's
+// anchors (512-entry 7-value FVC ≈ 6ns, 4-entry victim cache ≈ 9ns).
+func Default08um() Model {
+	return Model{
+		Base:         2.0,
+		PerDecodeBit: 0.15,
+		PerColumn:    0.004,
+		PerRow:       0.003,
+		PerTagBit:    0.05,
+		PerMuxBit:    0.30,
+		CAMBase:      4.5,
+		CAMPerTagBit: 0.12,
+	}
+}
+
+func log2f(v float64) float64 {
+	if v <= 1 {
+		return 0
+	}
+	return math.Log2(v)
+}
+
+// ramTime is the shared RAM-array stage sum.
+func (m Model) ramTime(rows, cols, tagBits, assoc int) float64 {
+	t := m.Base
+	t += m.PerDecodeBit * log2f(float64(rows))
+	t += m.PerColumn * float64(cols)
+	t += m.PerRow * float64(rows)
+	t += m.PerTagBit * float64(tagBits)
+	if assoc > 1 {
+		t += m.PerMuxBit * log2f(float64(assoc))
+	}
+	return t
+}
+
+// CacheAccessNs estimates the access time of a conventional cache
+// (direct mapped or set associative; use a fully-associative victim
+// cache with VictimAccessNs instead, which models the CAM match).
+func (m Model) CacheAccessNs(p cache.Params) float64 {
+	sets := p.NumSets()
+	indexBits := int(math.Round(log2f(float64(sets))))
+	offsetBits := int(math.Round(log2f(float64(p.LineBytes))))
+	tagBits := AddressBits - indexBits - offsetBits
+	if tagBits < 0 {
+		tagBits = 0
+	}
+	// A row holds all ways of a set: data bits + tag bits per way.
+	cols := p.Assoc * (p.LineBytes*8 + tagBits)
+	return m.ramTime(sets, cols, tagBits, p.Assoc)
+}
+
+// FVCAccessNs estimates the access time of a direct-mapped frequent
+// value cache: same stages, but the data field is the compressed code
+// array, so rows are dramatically narrower. A small constant is added
+// for the value decode (the select over the frequent-value registers),
+// which the paper argues is fast.
+func (m Model) FVCAccessNs(p fvc.Params) float64 {
+	indexBits := int(math.Round(log2f(float64(p.Entries))))
+	offsetBits := int(math.Round(log2f(float64(p.LineBytes))))
+	tagBits := AddressBits - indexBits - offsetBits
+	if tagBits < 0 {
+		tagBits = 0
+	}
+	cols := p.DataBits() + tagBits
+	const decodeSelect = 0.2 // frequent-value register select
+	return m.ramTime(p.Entries, cols, tagBits, 1) + decodeSelect
+}
+
+// VictimAccessNs estimates the access time of a fully-associative
+// victim cache of the given entries and line size: a CAM tag match
+// followed by the data array read.
+func (m Model) VictimAccessNs(entries, lineBytes int) float64 {
+	offsetBits := int(math.Round(log2f(float64(lineBytes))))
+	tagBits := AddressBits - offsetBits
+	t := m.CAMBase
+	t += m.CAMPerTagBit * float64(tagBits)
+	t += m.PerColumn * float64(lineBytes*8)
+	t += m.PerMuxBit * log2f(float64(entries))
+	return t
+}
+
+// WordsPerLine is re-exported for callers sizing FVC geometries.
+func WordsPerLine(lineBytes int) int { return lineBytes / trace.WordBytes }

@@ -1,0 +1,298 @@
+// Package compress implements the paper's follow-up idea (its
+// reference [11], "Frequent Value Compression in Data Caches"): rather
+// than a separate value-centric structure, the data cache itself
+// stores lines in compressed form, fitting two compressed lines into
+// one physical line frame and thereby roughly doubling effective
+// capacity for frequent-value-rich data.
+//
+// Encoding: each word is kept as a 1-bit flag plus either a code of
+// Table.Bits() bits (frequent value) or the full 32 bits (infrequent).
+// A line is stored compressed when its encoding fits in half a frame.
+// A store of an infrequent value can make a compressed line overflow,
+// in which case it expands and its frame partner is evicted.
+package compress
+
+import (
+	"fmt"
+
+	"fvcache/internal/fvc"
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+)
+
+// Params describes a compressed cache geometry.
+type Params struct {
+	// SizeBytes is the physical data capacity in bytes.
+	SizeBytes int
+	// LineBytes is the (uncompressed) line size in bytes.
+	LineBytes int
+}
+
+// Validate checks the geometry.
+func (p Params) Validate() error {
+	switch {
+	case p.SizeBytes <= 0:
+		return fmt.Errorf("compress: SizeBytes must be positive, got %d", p.SizeBytes)
+	case p.LineBytes < trace.WordBytes || p.LineBytes&(p.LineBytes-1) != 0:
+		return fmt.Errorf("compress: LineBytes must be a power of two >= %d, got %d", trace.WordBytes, p.LineBytes)
+	case p.SizeBytes%p.LineBytes != 0:
+		return fmt.Errorf("compress: SizeBytes %d not a multiple of LineBytes %d", p.SizeBytes, p.LineBytes)
+	case (p.SizeBytes/p.LineBytes)&(p.SizeBytes/p.LineBytes-1) != 0:
+		return fmt.Errorf("compress: number of frames must be a power of two")
+	}
+	return nil
+}
+
+// Frames returns the number of physical line frames.
+func (p Params) Frames() int { return p.SizeBytes / p.LineBytes }
+
+// WordsPerLine returns words per uncompressed line.
+func (p Params) WordsPerLine() int { return p.LineBytes / trace.WordBytes }
+
+type slot struct {
+	tag        uint32
+	valid      bool
+	dirty      bool
+	compressed bool
+	lru        uint64
+}
+
+// frame is one physical line frame: either one uncompressed line in
+// slot 0, or up to two compressed lines.
+type frame struct {
+	slots [2]slot
+}
+
+// Stats accumulates compressed-cache statistics.
+type Stats struct {
+	Loads  uint64
+	Stores uint64
+	Hits   uint64
+	Misses uint64
+
+	LineFetches    uint64
+	LineWritebacks uint64
+	// Expansions counts compressed lines that overflowed after a store
+	// of an infrequent value.
+	Expansions uint64
+	// CompressedFills and UncompressedFills classify line installs.
+	CompressedFills   uint64
+	UncompressedFills uint64
+}
+
+// Accesses returns loads + stores.
+func (s Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+// MissRate returns misses/accesses in [0,1].
+func (s Stats) MissRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// Cache is the frequent-value-compressed data cache.
+type Cache struct {
+	p      Params
+	table  *fvc.Table
+	frames []frame
+	mem    *memsim.Memory
+	clock  uint64
+	stats  Stats
+
+	frameMask uint32
+	lineShift uint32
+}
+
+// New builds a compressed cache using table to decide word
+// compressibility.
+func New(p Params, table *fvc.Table) (*Cache, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint32(0)
+	for v := p.LineBytes; v > 1; v >>= 1 {
+		shift++
+	}
+	return &Cache{
+		p:         p,
+		table:     table,
+		frames:    make([]frame, p.Frames()),
+		mem:       memsim.NewMemory(),
+		frameMask: uint32(p.Frames() - 1),
+		lineShift: shift,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p Params, table *fvc.Table) *Cache {
+	c, err := New(p, table)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Params returns the geometry.
+func (c *Cache) Params() Params { return c.p }
+
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr >> c.lineShift }
+
+// encodedBits returns the compressed size in bits of the line with the
+// given base address, from the architectural replica.
+func (c *Cache) encodedBits(base uint32) int {
+	bits := 0
+	for i := 0; i < c.p.WordsPerLine(); i++ {
+		w := c.mem.LoadWord(base + uint32(i*trace.WordBytes))
+		bits++ // frequent/infrequent flag
+		if c.table.Contains(w) {
+			bits += c.table.Bits()
+		} else {
+			bits += 32
+		}
+	}
+	return bits
+}
+
+// compressible reports whether the line at base fits in half a frame.
+func (c *Cache) compressible(base uint32) bool {
+	return c.encodedBits(base) <= c.p.LineBytes*8/2
+}
+
+// Emit implements trace.Sink.
+func (c *Cache) Emit(e trace.Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	c.Access(e.Op, e.Addr, e.Value)
+}
+
+// Access simulates one access and reports whether it hit.
+func (c *Cache) Access(op trace.Op, addr, value uint32) bool {
+	store := op == trace.Store
+	if store {
+		c.stats.Stores++
+	} else {
+		c.stats.Loads++
+	}
+
+	la := c.lineAddr(addr)
+	fr := &c.frames[la&c.frameMask]
+	hitSlot := -1
+	for i := range fr.slots {
+		if fr.slots[i].valid && fr.slots[i].tag == la {
+			hitSlot = i
+			break
+		}
+	}
+
+	if store {
+		c.mem.StoreWord(addr, value)
+	}
+
+	if hitSlot >= 0 {
+		c.stats.Hits++
+		s := &fr.slots[hitSlot]
+		c.clock++
+		s.lru = c.clock
+		if store {
+			s.dirty = true
+			// A store of an infrequent value may overflow a compressed
+			// line: expand it, evicting the frame partner.
+			if s.compressed && !c.compressible(la<<c.lineShift) {
+				c.stats.Expansions++
+				other := &fr.slots[1-hitSlot]
+				c.evict(other)
+				s.compressed = false
+				if hitSlot != 0 {
+					fr.slots[0], fr.slots[1] = fr.slots[1], fr.slots[0]
+				}
+			}
+		}
+		return true
+	}
+
+	// Miss: fetch and install.
+	c.stats.Misses++
+	c.stats.LineFetches++
+	c.install(fr, la, store)
+	return false
+}
+
+// evict writes back a dirty slot and invalidates it.
+func (c *Cache) evict(s *slot) {
+	if s.valid && s.dirty {
+		c.stats.LineWritebacks++
+	}
+	*s = slot{}
+}
+
+// install places line la into the frame, compressed when possible.
+func (c *Cache) install(fr *frame, la uint32, dirty bool) {
+	c.clock++
+	if c.compressible(la << c.lineShift) {
+		c.stats.CompressedFills++
+		// If the frame currently holds an uncompressed line, it must
+		// go entirely.
+		if fr.slots[0].valid && !fr.slots[0].compressed {
+			c.evict(&fr.slots[0])
+		}
+		// Choose an empty slot, else the LRU compressed slot.
+		victim := &fr.slots[0]
+		for i := range fr.slots {
+			s := &fr.slots[i]
+			if !s.valid {
+				victim = s
+				break
+			}
+			if s.lru < victim.lru {
+				victim = s
+			}
+		}
+		c.evict(victim)
+		*victim = slot{tag: la, valid: true, dirty: dirty, compressed: true, lru: c.clock}
+		return
+	}
+	c.stats.UncompressedFills++
+	// Uncompressed: the line needs the whole frame.
+	c.evict(&fr.slots[0])
+	c.evict(&fr.slots[1])
+	fr.slots[0] = slot{tag: la, valid: true, dirty: dirty, compressed: false, lru: c.clock}
+}
+
+// ValidLines returns the number of resident lines (a frame with two
+// compressed lines counts twice).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.frames {
+		for j := range c.frames[i].slots {
+			if c.frames[i].slots[j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CompressedFraction returns the fraction of resident lines stored
+// compressed.
+func (c *Cache) CompressedFraction() float64 {
+	total, comp := 0, 0
+	for i := range c.frames {
+		for j := range c.frames[i].slots {
+			if c.frames[i].slots[j].valid {
+				total++
+				if c.frames[i].slots[j].compressed {
+					comp++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(comp) / float64(total)
+}

@@ -1,0 +1,201 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+func table() *fvc.Table {
+	return fvc.MustTable(3, []uint32{0, 1, 2, 4, 8, 10, 0xffffffff})
+}
+
+func newCache(t *testing.T, sizeBytes int) *Cache {
+	t.Helper()
+	return MustNew(Params{SizeBytes: sizeBytes, LineBytes: 16}, table())
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{SizeBytes: 1024, LineBytes: 32}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{SizeBytes: 0, LineBytes: 32},
+		{SizeBytes: 1024, LineBytes: 24},
+		{SizeBytes: 1000, LineBytes: 32},
+		{SizeBytes: 96, LineBytes: 32}, // 3 frames, not power of two
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", p)
+		}
+	}
+	if good.Frames() != 32 || good.WordsPerLine() != 8 {
+		t.Errorf("derived geometry wrong: %d frames, %d wpl", good.Frames(), good.WordsPerLine())
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := newCache(t, 64) // 4 frames of 16B
+	if c.Access(trace.Load, 0x1000, 0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(trace.Load, 0x1004, 0) {
+		t.Error("same line must hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Loads != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Two lines of frequent values that conflict in a plain DMC share one
+// frame compressed — the package's whole point.
+func TestTwoCompressedLinesShareFrame(t *testing.T) {
+	c := newCache(t, 64)            // 4 frames: lines 0x1000 and 0x1040 both map to frame 0
+	c.Access(trace.Load, 0x1000, 0) // all-zero line: compressible
+	c.Access(trace.Load, 0x1040, 0) // conflicting, also compressible
+	if !c.Access(trace.Load, 0x1000, 0) {
+		t.Error("first compressed line must survive the conflicting fill")
+	}
+	if !c.Access(trace.Load, 0x1040, 0) {
+		t.Error("second compressed line must be resident too")
+	}
+	if got := c.ValidLines(); got != 2 {
+		t.Errorf("ValidLines = %d, want 2", got)
+	}
+	if got := c.CompressedFraction(); got != 1.0 {
+		t.Errorf("CompressedFraction = %v, want 1.0", got)
+	}
+}
+
+func TestIncompressibleLineTakesWholeFrame(t *testing.T) {
+	c := newCache(t, 64)
+	// Make line 0x1000's words infrequent in the replica via stores.
+	vals := []uint32{0xdeadbeef, 0x12345678, 0xcafebabe, 0x87654321}
+	for i, v := range vals {
+		c.Access(trace.Store, 0x1000+uint32(i*4), v)
+	}
+	// Now resident uncompressed; a second conflicting compressible
+	// line evicts it entirely on install... fill 0x1040 (zeros).
+	c.Access(trace.Load, 0x1040, 0)
+	if c.Access(trace.Load, 0x1000, 0xdeadbeef) {
+		t.Error("uncompressed line should have been evicted by the compressed fill")
+	}
+	st := c.Stats()
+	if st.UncompressedFills == 0 || st.CompressedFills == 0 {
+		t.Errorf("fills not classified: %+v", st)
+	}
+}
+
+func TestStoreExpansion(t *testing.T) {
+	c := newCache(t, 64)
+	c.Access(trace.Load, 0x1000, 0) // compressed all-zero line
+	c.Access(trace.Load, 0x1040, 0) // partner compressed line
+	// Store infrequent values into line 0x1000 until it overflows
+	// half a frame: 16B line = 128 bits, half = 64; 4 words at 1+32
+	// bits... two infrequent words = 2*33 + 2*4 = 74 > 64.
+	c.Access(trace.Store, 0x1000, 0xdeadbeef)
+	c.Access(trace.Store, 0x1004, 0x12345678)
+	st := c.Stats()
+	if st.Expansions == 0 {
+		t.Fatalf("expected an expansion: %+v", st)
+	}
+	// The partner must be gone; the expanded line still resident.
+	if !c.Access(trace.Load, 0x1008, 0) {
+		t.Error("expanded line must remain resident")
+	}
+	if c.Access(trace.Load, 0x1040, 0) {
+		t.Error("partner line must have been evicted by the expansion")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := newCache(t, 64)
+	c.Access(trace.Store, 0x1000, 0) // dirty compressed line (store of frequent 0)
+	// Force eviction: fill the same frame with two more compressible
+	// lines (LRU kicks out the dirty one).
+	c.Access(trace.Load, 0x1040, 0)
+	c.Access(trace.Load, 0x1080, 0)
+	if c.Stats().LineWritebacks == 0 {
+		t.Errorf("dirty eviction must write back: %+v", c.Stats())
+	}
+}
+
+func TestEmitIgnoresAllocs(t *testing.T) {
+	c := newCache(t, 64)
+	c.Emit(trace.Event{Op: trace.HeapAlloc, Addr: 0x1000, Value: 64})
+	if c.Stats().Accesses() != 0 {
+		t.Error("alloc events must be ignored")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := newCache(t, 64)
+	if c.Stats().MissRate() != 0 {
+		t.Error("empty cache miss rate must be 0")
+	}
+	c.Access(trace.Load, 0x1000, 0)
+	c.Access(trace.Load, 0x1000, 0)
+	if got := c.Stats().MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+}
+
+// On a frequent-value-rich conflict workload, the compressed cache
+// must beat a plain direct-mapped cache of equal physical size (its
+// effective capacity is doubled for compressible lines).
+func TestCompressionBeatsPlainDMCOnFrequentData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	comp := newCache(t, 256)
+	// Reference: identical cache with an empty-value table (nothing is
+	// frequent, so nothing compresses — behaves like a plain DMC).
+	plain := MustNew(Params{SizeBytes: 256, LineBytes: 16}, fvc.MustTable(3, nil))
+	// Working set of 512B (2x capacity), all zeros.
+	for i := 0; i < 20000; i++ {
+		addr := uint32(rng.Intn(128)) * 4
+		comp.Access(trace.Load, addr, 0)
+		plain.Access(trace.Load, addr, 0)
+	}
+	if comp.Stats().Misses >= plain.Stats().Misses {
+		t.Errorf("compression should reduce misses: comp=%d plain=%d",
+			comp.Stats().Misses, plain.Stats().Misses)
+	}
+}
+
+// Property: replica-consistent — a load after stores returns hit/miss
+// but the architectural value tracking must never corrupt (indirectly
+// verified via compressibility decisions not panicking) and stats stay
+// consistent.
+func TestRandomStreamConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := newCache(t, 128)
+	values := []uint32{0, 1, 2, 0xdeadbeef, 10, 0xffffffff, 77777}
+	for i := 0; i < 50000; i++ {
+		addr := uint32(rng.Intn(256)) * 4
+		if rng.Intn(2) == 0 {
+			c.Access(trace.Load, addr, 0)
+		} else {
+			c.Access(trace.Store, addr, values[rng.Intn(len(values))])
+		}
+		// Frame invariant: an uncompressed line never shares a frame.
+		if i%501 == 0 {
+			for fi := range c.frames {
+				fr := &c.frames[fi]
+				if fr.slots[0].valid && !fr.slots[0].compressed && fr.slots[1].valid {
+					t.Fatalf("frame %d holds an uncompressed line plus a partner", fi)
+				}
+				if fr.slots[1].valid && !fr.slots[1].compressed {
+					t.Fatalf("frame %d slot 1 holds an uncompressed line", fi)
+				}
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != st.Accesses() {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+}

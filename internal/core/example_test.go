@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// A 64-byte direct-mapped cache augmented with a tiny FVC: the second
+// read of a frequent value that was evicted from the main cache hits
+// in the FVC instead of going to memory.
+func ExampleSystem_Access() {
+	sys := core.MustNew(core.Config{
+		Main:           cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+		FrequentValues: []uint32{0, 1, 2},
+	})
+	fmt.Println(sys.Access(trace.Load, 0x1000, 0)) // cold miss
+	fmt.Println(sys.Access(trace.Load, 0x1040, 0)) // conflict: evicts line, footprint -> FVC
+	fmt.Println(sys.Access(trace.Load, 0x1000, 0)) // frequent word: FVC hit
+	// Output:
+	// miss
+	// miss
+	// fvc
+}

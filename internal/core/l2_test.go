@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+func l2Config() Config {
+	return Config{
+		Main: cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		L2:   &cache.Params{SizeBytes: 256, LineBytes: 16, Assoc: 2},
+	}
+}
+
+func TestL2Validate(t *testing.T) {
+	if err := l2Config().Validate(); err != nil {
+		t.Errorf("good L2 config rejected: %v", err)
+	}
+	bad := l2Config()
+	bad.L2.LineBytes = 32 // mismatched line size
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched L2 line size must be rejected")
+	}
+	tiny := l2Config()
+	tiny.L2.SizeBytes = 32 // smaller than L1
+	if err := tiny.Validate(); err == nil {
+		t.Error("L2 smaller than L1 must be rejected")
+	}
+}
+
+func TestL2AbsorbsConflictMisses(t *testing.T) {
+	s := MustNew(l2Config())
+	s.Access(trace.Load, 0x0, 0)  // miss: L2 miss, off-chip fetch
+	s.Access(trace.Load, 0x40, 0) // conflicts in 64B L1, fits in 256B L2
+	s.Access(trace.Load, 0x0, 0)  // L1 miss again, but L2 hit
+	st := s.Stats()
+	if st.L2Hits != 1 {
+		t.Errorf("L2Hits = %d, want 1", st.L2Hits)
+	}
+	if st.L2Misses != 2 {
+		t.Errorf("L2Misses = %d, want 2", st.L2Misses)
+	}
+	// Off-chip traffic: only the two cold fetches (4 words each).
+	if st.TrafficWords != 8 {
+		t.Errorf("TrafficWords = %d, want 8", st.TrafficWords)
+	}
+	if s.L2() == nil {
+		t.Error("L2 accessor must return the cache")
+	}
+}
+
+func TestL2AbsorbsWritebacks(t *testing.T) {
+	s := MustNew(l2Config())
+	s.Access(trace.Store, 0x0, 42) // dirty line in L1
+	s.Access(trace.Load, 0x40, 0)  // evicts dirty line -> L2, not off-chip
+	st := s.Stats()
+	if st.LineWritebacks != 1 {
+		t.Errorf("LineWritebacks = %d, want 1", st.LineWritebacks)
+	}
+	// Traffic: two fetches only; the writeback went into the L2.
+	if st.TrafficWords != 8 {
+		t.Errorf("TrafficWords = %d, want 8 (writeback absorbed)", st.TrafficWords)
+	}
+	// Re-reading the dirty line hits L2 (inclusive of the writeback).
+	s.Access(trace.Load, 0x0, 42)
+	if s.Stats().TrafficWords != 8 {
+		t.Error("re-read of written-back line must not go off chip")
+	}
+}
+
+func TestL2DirtyEvictionGoesOffChip(t *testing.T) {
+	// 64B L1, 128B 1-way L2 (8 lines): cycle more dirty lines than L2
+	// holds; displaced dirty L2 lines must count as off-chip writes.
+	s := MustNew(Config{
+		Main: cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		L2:   &cache.Params{SizeBytes: 128, LineBytes: 16, Assoc: 1},
+	})
+	for i := 0; i < 64; i++ {
+		s.Access(trace.Store, uint32(i)*16, 7)
+	}
+	if s.Stats().L2Writebacks == 0 {
+		t.Errorf("expected dirty L2 evictions: %+v", s.Stats())
+	}
+}
+
+func TestL2WithFVC(t *testing.T) {
+	s := MustNew(Config{
+		Main:           cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+		FrequentValues: []uint32{0, 1, 2},
+		L2:             &cache.Params{SizeBytes: 256, LineBytes: 16, Assoc: 2},
+		VerifyValues:   true,
+	})
+	rng := rand.New(rand.NewSource(5))
+	replica := map[uint32]uint32{}
+	for i := 0; i < 30000; i++ {
+		addr := uint32(rng.Intn(256)) * 4
+		if rng.Intn(2) == 0 {
+			s.Access(trace.Load, addr, replica[addr])
+		} else {
+			v := []uint32{0, 1, 2, 0xbeef, 99}[rng.Intn(5)]
+			s.Access(trace.Store, addr, v)
+			replica[addr] = v
+		}
+	}
+	st := s.Stats()
+	if st.Hits()+st.Misses != st.Accesses() {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	if st.FVCHits == 0 || st.L2Hits == 0 {
+		t.Errorf("expected both FVC and L2 hits: %+v", st)
+	}
+}
+
+// The FVC's traffic reduction must still be visible at the off-chip
+// boundary when an L2 is present.
+func TestFVCReducesOffChipTrafficBehindL2(t *testing.T) {
+	run := func(withFVC bool) Stats {
+		cfg := Config{
+			Main: cache.Params{SizeBytes: 256, LineBytes: 16, Assoc: 1},
+			L2:   &cache.Params{SizeBytes: 1 << 10, LineBytes: 16, Assoc: 2},
+		}
+		if withFVC {
+			cfg.FVC = &fvc.Params{Entries: 32, LineBytes: 16, Bits: 3}
+			cfg.FrequentValues = []uint32{0, 1, 2}
+		}
+		s := MustNew(cfg)
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 60000; i++ {
+			addr := uint32(rng.Intn(2048)) * 4 // 8KB: exceeds the L2
+			if rng.Intn(3) == 0 {
+				s.Access(trace.Store, addr, uint32(rng.Intn(3))) // frequent values
+			} else {
+				s.Access(trace.Load, addr, s.MemWord(addr))
+			}
+		}
+		return s.Stats()
+	}
+	base, aug := run(false), run(true)
+	if aug.TrafficWords >= base.TrafficWords {
+		t.Errorf("FVC should reduce off-chip traffic behind an L2: base=%d aug=%d",
+			base.TrafficWords, aug.TrafficWords)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+func onlineSystem(t *testing.T, every uint64) *System {
+	t.Helper()
+	return MustNew(Config{
+		Main:           cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+		OnlineFVTEvery: every,
+		VerifyValues:   true,
+	})
+}
+
+func TestOnlineFVTValidatesWithoutValues(t *testing.T) {
+	// No FrequentValues needed when online identification is on.
+	s := onlineSystem(t, 100)
+	if s.FVC().Table().Len() != 0 {
+		t.Errorf("initial table should be empty, has %d values", s.FVC().Table().Len())
+	}
+	// But without either, the config is invalid.
+	bad := Config{
+		Main: cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		FVC:  &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("FVC without values and without online mode must be rejected")
+	}
+}
+
+func TestOnlineFVTLearnsValues(t *testing.T) {
+	s := onlineSystem(t, 50)
+	// Stream stores of a heavily repeated value.
+	for i := 0; i < 500; i++ {
+		s.Access(trace.Store, uint32(i%64)*4, 0xbeef)
+	}
+	if s.Stats().FVTUpdates == 0 {
+		t.Fatal("expected at least one FVT update")
+	}
+	if !s.FVC().Table().Contains(0xbeef) {
+		t.Errorf("table should have learned 0xbeef: %v", s.FVC().Table().Values())
+	}
+}
+
+func TestOnlineFVTEventuallyHits(t *testing.T) {
+	s := onlineSystem(t, 50)
+	// A working set far larger than the 64B main cache, all one value:
+	// once the table learns it, the FVC starts absorbing accesses.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 128; i++ {
+			s.Access(trace.Store, uint32(i)*4, 7)
+		}
+	}
+	if s.Stats().FVCHits == 0 {
+		t.Error("online FVC produced no hits")
+	}
+}
+
+func TestOnlineFVTStableSetDoesNotChurn(t *testing.T) {
+	s := onlineSystem(t, 10)
+	for i := 0; i < 1000; i++ {
+		s.Access(trace.Store, uint32(i%16)*4, uint32(i%2)) // values {0,1} only
+	}
+	st := s.Stats()
+	// The set {0,1} stabilizes after the first updates; replacements
+	// must stop (equal sets are detected and skipped).
+	if st.FVTUpdates > 5 {
+		t.Errorf("stable value set caused %d FVT updates", st.FVTUpdates)
+	}
+}
+
+func TestReplaceTableFlushes(t *testing.T) {
+	tbl1 := fvc.MustTable(3, []uint32{1, 2, 3})
+	f := fvc.MustNew(fvc.Params{Entries: 4, LineBytes: 16, Bits: 3}, tbl1)
+	f.InstallFootprint(0, []uint32{1, 2, 3, 1})
+	f.WriteWord(0x8, 2) // dirty the entry (tag 0 line, word 2)
+	tbl2 := fvc.MustTable(3, []uint32{7, 8, 9})
+	dirty, err := f.ReplaceTable(tbl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty != 4 {
+		t.Errorf("dirty frequent words = %d, want 4", dirty)
+	}
+	if f.ValidEntries() != 0 {
+		t.Error("ReplaceTable must invalidate all entries")
+	}
+	if !f.Table().Contains(7) || f.Table().Contains(1) {
+		t.Error("table not replaced")
+	}
+	// Width mismatch is rejected.
+	if _, err := f.ReplaceTable(fvc.MustTable(2, []uint32{5})); err == nil {
+		t.Error("width mismatch must be rejected")
+	}
+}
+
+func TestOnlineVsProfiledComparable(t *testing.T) {
+	// On a value-skewed stream, online identification should approach
+	// the profiled configuration's hit count.
+	mk := func(online bool) *System {
+		cfg := Config{
+			Main: cache.Params{SizeBytes: 256, LineBytes: 16, Assoc: 1},
+			FVC:  &fvc.Params{Entries: 16, LineBytes: 16, Bits: 3},
+		}
+		if online {
+			cfg.OnlineFVTEvery = 200
+		} else {
+			cfg.FrequentValues = []uint32{0, 1, 2}
+		}
+		return MustNew(cfg)
+	}
+	profiled, online := mk(false), mk(true)
+	drive := func(s *System) {
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 512; i++ {
+				s.Access(trace.Store, uint32(i)*4, uint32(i%3))
+			}
+		}
+	}
+	drive(profiled)
+	drive(online)
+	p, o := profiled.Stats(), online.Stats()
+	if o.FVCHits == 0 {
+		t.Fatal("online system produced no FVC hits")
+	}
+	// Online pays a learning phase but should reach at least half the
+	// profiled hit count on this easy stream.
+	if o.FVCHits < p.FVCHits/2 {
+		t.Errorf("online hits %d too far below profiled %d", o.FVCHits, p.FVCHits)
+	}
+}

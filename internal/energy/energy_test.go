@@ -1,0 +1,105 @@
+package energy
+
+import (
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+)
+
+func cfgDMC() core.Config {
+	return core.Config{Main: cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}}
+}
+
+func cfgFVC() core.Config {
+	return core.Config{
+		Main:           cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 512, LineBytes: 32, Bits: 3},
+		FrequentValues: []uint32{0},
+	}
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	m := Default08um()
+	st := core.Stats{Loads: 800, Stores: 200, Misses: 100, TrafficWords: 400}
+	e := m.Estimate(cfgDMC(), st)
+	if e.MainNJ != m.MainAccess*1000 {
+		t.Errorf("MainNJ = %v", e.MainNJ)
+	}
+	if e.FVCNJ != 0 || e.VictimNJ != 0 {
+		t.Errorf("plain DMC must have no FVC/VC energy: %+v", e)
+	}
+	if e.OffChipNJ != m.OffChipPerWord*400 {
+		t.Errorf("OffChipNJ = %v", e.OffChipNJ)
+	}
+	if e.TotalNJ() != e.MainNJ+e.OffChipNJ {
+		t.Errorf("TotalNJ = %v", e.TotalNJ())
+	}
+}
+
+func TestFVCEnergyScalesWithRowWidth(t *testing.T) {
+	m := Default08um()
+	st := core.Stats{Loads: 1000}
+	narrow := cfgFVC()
+	narrow.FVC.Bits = 1
+	wide := cfgFVC()
+	wide.FVC.Bits = 3
+	if m.Estimate(narrow, st).FVCNJ >= m.Estimate(wide, st).FVCNJ {
+		t.Error("narrower codes must cost less energy")
+	}
+}
+
+func TestVictimEnergyOnlyOnMisses(t *testing.T) {
+	m := Default08um()
+	cfg := cfgDMC()
+	cfg.VictimEntries = 4
+	noMiss := m.Estimate(cfg, core.Stats{Loads: 1000})
+	withMiss := m.Estimate(cfg, core.Stats{Loads: 1000, Misses: 100, VictimHits: 50})
+	if noMiss.VictimNJ != 0 {
+		t.Errorf("no misses -> no CAM searches, got %v", noMiss.VictimNJ)
+	}
+	if withMiss.VictimNJ != m.VictimSearchPerEntry*4*150 {
+		t.Errorf("VictimNJ = %v", withMiss.VictimNJ)
+	}
+}
+
+func TestOffChipDominates(t *testing.T) {
+	// The paper's power argument requires off-chip transfers to
+	// dominate: moving a line must cost far more than a cache probe.
+	m := Default08um()
+	lineWords := 8.0
+	if m.OffChipPerWord*lineWords < 20*m.MainAccess {
+		t.Error("off-chip line transfer should dwarf an on-chip probe")
+	}
+}
+
+func TestSavingsPct(t *testing.T) {
+	a := Estimate{OffChipNJ: 200}
+	b := Estimate{OffChipNJ: 100}
+	if got := SavingsPct(a, b); got != 50 {
+		t.Errorf("SavingsPct = %v, want 50", got)
+	}
+	if got := SavingsPct(Estimate{}, b); got != 0 {
+		t.Errorf("zero baseline SavingsPct = %v, want 0", got)
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	// 512 entries (9 bits) + 32B lines (5 bits) -> 18 tag bits.
+	if got := tagBits(fvc.Params{Entries: 512, LineBytes: 32, Bits: 3}); got != 18 {
+		t.Errorf("tagBits = %d, want 18", got)
+	}
+}
+
+func TestTrafficReductionSavesEnergy(t *testing.T) {
+	// End-to-end sanity: fewer traffic words -> lower total energy,
+	// even accounting for the FVC's own probe energy.
+	m := Default08um()
+	base := m.Estimate(cfgDMC(), core.Stats{Loads: 10000, TrafficWords: 8000})
+	aug := m.Estimate(cfgFVC(), core.Stats{Loads: 10000, TrafficWords: 1000})
+	if aug.TotalNJ() >= base.TotalNJ() {
+		t.Errorf("traffic reduction must save energy: base=%v aug=%v",
+			base.TotalNJ(), aug.TotalNJ())
+	}
+}

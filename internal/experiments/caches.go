@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/report"
+	"fvcache/internal/sim"
+	"fvcache/internal/workload"
+)
+
+// missPct measures the miss rate (in %) of cfg on w.
+func missPct(w workload.Workload, scale workload.Scale, cfg core.Config) float64 {
+	res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Stats.MissRate() * 100
+}
+
+// withFVC attaches an FVC of the given geometry to a main cache,
+// exploiting the top (2^bits - 1) profiled values of w.
+func withFVC(w workload.Workload, scale workload.Scale, main cache.Params, entries, bits int) core.Config {
+	return core.Config{
+		Main:           main,
+		FVC:            &fvc.Params{Entries: entries, LineBytes: main.LineBytes, Bits: bits},
+		FrequentValues: topAccessed(w, scale, fvc.MaxValues(bits)),
+	}
+}
+
+// --- Figure 10: miss-rate reduction vs FVC size ---
+
+func runFig10(opt Options, out io.Writer) error {
+	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
+	entries := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	suite := fvlSuite()
+
+	type job struct {
+		wi, ei int // ei == -1 is the baseline
+	}
+	var jobs []job
+	for wi := range suite {
+		jobs = append(jobs, job{wi, -1})
+		for ei := range entries {
+			jobs = append(jobs, job{wi, ei})
+		}
+	}
+	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+		j := jobs[i]
+		w := suite[j.wi]
+		if j.ei < 0 {
+			return missPct(w, opt.Scale, core.Config{Main: main})
+		}
+		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, entries[j.ei], 3))
+	})
+
+	header := []string{"benchmark", "DMC miss%"}
+	for _, e := range entries {
+		header = append(header, fmt.Sprintf("%de", e))
+	}
+	t := report.NewTable("Figure 10: % miss-rate reduction vs FVC entries (16KB DMC, 8 words/line, 7 values)", header...)
+	k := 0
+	for _, w := range suite {
+		base := res[k]
+		k++
+		row := []string{label(w), report.F3(base)}
+		for range entries {
+			row = append(row, report.F2(reduction(base, res[k]))+"%")
+			k++
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("paper: reductions range from ~10%% (130.li) to well over 50%% (124.m88ksim);")
+	t.AddNote("paper: 124.m88ksim and 134.perl saturate at tiny FVCs (64 entries); others improve steadily with size")
+	render(opt, out, t)
+	return nil
+}
+
+// --- Figure 11: effectiveness of data compression ---
+
+func runFig11(opt Options, out io.Writer) error {
+	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
+	suite := fvlSuite()
+	t := report.NewTable("Figure 11: frequent value content of a 512-entry FVC (16KB DMC, 8wpl, 7 values)",
+		"benchmark", "% frequent codes in valid lines", "FVC occupancy", "effective compression vs DMC")
+	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+		w := suite[i]
+		cfg := withFVC(w, opt.Scale, main, 512, 3)
+		res, err := sim.Measure(w, opt.Scale, cfg, sim.MeasureOptions{SampleEvery: occInterval(opt.Scale) / 4})
+		if err != nil {
+			panic(err)
+		}
+		// A 32-byte DMC line compresses to 3 bytes of codes; scaled by
+		// the frequent fraction this is the paper's 32/3 × frac factor.
+		factor := 32.0 / 3.0 * res.FVCFreqFrac
+		return []string{
+			label(w),
+			report.Pct(res.FVCFreqFrac),
+			report.Pct(res.FVCOccupancy),
+			report.F2(factor) + "x",
+		}
+	})
+	t.Rows = rows
+	t.AddNote("paper: most programs hold >40%% frequent values, giving ~4.27x less storage than a DMC for the cached values")
+	render(opt, out, t)
+	return nil
+}
+
+// --- Figure 12: 12 DMC configurations x 1/3/7 exploited values ---
+
+func runFig12(opt Options, out io.Writer) error {
+	sizesKB := []int{8, 16, 32, 64}
+	lines := []int{16, 32, 64}
+	bitsList := []int{1, 2, 3} // top 1, 3, 7 values
+	suite := fvlSuite()
+
+	type cfgKey struct{ szKB, line int }
+	var cfgs []cfgKey
+	for _, l := range lines {
+		for _, s := range sizesKB {
+			cfgs = append(cfgs, cfgKey{s, l})
+		}
+	}
+
+	type job struct {
+		wi, ci, bi int // bi == -1 baseline
+	}
+	var jobs []job
+	for wi := range suite {
+		for ci := range cfgs {
+			jobs = append(jobs, job{wi, ci, -1})
+			for bi := range bitsList {
+				jobs = append(jobs, job{wi, ci, bi})
+			}
+		}
+	}
+	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+		j := jobs[i]
+		w := suite[j.wi]
+		main := cache.Params{SizeBytes: cfgs[j.ci].szKB << 10, LineBytes: cfgs[j.ci].line, Assoc: 1}
+		if j.bi < 0 {
+			return missPct(w, opt.Scale, core.Config{Main: main})
+		}
+		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, bitsList[j.bi]))
+	})
+
+	k := 0
+	for _, w := range suite {
+		t := report.NewTable(
+			fmt.Sprintf("Figure 12 (%s): %% miss-rate reduction with a 512-entry FVC", label(w)),
+			"DMC config", "DMC miss%", "top 1 value", "top 3 values", "top 7 values")
+		for ci := range cfgs {
+			base := res[k]
+			k++
+			row := []string{
+				fmt.Sprintf("%dKB/%dB", cfgs[ci].szKB, cfgs[ci].line),
+				report.F3(base),
+			}
+			for range bitsList {
+				row = append(row, report.F2(reduction(base, res[k]))+"%")
+				k++
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.AddNote("paper: gains from 1 to 3 values are substantial, 3 to 7 smaller; reductions span 1%%-68%%")
+		render(opt, out, t)
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// --- Figure 13: small DMC + FVC vs doubled DMC ---
+
+// fig13Paper embeds the paper's Figure 13 miss rates for the 8
+// words/line, 7-value configuration, for shape comparison.
+var fig13Paper = map[string][4]string{
+	// [16KB+1.5KbFVC, 32KB, 32KB+1.5KbFVC, 64KB]
+	"cpusim":  {"0.385", "0.853", "0.346", "0.853"},
+	"strproc": {"2.685", "3.829", "2.668", "3.829"},
+}
+
+func runFig13(opt Options, out io.Writer) error {
+	suite := []string{"cpusim", "strproc"}
+	lines := []int{8, 16, 32, 64}
+	sizesKB := []int{4, 8, 16, 32}
+	bitsList := []int{3, 2, 1}
+
+	for _, line := range lines {
+		for _, bits := range bitsList {
+			t := report.NewTable(
+				fmt.Sprintf("Figure 13: DMC+FVC vs doubled DMC — line %dB, %d frequent value(s)",
+					line, fvc.MaxValues(bits)),
+				"benchmark",
+				"4KB+FVC", "8KB", "8KB+FVC", "16KB", "16KB+FVC", "32KB", "32KB+FVC", "64KB")
+			type pair struct{ aug, dbl float64 }
+			rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+				w, err := workload.Get(suite[i])
+				if err != nil {
+					panic(err)
+				}
+				row := []string{label(w)}
+				for _, szKB := range sizesKB {
+					small := cache.Params{SizeBytes: szKB << 10, LineBytes: line, Assoc: 1}
+					double := cache.Params{SizeBytes: (szKB * 2) << 10, LineBytes: line, Assoc: 1}
+					p := pair{
+						aug: missPct(w, opt.Scale, withFVC(w, opt.Scale, small, 512, bits)),
+						dbl: missPct(w, opt.Scale, core.Config{Main: double}),
+					}
+					row = append(row, report.F3(p.aug), report.F3(p.dbl))
+				}
+				return row
+			})
+			t.Rows = rows
+			if line == 32 && bits == 3 {
+				for _, name := range suite {
+					p := fig13Paper[name]
+					t.AddNote("paper (%s, 32B/7v): 16KB+FVC=%s vs 32KB=%s; 32KB+FVC=%s vs 64KB=%s",
+						name, p[0], p[1], p[2], p[3])
+				}
+				t.AddNote("paper: for these two benchmarks a small FVC beats doubling the DMC")
+			}
+			render(opt, out, t)
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+// --- Figure 14: set-associative main caches ---
+
+func runFig14(opt Options, out io.Writer) error {
+	suite := fvlSuite()
+	assocs := []int{1, 2, 4}
+	type job struct {
+		wi, ai int
+		fvcOn  bool
+	}
+	var jobs []job
+	for wi := range suite {
+		for ai := range assocs {
+			jobs = append(jobs, job{wi, ai, false}, job{wi, ai, true})
+		}
+	}
+	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+		j := jobs[i]
+		w := suite[j.wi]
+		main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: assocs[j.ai]}
+		if !j.fvcOn {
+			return missPct(w, opt.Scale, core.Config{Main: main})
+		}
+		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+	})
+	t := report.NewTable("Figure 14: % miss-rate reduction from a 512-entry FVC vs main-cache associativity (16KB, 8wpl, 7 values)",
+		"benchmark", "DM miss%", "DM reduction", "2-way miss%", "2-way reduction", "4-way miss%", "4-way reduction")
+	k := 0
+	for _, w := range suite {
+		row := []string{label(w)}
+		for range assocs {
+			base, aug := res[k], res[k+1]
+			k += 2
+			row = append(row, report.F3(base), report.F2(reduction(base, aug))+"%")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.AddNote("paper: FVC gains shrink under associativity for conflict-dominated benchmarks (m88ksim, perl, li)")
+	t.AddNote("paper: capacity-dominated benchmarks (vortex, gcc, go) keep significant reductions at 2/4-way")
+	render(opt, out, t)
+	return nil
+}
+
+// --- Figure 15: victim cache vs FVC ---
+
+func runFig15(opt Options, out io.Writer) error {
+	main := cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
+	suite := fvlSuite()
+	type row struct {
+		base, vcEq, fvcEq, vcTime, fvcTime float64
+	}
+	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) row {
+		w := suite[i]
+		return row{
+			base: missPct(w, opt.Scale, core.Config{Main: main}),
+			// Equal area: 16-entry VC vs 128-entry FVC (paper's sizing
+			// including tags).
+			vcEq:  missPct(w, opt.Scale, core.Config{Main: main, VictimEntries: 16}),
+			fvcEq: missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 128, 3)),
+			// Equal access time: 4-entry VC (9ns) vs 512-entry FVC (6ns).
+			vcTime:  missPct(w, opt.Scale, core.Config{Main: main, VictimEntries: 4}),
+			fvcTime: missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3)),
+		}
+	})
+	ta := report.NewTable("Figure 15a: equal area — 16-entry VC vs 128-entry FVC (4KB DMC, 8wpl)",
+		"benchmark", "DMC miss%", "VC reduction", "FVC reduction")
+	tb := report.NewTable("Figure 15b: equal access time — 4-entry VC vs 512-entry FVC (4KB DMC, 8wpl)",
+		"benchmark", "DMC miss%", "VC reduction", "FVC reduction")
+	for i, w := range suite {
+		r := rows[i]
+		ta.AddRow(label(w), report.F3(r.base),
+			report.F2(reduction(r.base, r.vcEq))+"%", report.F2(reduction(r.base, r.fvcEq))+"%")
+		tb.AddRow(label(w), report.F3(r.base),
+			report.F2(reduction(r.base, r.vcTime))+"%", report.F2(reduction(r.base, r.fvcTime))+"%")
+	}
+	ta.AddNote("paper: at equal size the VC outperforms the FVC")
+	render(opt, out, ta)
+	fmt.Fprintln(out)
+	tb.AddNote("paper: at equal access time the FVC outperforms the VC; both are effective for small DMCs")
+	render(opt, out, tb)
+	return nil
+}
+
+func init() {
+	register(Experiment{ID: "fig10", Title: "Miss-rate reduction vs FVC size", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Effectiveness of FVC data compression", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "DMC configs x exploited value counts", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Small DMC + FVC vs doubled DMC", Run: runFig13})
+	register(Experiment{ID: "fig14", Title: "FVC with set-associative main caches", Run: runFig14})
+	register(Experiment{ID: "fig15", Title: "Victim cache vs FVC", Run: runFig15})
+}

@@ -1,0 +1,174 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation. Each experiment is registered under the paper's artifact
+// id (fig1..fig15, tab1..tab4), runs the synthetic workload suite
+// through the simulator, and renders its results next to the paper's
+// reference numbers so shape can be compared at a glance.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"fvcache/internal/report"
+	"fvcache/internal/sim"
+	"fvcache/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects the workload input size (default Ref).
+	Scale workload.Scale
+	// Workers bounds simulation parallelism (<=0 means GOMAXPROCS).
+	Workers int
+	// Markdown renders tables as GitHub-flavored Markdown instead of
+	// aligned text.
+	Markdown bool
+}
+
+// DefaultOptions runs on reference inputs with full parallelism.
+func DefaultOptions() Options { return Options{Scale: workload.Ref} }
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the paper artifact id, e.g. "fig10" or "tab3".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment and renders to out.
+	Run func(opt Options, out io.Writer) error
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Experiment{}
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment in a stable order (figures then tables,
+// numerically).
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts fig1 < fig2 < ... < fig15 < tab1 < ... < extensions,
+// despite the mixed alphanumeric ids.
+func orderKey(id string) string {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("a%03d", n)
+	}
+	if _, err := fmt.Sscanf(id, "tab%d", &n); err == nil {
+		return fmt.Sprintf("b%03d", n)
+	}
+	return "c" + id
+}
+
+// --- shared profiling memo ---
+
+type profileKey struct {
+	name  string
+	scale workload.Scale
+}
+
+var (
+	profMu   sync.Mutex
+	profMemo = map[profileKey][]uint32{}
+)
+
+// topAccessed returns the top-k frequently accessed values for w at
+// scale, memoized across experiments (the profile pass is pure).
+func topAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
+	key := profileKey{w.Name(), scale}
+	profMu.Lock()
+	vals, ok := profMemo[key]
+	profMu.Unlock()
+	if !ok {
+		vals = sim.ProfileTopAccessed(w, scale, 16)
+		profMu.Lock()
+		profMemo[key] = vals
+		profMu.Unlock()
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[:k]
+}
+
+// fvlNames lists the FVL six in a stable order mirroring the paper's
+// benchmark order.
+func fvlSuite() []workload.Workload {
+	order := []string{"goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb"}
+	out := make([]workload.Workload, 0, len(order))
+	for _, n := range order {
+		w, err := workload.Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// intSuite lists all eight integer workloads in paper order.
+func intSuite() []workload.Workload {
+	order := []string{"goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb", "lzcomp", "imgdct"}
+	out := make([]workload.Workload, 0, len(order))
+	for _, n := range order {
+		w, err := workload.Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// render writes a table in the format the options request.
+func render(opt Options, out io.Writer, t *report.Table) {
+	if opt.Markdown {
+		t.Markdown(out)
+		return
+	}
+	t.Render(out)
+}
+
+// label renders "workload (analogue)" for table rows.
+func label(w workload.Workload) string {
+	return fmt.Sprintf("%s (%s)", w.Name(), w.Analogue())
+}
+
+// reduction returns the percentage reduction from base to aug.
+func reduction(base, aug float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - aug) / base * 100
+}

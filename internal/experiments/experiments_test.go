@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"fvcache/internal/workload"
+)
+
+func testOpts() Options { return Options{Scale: workload.Test, Workers: 4} }
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"tab1", "tab2", "tab3", "tab4",
+		"xclass", "xablation", "xonline", "xenergy", "xcompress", "xl2", "xfvcassoc",
+	}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+	got := map[string]bool{}
+	for _, e := range all {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	for _, id := range wantIDs {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	// Stable ordering: figures numerically, then tables, then the
+	// x-series extensions.
+	if all[0].ID != "fig1" || all[15].ID != "tab4" || all[len(all)-1].ID != "xonline" {
+		t.Errorf("ordering wrong: first=%s mid=%s last=%s", all[0].ID, all[15].ID, all[len(all)-1].ID)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown id must error")
+	}
+	e, err := Get("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Errorf("Get(fig9) = %v, %v", e.ID, err)
+	}
+}
+
+// runAndCheck executes an experiment at test scale and asserts the
+// output mentions every expected substring.
+func runAndCheck(t *testing.T, id string, wants ...string) string {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.Run(testOpts(), &sb); err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	out := sb.String()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("%s output missing %q:\n%s", id, w, truncate(out))
+		}
+	}
+	return out
+}
+
+func truncate(s string) string {
+	if len(s) > 1500 {
+		return s[:1500] + "..."
+	}
+	return s
+}
+
+func TestFig1(t *testing.T) {
+	out := runAndCheck(t, "fig1", "Figure 1", "goboard (099.go)", "lzcomp (129.compress)", "acc top10")
+	if !strings.Contains(out, "%") {
+		t.Error("expected percentage cells")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	runAndCheck(t, "fig2", "Figure 2", "stencil2d (102.swim)", "mgrid3d (107.mgrid)")
+}
+
+func TestFig3(t *testing.T) {
+	runAndCheck(t, "fig3", "Figure 3a", "Figure 3b", "unique")
+}
+
+func TestFig4(t *testing.T) {
+	runAndCheck(t, "fig4", "Figure 4", "occurring", "accessed")
+}
+
+func TestFig5(t *testing.T) {
+	runAndCheck(t, "fig5", "Figure 5", "mean over")
+}
+
+func TestFig9(t *testing.T) {
+	runAndCheck(t, "fig9", "Figure 9a", "Figure 9b", "victim cache")
+}
+
+func TestFig10(t *testing.T) {
+	runAndCheck(t, "fig10", "Figure 10", "64e", "4096e", "cpusim (124.m88ksim)")
+}
+
+func TestFig11(t *testing.T) {
+	runAndCheck(t, "fig11", "Figure 11", "frequent codes", "x")
+}
+
+func TestFig14(t *testing.T) {
+	runAndCheck(t, "fig14", "Figure 14", "2-way reduction", "4-way reduction")
+}
+
+func TestFig15(t *testing.T) {
+	runAndCheck(t, "fig15", "Figure 15a", "Figure 15b", "VC reduction", "FVC reduction")
+}
+
+func TestTab1(t *testing.T) {
+	runAndCheck(t, "tab1", "Table 1", "rank", "goboard acc")
+}
+
+func TestTab2(t *testing.T) {
+	out := runAndCheck(t, "tab2", "Table 2", "test 7", "train 10")
+	if !strings.Contains(out, "/7") || !strings.Contains(out, "/10") {
+		t.Error("expected X/Y overlap cells")
+	}
+}
+
+func TestTab3(t *testing.T) {
+	runAndCheck(t, "tab3", "Table 3", "top1 order", "top7 identity")
+}
+
+func TestTab4(t *testing.T) {
+	out := runAndCheck(t, "tab4", "Table 4", "measured", "paper", "99.3%")
+	_ = out
+}
+
+// Fig12 and Fig13 are the heavy sweeps; run them at test scale to keep
+// CI time modest but still assert structure end to end.
+func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	runAndCheck(t, "fig12", "Figure 12", "8KB/16B", "64KB/64B", "top 7 values")
+}
+
+func TestFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	runAndCheck(t, "fig13", "Figure 13", "4KB+FVC", "64KB", "7 frequent value(s)")
+}
+
+func TestOrderKey(t *testing.T) {
+	if !(orderKey("fig2") < orderKey("fig10")) {
+		t.Error("fig2 must sort before fig10")
+	}
+	if !(orderKey("fig15") < orderKey("tab1")) {
+		t.Error("figures must sort before tables")
+	}
+}
+
+func TestTopAccessedMemoized(t *testing.T) {
+	w, _ := workload.Get("goboard")
+	a := topAccessed(w, workload.Test, 7)
+	b := topAccessed(w, workload.Test, 10)
+	if len(a) != 7 || len(b) != 10 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("top-7 must be a prefix of top-10 (same memoized profile)")
+		}
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := reduction(2, 1); got != 50 {
+		t.Errorf("reduction(2,1) = %v", got)
+	}
+	if got := reduction(0, 1); got != 0 {
+		t.Errorf("reduction(0,1) = %v", got)
+	}
+}
+
+var _ = io.Discard // keep io imported for future use
+
+func TestXClass(t *testing.T) {
+	runAndCheck(t, "xclass", "three-C", "compulsory", "conflict")
+}
+
+func TestXAblation(t *testing.T) {
+	runAndCheck(t, "xablation", "ablations", "no write-miss alloc", "skip empty footprints")
+}
+
+func TestXOnline(t *testing.T) {
+	runAndCheck(t, "xonline", "online", "profiled FVT", "FVT updates")
+}
+
+func TestXEnergy(t *testing.T) {
+	runAndCheck(t, "xenergy", "energy", "saving", "traffic KB")
+}
+
+func TestXCompress(t *testing.T) {
+	runAndCheck(t, "xcompress", "FVcomp", "lines compressed", "FPC bits/word")
+}
+
+func TestXL2(t *testing.T) {
+	runAndCheck(t, "xl2", "L2", "off-chip", "traffic saving")
+}
+
+func TestXFVCAssoc(t *testing.T) {
+	runAndCheck(t, "xfvcassoc", "associativity", "2-way FVC red.", "4-way FVC red.")
+}

@@ -1,0 +1,168 @@
+// Package fpc implements Frequent Pattern Compression-style per-word
+// compression (Alameldeen & Wood, the research line this paper's
+// frequent-value encoding spawned). Where the FVC encodes a small set
+// of *specific* frequent values, FPC encodes frequent *patterns*: zero
+// words, small sign-extended integers, and repeated bytes.
+//
+// The package computes compressed sizes only — enough to compare the
+// two compression philosophies on real memory images (the xcompress
+// experiment) — since a full FPC cache would time-share decompression
+// latency this simulator does not model.
+package fpc
+
+import "fvcache/internal/trace"
+
+// Pattern classifies how a word compresses.
+type Pattern uint8
+
+const (
+	// Zero is the all-zero word.
+	Zero Pattern = iota
+	// Sign4 is a 4-bit sign-extended integer (-8..7).
+	Sign4
+	// Sign8 is an 8-bit sign-extended integer (-128..127).
+	Sign8
+	// Sign16 is a 16-bit sign-extended integer.
+	Sign16
+	// HalfZero is a word whose upper half is zero (unsigned 16-bit).
+	HalfZero
+	// RepeatedByte is a word of four identical bytes (e.g. 0x78787878).
+	RepeatedByte
+	// Uncompressed matches no pattern.
+	Uncompressed
+	numPatterns
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Zero:
+		return "zero"
+	case Sign4:
+		return "sign4"
+	case Sign8:
+		return "sign8"
+	case Sign16:
+		return "sign16"
+	case HalfZero:
+		return "halfzero"
+	case RepeatedByte:
+		return "repbyte"
+	case Uncompressed:
+		return "uncompressed"
+	}
+	return "unknown"
+}
+
+// prefixBits is the per-word pattern tag size.
+const prefixBits = 3
+
+// dataBits returns the payload size for a pattern.
+func dataBits(p Pattern) int {
+	switch p {
+	case Zero:
+		return 0
+	case Sign4:
+		return 4
+	case Sign8, RepeatedByte:
+		return 8
+	case Sign16, HalfZero:
+		return 16
+	default:
+		return 32
+	}
+}
+
+// Classify returns the best (smallest) pattern for w and its encoded
+// size in bits including the pattern prefix.
+func Classify(w uint32) (Pattern, int) {
+	p := classify(w)
+	return p, prefixBits + dataBits(p)
+}
+
+func classify(w uint32) Pattern {
+	switch {
+	case w == 0:
+		return Zero
+	case int32(w) >= -8 && int32(w) <= 7:
+		return Sign4
+	case int32(w) >= -128 && int32(w) <= 127:
+		return Sign8
+	case int32(w) >= -32768 && int32(w) <= 32767:
+		return Sign16
+	case w&0xffff0000 == 0:
+		return HalfZero
+	case isRepeatedByte(w):
+		return RepeatedByte
+	default:
+		return Uncompressed
+	}
+}
+
+func isRepeatedByte(w uint32) bool {
+	b := w & 0xff
+	return w == b|b<<8|b<<16|b<<24
+}
+
+// LineBits returns the compressed size in bits of a line of words.
+func LineBits(words []uint32) int {
+	total := 0
+	for _, w := range words {
+		_, bits := Classify(w)
+		total += bits
+	}
+	return total
+}
+
+// Ratio returns the compression ratio (original/compressed) for a line.
+func Ratio(words []uint32) float64 {
+	bits := LineBits(words)
+	if bits == 0 {
+		return 0
+	}
+	return float64(len(words)*32) / float64(bits)
+}
+
+// Histogram tallies pattern occurrences over a stream of values.
+// It implements trace.Sink (accesses only).
+type Histogram struct {
+	Counts [numPatterns]uint64
+	total  uint64
+	bits   uint64
+}
+
+// Emit classifies the value of an access event.
+func (h *Histogram) Emit(e trace.Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	h.Observe(e.Value)
+}
+
+// Observe classifies one word.
+func (h *Histogram) Observe(w uint32) {
+	p, bits := Classify(w)
+	h.Counts[p]++
+	h.total++
+	h.bits += uint64(bits)
+}
+
+// Total returns the number of words observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// AvgBits returns the mean compressed bits per word.
+func (h *Histogram) AvgBits() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.bits) / float64(h.total)
+}
+
+// CompressibleFraction returns the fraction of words matching any
+// pattern other than Uncompressed.
+func (h *Histogram) CompressibleFraction() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return 1 - float64(h.Counts[Uncompressed])/float64(h.total)
+}

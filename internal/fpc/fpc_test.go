@@ -1,0 +1,107 @@
+package fpc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fvcache/internal/trace"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		w    uint32
+		want Pattern
+		bits int
+	}{
+		{0, Zero, 3},
+		{1, Sign4, 7},
+		{7, Sign4, 7},
+		{0xfffffff8, Sign4, 7}, // -8
+		{8, Sign8, 11},
+		{127, Sign8, 11},
+		{0xffffff80, Sign8, 11}, // -128
+		{128, Sign16, 19},
+		{32767, Sign16, 19},
+		{0xffff8000, Sign16, 19}, // -32768
+		{40000, HalfZero, 19},    // fits 16 bits unsigned, not signed
+		{0x78787878, RepeatedByte, 11},
+		{0xdeadbeef, Uncompressed, 35},
+		{0x12345678, Uncompressed, 35},
+	}
+	for _, c := range cases {
+		p, bits := Classify(c.w)
+		if p != c.want || bits != c.bits {
+			t.Errorf("Classify(%#x) = %v/%d, want %v/%d", c.w, p, bits, c.want, c.bits)
+		}
+	}
+}
+
+func TestClassifyNeverExpandsbeyondTag(t *testing.T) {
+	f := func(w uint32) bool {
+		_, bits := Classify(w)
+		return bits >= prefixBits && bits <= 32+prefixBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p := Zero; p <= Uncompressed; p++ {
+		if p.String() == "unknown" {
+			t.Errorf("pattern %d has no name", p)
+		}
+	}
+	if Pattern(99).String() != "unknown" {
+		t.Error("out-of-range pattern must be unknown")
+	}
+}
+
+func TestLineBitsAndRatio(t *testing.T) {
+	allZero := make([]uint32, 8)
+	if got := LineBits(allZero); got != 24 { // 8 x 3-bit prefix
+		t.Errorf("all-zero line = %d bits, want 24", got)
+	}
+	if r := Ratio(allZero); r < 10 {
+		t.Errorf("all-zero ratio = %v, want > 10x", r)
+	}
+	random := []uint32{0xdeadbeef, 0x12345679, 0xcafebabe, 0x87654321,
+		0xdeadbee1, 0x12345671, 0xcafebab1, 0x87654322}
+	if r := Ratio(random); r > 1.0 {
+		t.Errorf("incompressible ratio = %v, want <= 1.0", r)
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	if Ratio(nil) != 0 {
+		t.Error("empty line ratio must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Emit(trace.Event{Op: trace.Load, Value: 0})
+	h.Emit(trace.Event{Op: trace.Store, Value: 0x78787878})
+	h.Emit(trace.Event{Op: trace.Load, Value: 0xdeadbeef})
+	h.Emit(trace.Event{Op: trace.HeapAlloc, Value: 5}) // ignored
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", h.Total())
+	}
+	if h.Counts[Zero] != 1 || h.Counts[RepeatedByte] != 1 || h.Counts[Uncompressed] != 1 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	wantAvg := float64(3+11+35) / 3
+	if got := h.AvgBits(); got != wantAvg {
+		t.Errorf("AvgBits = %v, want %v", got, wantAvg)
+	}
+	if got := h.CompressibleFraction(); got < 0.66 || got > 0.67 {
+		t.Errorf("CompressibleFraction = %v, want 2/3", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.AvgBits() != 0 || h.CompressibleFraction() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,81 @@
+package freqval
+
+import "fvcache/internal/trace"
+
+// ConstAddrTracker measures the paper's Table 4 quantity: the
+// percentage of referenced addresses whose contents remain constant
+// throughout the program's execution, where an address reallocated
+// multiple times is treated as a separate instance per allocation.
+type ConstAddrTracker struct {
+	// state per live referenced address
+	addrs map[uint32]*addrState
+
+	instances uint64
+	constant  uint64
+}
+
+type addrState struct {
+	value   uint32
+	haveVal bool
+	mutated bool
+}
+
+// NewConstAddrTracker returns an empty tracker.
+func NewConstAddrTracker() *ConstAddrTracker {
+	return &ConstAddrTracker{addrs: make(map[uint32]*addrState)}
+}
+
+// Emit consumes one trace event.
+func (t *ConstAddrTracker) Emit(e trace.Event) {
+	switch e.Op {
+	case trace.Load, trace.Store:
+		st := t.addrs[e.Addr]
+		if st == nil {
+			st = &addrState{}
+			t.addrs[e.Addr] = st
+		}
+		if !st.haveVal {
+			st.value, st.haveVal = e.Value, true
+			return
+		}
+		if e.Op == trace.Store && e.Value != st.value {
+			st.mutated = true
+		}
+	case trace.StackFree, trace.HeapFree:
+		for off := uint32(0); off < e.Size(); off += trace.WordBytes {
+			t.retire(e.Addr + off)
+		}
+	}
+}
+
+func (t *ConstAddrTracker) retire(addr uint32) {
+	st, ok := t.addrs[addr]
+	if !ok {
+		return
+	}
+	t.instances++
+	if !st.mutated {
+		t.constant++
+	}
+	delete(t.addrs, addr)
+}
+
+// Finalize retires every still-live referenced address (static data and
+// leaks), closing their allocation instances.
+func (t *ConstAddrTracker) Finalize() {
+	for addr := range t.addrs {
+		t.retire(addr)
+	}
+}
+
+// Instances returns the number of closed allocation instances.
+func (t *ConstAddrTracker) Instances() uint64 { return t.instances }
+
+// ConstantFraction returns constant instances / all instances in
+// [0,1]; 0 when nothing was referenced.
+func (t *ConstAddrTracker) ConstantFraction() float64 {
+	if t.instances == 0 {
+		return 0
+	}
+	return float64(t.constant) / float64(t.instances)
+}

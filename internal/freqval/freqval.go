@@ -1,0 +1,43 @@
+// Package freqval implements the profilers behind Section 2 of the
+// paper: identification of frequently accessed and frequently occurring
+// values, the stability of the frequent-value set over execution, the
+// fraction of addresses whose contents stay constant, the spatial
+// distribution of frequent values, and input-sensitivity comparisons.
+package freqval
+
+import "fvcache/internal/trace"
+
+// TopAccessed runs the exact access-frequency analysis: it returns the
+// k most frequently accessed values of a recorded histogram.
+func TopAccessed(h *trace.ValueHistogram, k int) []uint32 {
+	top := h.TopK(k)
+	vals := make([]uint32, len(top))
+	for i, vc := range top {
+		vals[i] = vc.Value
+	}
+	return vals
+}
+
+// Overlap returns how many of the first k values of a are present in
+// the first k values of b, irrespective of order — the X in the
+// paper's Table 2 "X/Y" notation.
+func Overlap(a, b []uint32, k int) int {
+	if k > len(a) {
+		k = len(a)
+	}
+	kb := k
+	if kb > len(b) {
+		kb = len(b)
+	}
+	set := make(map[uint32]struct{}, kb)
+	for _, v := range b[:kb] {
+		set[v] = struct{}{}
+	}
+	n := 0
+	for _, v := range a[:k] {
+		if _, ok := set[v]; ok {
+			n++
+		}
+	}
+	return n
+}

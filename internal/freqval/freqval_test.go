@@ -1,0 +1,388 @@
+package freqval
+
+import (
+	"testing"
+
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+)
+
+func TestTopAccessed(t *testing.T) {
+	h := trace.NewValueHistogram()
+	for i := 0; i < 10; i++ {
+		h.Emit(trace.Event{Op: trace.Load, Value: 0})
+	}
+	for i := 0; i < 5; i++ {
+		h.Emit(trace.Event{Op: trace.Load, Value: 7})
+	}
+	h.Emit(trace.Event{Op: trace.Load, Value: 9})
+	got := TopAccessed(h, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Errorf("TopAccessed = %v, want [0 7]", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []uint32{0, 1, 2, 3, 4, 5, 6}
+	b := []uint32{6, 5, 4, 10, 11, 12, 13}
+	if got := Overlap(a, b, 7); got != 3 {
+		t.Errorf("Overlap(7) = %d, want 3", got)
+	}
+	if got := Overlap(a, b, 3); got != 0 { // {0,1,2} vs {6,5,4}: disjoint
+		t.Errorf("Overlap(3) = %d, want 0", got)
+	}
+	c := []uint32{4, 1, 2}
+	if got := Overlap(c, b, 3); got != 1 { // {4,1,2} vs {6,5,4}: share 4
+		t.Errorf("Overlap(c,b,3) = %d, want 1", got)
+	}
+}
+
+func TestOverlapEdges(t *testing.T) {
+	if got := Overlap(nil, nil, 5); got != 0 {
+		t.Errorf("Overlap(nil) = %d", got)
+	}
+	if got := Overlap([]uint32{1}, []uint32{1}, 10); got != 1 {
+		t.Errorf("Overlap clipped = %d, want 1", got)
+	}
+}
+
+func accessEvents(addrVals ...uint32) []trace.Event {
+	var out []trace.Event
+	for i := 0; i+1 < len(addrVals); i += 2 {
+		out = append(out, trace.Event{Op: trace.Store, Addr: addrVals[i], Value: addrVals[i+1]})
+	}
+	return out
+}
+
+func TestOccurrenceSamplerBasic(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	o := NewOccurrenceSampler(env.Mem, 4)
+	// 3 locations: two hold 0xaa, one holds 0xbb. Drive stores through
+	// the env so memory is updated, mirroring events to the sampler.
+	write := func(addr, v uint32) {
+		env.Mem.StoreWord(addr, v)
+		o.Emit(trace.Event{Op: trace.Store, Addr: addr, Value: v})
+	}
+	write(0x100, 0xaa)
+	write(0x104, 0xaa)
+	write(0x108, 0xbb)
+	write(0x100, 0xaa) // 4th access triggers a sample
+	if len(o.Samples()) != 1 {
+		t.Fatalf("samples = %d, want 1", len(o.Samples()))
+	}
+	s := o.Samples()[0]
+	if s.Locations != 3 || s.Counts[0xaa] != 2 || s.Counts[0xbb] != 1 {
+		t.Errorf("sample = %+v", s)
+	}
+	if s.Unique() != 2 {
+		t.Errorf("Unique = %d, want 2", s.Unique())
+	}
+	top := o.TopOccurring(1)
+	if len(top) != 1 || top[0] != 0xaa {
+		t.Errorf("TopOccurring = %v, want [0xaa]", top)
+	}
+	cov := o.AvgCoverage([]uint32{0xaa})
+	if want := 2.0 / 3.0; cov < want-1e-9 || cov > want+1e-9 {
+		t.Errorf("AvgCoverage = %v, want %v", cov, want)
+	}
+}
+
+func TestOccurrenceSamplerFreeRetiresLocations(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	o := NewOccurrenceSampler(env.Mem, 1000)
+	o.Emit(trace.Event{Op: trace.Store, Addr: 0x200, Value: 1})
+	o.Emit(trace.Event{Op: trace.Store, Addr: 0x204, Value: 1})
+	if o.LiveLocations() != 2 {
+		t.Fatalf("live = %d, want 2", o.LiveLocations())
+	}
+	o.Emit(trace.Event{Op: trace.HeapFree, Addr: 0x200, Value: 8})
+	if o.LiveLocations() != 0 {
+		t.Errorf("live after free = %d, want 0", o.LiveLocations())
+	}
+}
+
+func TestOccurrenceSamplerFinalize(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	o := NewOccurrenceSampler(env.Mem, 1000) // interval never reached
+	env.Mem.StoreWord(0x300, 5)
+	o.Emit(trace.Event{Op: trace.Store, Addr: 0x300, Value: 5})
+	o.Finalize()
+	if len(o.Samples()) != 1 {
+		t.Fatalf("Finalize must take a sample, got %d", len(o.Samples()))
+	}
+	o2 := NewOccurrenceSampler(env.Mem, 1000)
+	o2.Finalize()
+	if len(o2.Samples()) != 0 {
+		t.Error("Finalize on empty stream must not sample")
+	}
+}
+
+func TestOccurrenceSamplerCoverageAt(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	o := NewOccurrenceSampler(env.Mem, 2)
+	env.Mem.StoreWord(0x10, 9)
+	o.Emit(trace.Event{Op: trace.Store, Addr: 0x10, Value: 9})
+	env.Mem.StoreWord(0x14, 9)
+	o.Emit(trace.Event{Op: trace.Store, Addr: 0x14, Value: 9})
+	if got := o.CoverageAt(0, []uint32{9}); got != 2 {
+		t.Errorf("CoverageAt = %d, want 2", got)
+	}
+}
+
+func TestStabilityTrackerImmediateStability(t *testing.T) {
+	st := NewStabilityTracker(10, 1)
+	// Value 5 dominates from the start.
+	for i := 0; i < 100; i++ {
+		st.Emit(trace.Event{Op: trace.Load, Value: 5})
+		if i%3 == 0 {
+			st.Emit(trace.Event{Op: trace.Load, Value: uint32(100 + i)})
+		}
+	}
+	st.Finalize()
+	if got := st.FoundAfter(0); got > 0.15 {
+		t.Errorf("FoundAfter = %v, want early stabilization (<0.15)", got)
+	}
+}
+
+func TestStabilityTrackerLateChange(t *testing.T) {
+	st := NewStabilityTracker(10, 1)
+	// Value 1 leads for 100 accesses, then value 2 overtakes.
+	for i := 0; i < 100; i++ {
+		st.Emit(trace.Event{Op: trace.Load, Value: 1})
+	}
+	for i := 0; i < 200; i++ {
+		st.Emit(trace.Event{Op: trace.Load, Value: 2})
+	}
+	st.Finalize()
+	if got := st.FoundAfter(0); got < 0.3 {
+		t.Errorf("FoundAfter = %v, want late stabilization (>0.3)", got)
+	}
+	// Identity of top-1 changed when 2 overtook, so identity is also late.
+	if got := st.IdentityFoundAfter(0); got < 0.3 {
+		t.Errorf("IdentityFoundAfter = %v, want > 0.3", got)
+	}
+}
+
+func TestStabilityIdentityVsOrder(t *testing.T) {
+	st := NewStabilityTracker(10, 2)
+	// Two values swap leadership but the SET {1,2} is stable.
+	for i := 0; i < 60; i++ {
+		st.Emit(trace.Event{Op: trace.Load, Value: 1})
+		st.Emit(trace.Event{Op: trace.Load, Value: 2})
+		if i < 30 {
+			st.Emit(trace.Event{Op: trace.Load, Value: 1})
+		} else {
+			st.Emit(trace.Event{Op: trace.Load, Value: 2})
+		}
+	}
+	st.Finalize()
+	if id, ord := st.IdentityFoundAfter(0), st.FoundAfter(0); id > ord {
+		t.Errorf("identity (%v) must settle no later than order (%v)", id, ord)
+	}
+}
+
+func TestStabilityDefaults(t *testing.T) {
+	st := NewStabilityTracker(0)
+	if got := st.Ks(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Errorf("default ks = %v", got)
+	}
+	if st.FoundAfter(0) != 0 {
+		t.Error("empty tracker FoundAfter must be 0")
+	}
+	if st.Histogram() == nil {
+		t.Error("Histogram must not be nil")
+	}
+}
+
+func TestConstAddrTrackerAllConstant(t *testing.T) {
+	ct := NewConstAddrTracker()
+	for _, e := range accessEvents(0x100, 5, 0x104, 6, 0x100, 5) {
+		ct.Emit(e)
+	}
+	ct.Finalize()
+	if ct.Instances() != 2 {
+		t.Fatalf("Instances = %d, want 2", ct.Instances())
+	}
+	if got := ct.ConstantFraction(); got != 1.0 {
+		t.Errorf("ConstantFraction = %v, want 1.0", got)
+	}
+}
+
+func TestConstAddrTrackerMutation(t *testing.T) {
+	ct := NewConstAddrTracker()
+	for _, e := range accessEvents(0x100, 5, 0x100, 9) { // changed value
+		ct.Emit(e)
+	}
+	ct.Emit(trace.Event{Op: trace.Load, Addr: 0x104, Value: 3}) // load-only addr: constant
+	ct.Finalize()
+	if ct.Instances() != 2 {
+		t.Fatalf("Instances = %d, want 2", ct.Instances())
+	}
+	if got := ct.ConstantFraction(); got != 0.5 {
+		t.Errorf("ConstantFraction = %v, want 0.5", got)
+	}
+}
+
+func TestConstAddrTrackerPerAllocationInstances(t *testing.T) {
+	ct := NewConstAddrTracker()
+	// First allocation: written once, freed -> constant instance.
+	ct.Emit(trace.Event{Op: trace.Store, Addr: 0x200, Value: 1})
+	ct.Emit(trace.Event{Op: trace.HeapFree, Addr: 0x200, Value: 4})
+	// Second allocation at the same address: mutated.
+	ct.Emit(trace.Event{Op: trace.Store, Addr: 0x200, Value: 2})
+	ct.Emit(trace.Event{Op: trace.Store, Addr: 0x200, Value: 3})
+	ct.Emit(trace.Event{Op: trace.HeapFree, Addr: 0x200, Value: 4})
+	ct.Finalize()
+	if ct.Instances() != 2 {
+		t.Fatalf("Instances = %d, want 2 (one per allocation)", ct.Instances())
+	}
+	if got := ct.ConstantFraction(); got != 0.5 {
+		t.Errorf("ConstantFraction = %v, want 0.5", got)
+	}
+}
+
+func TestConstAddrTrackerFreeOfUnreferenced(t *testing.T) {
+	ct := NewConstAddrTracker()
+	ct.Emit(trace.Event{Op: trace.HeapFree, Addr: 0x300, Value: 16})
+	ct.Finalize()
+	if ct.Instances() != 0 {
+		t.Errorf("unreferenced free must not create instances: %d", ct.Instances())
+	}
+	if ct.ConstantFraction() != 0 {
+		t.Error("empty tracker fraction must be 0")
+	}
+}
+
+func TestConstAddrStoreSameValueStaysConstant(t *testing.T) {
+	ct := NewConstAddrTracker()
+	ct.Emit(trace.Event{Op: trace.Store, Addr: 0x100, Value: 7})
+	ct.Emit(trace.Event{Op: trace.Store, Addr: 0x100, Value: 7}) // idempotent store
+	ct.Finalize()
+	if got := ct.ConstantFraction(); got != 1.0 {
+		t.Errorf("ConstantFraction = %v, want 1.0", got)
+	}
+}
+
+func TestScanSpatial(t *testing.T) {
+	mem := memsim.NewMemory()
+	var addrs []uint32
+	// Block of 16 words (2 lines of 8): line 0 has 4 frequent words,
+	// line 1 has 2.
+	for i := 0; i < 16; i++ {
+		addr := uint32(0x1000 + i*4)
+		addrs = append(addrs, addr)
+		var v uint32 = 0xdead
+		if (i < 8 && i%2 == 0) || (i >= 8 && i%4 == 0) {
+			v = 0 // frequent
+		}
+		mem.StoreWord(addr, v)
+	}
+	blocks := ScanSpatial(mem, addrs, []uint32{0}, SpatialOptions{WordsPerLine: 8, LinesPerBlock: 2})
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %v, want 1 block", blocks)
+	}
+	if blocks[0] != 3.0 { // (4+2)/2 lines
+		t.Errorf("avg frequent per line = %v, want 3.0", blocks[0])
+	}
+}
+
+func TestScanSpatialUnsortedInput(t *testing.T) {
+	mem := memsim.NewMemory()
+	addrs := []uint32{0x20, 0x10, 0x18, 0x08, 0x00, 0x28, 0x08} // unsorted
+	for _, a := range addrs {
+		mem.StoreWord(a, 0)
+	}
+	blocks := ScanSpatial(mem, addrs, []uint32{0}, SpatialOptions{WordsPerLine: 4, LinesPerBlock: 1})
+	for _, b := range blocks {
+		if b < 0 || b > 4 {
+			t.Errorf("per-line count %v out of range", b)
+		}
+	}
+}
+
+func TestScanSpatialDefaultsOnBadOptions(t *testing.T) {
+	mem := memsim.NewMemory()
+	addrs := []uint32{0, 4}
+	mem.StoreWord(0, 1)
+	blocks := ScanSpatial(mem, addrs, []uint32{1}, SpatialOptions{})
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(blocks))
+	}
+}
+
+func TestSpatialSpread(t *testing.T) {
+	mean, dev := SpatialSpread([]float64{4, 4, 4})
+	if mean != 4 || dev != 0 {
+		t.Errorf("uniform spread = %v/%v, want 4/0", mean, dev)
+	}
+	mean, dev = SpatialSpread([]float64{2, 6})
+	if mean != 4 || dev != 2 {
+		t.Errorf("spread = %v/%v, want 4/2", mean, dev)
+	}
+	if m, d := SpatialSpread(nil); m != 0 || d != 0 {
+		t.Error("empty spread must be 0/0")
+	}
+}
+
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(10)
+	for i := 0; i < 30; i++ {
+		s.Observe(1)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(2)
+	}
+	s.Observe(3)
+	top := s.TopK(2)
+	if top[0].Value != 1 || top[0].Count != 30 || top[1].Value != 2 || top[1].Count != 20 {
+		t.Errorf("TopK = %v", top)
+	}
+	if s.Total() != 51 {
+		t.Errorf("Total = %d, want 51", s.Total())
+	}
+	if s.GuaranteedCount(1) != 30 {
+		t.Errorf("GuaranteedCount(1) = %d, want 30", s.GuaranteedCount(1))
+	}
+	if s.GuaranteedCount(99) != 0 {
+		t.Errorf("GuaranteedCount(untracked) = %d, want 0", s.GuaranteedCount(99))
+	}
+}
+
+func TestSpaceSavingHeavyHitterGuarantee(t *testing.T) {
+	// A value with frequency > N/capacity must be tracked.
+	s := NewSpaceSaving(8)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			s.Observe(42) // ~33% of the stream
+		} else {
+			s.Observe(uint32(1000 + i)) // noise, all distinct
+		}
+	}
+	vals := s.TopValues(1)
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Errorf("heavy hitter lost: TopValues = %v", vals)
+	}
+}
+
+func TestSpaceSavingEmitIgnoresAllocs(t *testing.T) {
+	s := NewSpaceSaving(4)
+	s.Emit(trace.Event{Op: trace.HeapAlloc, Value: 7})
+	if s.Total() != 0 {
+		t.Error("alloc events must be ignored")
+	}
+	s.Emit(trace.Event{Op: trace.Load, Value: 7})
+	if s.Total() != 1 {
+		t.Error("access events must be observed")
+	}
+}
+
+func TestSpaceSavingDefaultCapacity(t *testing.T) {
+	s := NewSpaceSaving(0)
+	for i := 0; i < 100; i++ {
+		s.Observe(uint32(i))
+	}
+	if len(s.TopK(1000)) != 64 {
+		t.Errorf("default capacity = %d entries, want 64", len(s.TopK(1000)))
+	}
+}

@@ -1,0 +1,108 @@
+package freqval
+
+import (
+	"sort"
+
+	"fvcache/internal/trace"
+)
+
+// SpaceSaving is the Metwally–Agrawal–El Abbadi streaming top-k sketch.
+// It identifies frequently accessed values online in O(capacity) space,
+// which is how a hardware frequent-value finder (the paper's "fast
+// method for identifying the frequently accessed values") would
+// plausibly be built. Guarantees: any value with true frequency greater
+// than N/capacity is present in the sketch.
+type SpaceSaving struct {
+	capacity int
+	counts   map[uint32]uint64
+	errs     map[uint32]uint64
+	total    uint64
+}
+
+// NewSpaceSaving returns a sketch tracking up to capacity values.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		counts:   make(map[uint32]uint64, capacity),
+		errs:     make(map[uint32]uint64, capacity),
+	}
+}
+
+// Emit consumes one event; non-accesses are ignored.
+func (s *SpaceSaving) Emit(e trace.Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	s.Observe(e.Value)
+}
+
+// Observe records one occurrence of v.
+func (s *SpaceSaving) Observe(v uint32) {
+	s.total++
+	if _, ok := s.counts[v]; ok {
+		s.counts[v]++
+		return
+	}
+	if len(s.counts) < s.capacity {
+		s.counts[v] = 1
+		s.errs[v] = 0
+		return
+	}
+	// Replace the minimum-count entry.
+	var minV uint32
+	minC := ^uint64(0)
+	for val, c := range s.counts {
+		if c < minC || (c == minC && val < minV) {
+			minV, minC = val, c
+		}
+	}
+	delete(s.counts, minV)
+	delete(s.errs, minV)
+	s.counts[v] = minC + 1
+	s.errs[v] = minC
+}
+
+// Total returns the number of observations.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// TopK returns the k values with the highest estimated counts,
+// descending, ties broken by smaller value.
+func (s *SpaceSaving) TopK(k int) []trace.ValueCount {
+	all := make([]trace.ValueCount, 0, len(s.counts))
+	for v, c := range s.counts {
+		all = append(all, trace.ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// TopValues returns just the values of TopK.
+func (s *SpaceSaving) TopValues(k int) []uint32 {
+	top := s.TopK(k)
+	out := make([]uint32, len(top))
+	for i, vc := range top {
+		out[i] = vc.Value
+	}
+	return out
+}
+
+// GuaranteedCount returns the lower bound on v's true count
+// (estimate minus maximum overestimation error), or 0 if untracked.
+func (s *SpaceSaving) GuaranteedCount(v uint32) uint64 {
+	c, ok := s.counts[v]
+	if !ok {
+		return 0
+	}
+	return c - s.errs[v]
+}

@@ -1,0 +1,94 @@
+package freqval
+
+import (
+	"sort"
+
+	"fvcache/internal/memsim"
+)
+
+// SpatialOptions parameterizes the Figure 5 scan.
+type SpatialOptions struct {
+	// WordsPerLine groups consecutive words into cache-line-sized
+	// units (the paper uses 8).
+	WordsPerLine int
+	// LinesPerBlock groups lines into blocks over which the per-line
+	// frequent-value count is averaged (the paper uses 100 lines of 8
+	// words = 800-word blocks).
+	LinesPerBlock int
+}
+
+// DefaultSpatialOptions matches the paper: 8 words per line, 100 lines
+// per block.
+func DefaultSpatialOptions() SpatialOptions {
+	return SpatialOptions{WordsPerLine: 8, LinesPerBlock: 100}
+}
+
+// ScanSpatial reproduces the paper's spatial-uniformity measurement:
+// the referenced memory (addrs, in any order) is sorted, grouped into
+// lines and blocks, and for each block the average number of frequent
+// values per line is returned, in address order.
+//
+// values is the frequent value set (the paper uses the top 7
+// occurring); mem supplies current contents.
+func ScanSpatial(mem *memsim.Memory, addrs []uint32, values []uint32, opt SpatialOptions) []float64 {
+	if opt.WordsPerLine <= 0 || opt.LinesPerBlock <= 0 {
+		opt = DefaultSpatialOptions()
+	}
+	set := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	sorted := append([]uint32(nil), addrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	wordsPerBlock := opt.WordsPerLine * opt.LinesPerBlock
+	var blocks []float64
+	for start := 0; start < len(sorted); start += wordsPerBlock {
+		end := start + wordsPerBlock
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		block := sorted[start:end]
+		lines := 0
+		totalFrequent := 0
+		for l := 0; l < len(block); l += opt.WordsPerLine {
+			le := l + opt.WordsPerLine
+			if le > len(block) {
+				le = len(block)
+			}
+			lines++
+			for _, addr := range block[l:le] {
+				if _, ok := set[mem.LoadWord(addr)]; ok {
+					totalFrequent++
+				}
+			}
+		}
+		if lines > 0 {
+			blocks = append(blocks, float64(totalFrequent)/float64(lines))
+		}
+	}
+	return blocks
+}
+
+// SpatialSpread summarizes a ScanSpatial result: its mean and the mean
+// absolute deviation from that mean. A small deviation relative to the
+// mean is the paper's "frequent values are distributed quite uniformly"
+// claim.
+func SpatialSpread(blocks []float64) (mean, meanAbsDev float64) {
+	if len(blocks) == 0 {
+		return 0, 0
+	}
+	for _, b := range blocks {
+		mean += b
+	}
+	mean /= float64(len(blocks))
+	for _, b := range blocks {
+		d := b - mean
+		if d < 0 {
+			d = -d
+		}
+		meanAbsDev += d
+	}
+	meanAbsDev /= float64(len(blocks))
+	return mean, meanAbsDev
+}

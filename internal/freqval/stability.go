@@ -1,0 +1,146 @@
+package freqval
+
+import "fvcache/internal/trace"
+
+// StabilityTracker answers the paper's Table 3 question: after what
+// fraction of the execution do the identity and order of the top-k
+// frequently accessed values stop changing?
+//
+// It keeps a running access histogram and, every checkpoint, compares
+// the current ordered top-k lists with the previous checkpoint's,
+// recording the access count of the last observed change.
+type StabilityTracker struct {
+	hist     *trace.ValueHistogram
+	interval uint64
+	accesses uint64
+	nextAt   uint64
+
+	ks         []int
+	prevOrder  [][]uint32 // per k: last checkpoint's ordered top-k
+	lastChange []uint64   // per k: access count of the last change
+	prevSet    []map[uint32]struct{}
+	lastSetChg []uint64 // per k: last change of the identity (unordered)
+}
+
+// NewStabilityTracker tracks the top-k sets for each k in ks, with a
+// checkpoint every interval accesses.
+func NewStabilityTracker(interval uint64, ks ...int) *StabilityTracker {
+	if interval == 0 {
+		interval = 1 << 16
+	}
+	if len(ks) == 0 {
+		ks = []int{1, 3, 7}
+	}
+	return &StabilityTracker{
+		hist:       trace.NewValueHistogram(),
+		interval:   interval,
+		nextAt:     interval,
+		ks:         ks,
+		prevOrder:  make([][]uint32, len(ks)),
+		lastChange: make([]uint64, len(ks)),
+		prevSet:    make([]map[uint32]struct{}, len(ks)),
+		lastSetChg: make([]uint64, len(ks)),
+	}
+}
+
+// Emit consumes one event; non-accesses are ignored.
+func (t *StabilityTracker) Emit(e trace.Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	t.hist.Emit(e)
+	t.accesses++
+	if t.accesses >= t.nextAt {
+		t.checkpoint()
+		t.nextAt += t.interval
+	}
+}
+
+func (t *StabilityTracker) checkpoint() {
+	maxK := 0
+	for _, k := range t.ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	top := t.hist.TopK(maxK)
+	for i, k := range t.ks {
+		kk := k
+		if kk > len(top) {
+			kk = len(top)
+		}
+		cur := make([]uint32, kk)
+		for j := 0; j < kk; j++ {
+			cur[j] = top[j].Value
+		}
+		if !equalOrder(t.prevOrder[i], cur) {
+			t.lastChange[i] = t.accesses
+			t.prevOrder[i] = cur
+		}
+		curSet := make(map[uint32]struct{}, kk)
+		for _, v := range cur {
+			curSet[v] = struct{}{}
+		}
+		if !equalSet(t.prevSet[i], curSet) {
+			t.lastSetChg[i] = t.accesses
+			t.prevSet[i] = curSet
+		}
+	}
+}
+
+func equalOrder(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSet(a, b map[uint32]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if _, ok := b[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Finalize takes a last checkpoint at the end of the stream.
+func (t *StabilityTracker) Finalize() {
+	if t.accesses > 0 {
+		t.checkpoint()
+	}
+}
+
+// FoundAfter returns, for the i-th tracked k, the fraction of the
+// execution (in accesses, [0,1]) after which the *ordered* top-k list
+// never changed again.
+func (t *StabilityTracker) FoundAfter(i int) float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.lastChange[i]) / float64(t.accesses)
+}
+
+// IdentityFoundAfter is FoundAfter for the unordered identity of the
+// top-k set — the paper notes the FVC only needs identities, which
+// settle sooner than the full ordering.
+func (t *StabilityTracker) IdentityFoundAfter(i int) float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.lastSetChg[i]) / float64(t.accesses)
+}
+
+// Ks returns the tracked k values.
+func (t *StabilityTracker) Ks() []int { return t.ks }
+
+// Histogram exposes the underlying access histogram.
+func (t *StabilityTracker) Histogram() *trace.ValueHistogram { return t.hist }

@@ -1,0 +1,91 @@
+// Package fvc implements the Frequent Value Cache of Zhang, Yang and
+// Gupta (ASPLOS 2000): a small direct-mapped, value-centric cache that
+// stores, per cached line, only an address tag and a few-bit code per
+// word. Each code names one of the top-N frequently accessed values or
+// the reserved "infrequent" escape, compressing a 32-bit word to 1-3
+// bits while preserving random access within the line.
+package fvc
+
+import "fmt"
+
+// Table is the frequent value table (FVT): the ordered set of values
+// the FVC can encode. With a code width of b bits, 2^b-1 values are
+// encodable and the all-ones code is reserved for "infrequent".
+type Table struct {
+	bits   int
+	values []uint32
+	index  map[uint32]uint8
+}
+
+// MaxValues returns the number of frequent values a b-bit code can
+// name (one code is reserved as the escape).
+func MaxValues(bits int) int { return (1 << bits) - 1 }
+
+// NewTable builds an FVT with the given code width (1, 2 or 3 bits in
+// the paper; any width in [1,8] is accepted) holding values. Values
+// beyond the width's capacity are rejected, as are duplicates.
+func NewTable(bits int, values []uint32) (*Table, error) {
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("fvc: code width must be in [1,8] bits, got %d", bits)
+	}
+	if len(values) > MaxValues(bits) {
+		return nil, fmt.Errorf("fvc: %d values exceed capacity %d of a %d-bit code",
+			len(values), MaxValues(bits), bits)
+	}
+	idx := make(map[uint32]uint8, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("fvc: duplicate frequent value %#x", v)
+		}
+		idx[v] = uint8(i)
+	}
+	return &Table{bits: bits, values: append([]uint32(nil), values...), index: idx}, nil
+}
+
+// MustTable is NewTable that panics on error, for tests and fixed
+// configurations.
+func MustTable(bits int, values []uint32) *Table {
+	t, err := NewTable(bits, values)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Bits returns the code width.
+func (t *Table) Bits() int { return t.bits }
+
+// Escape returns the reserved "infrequent value" code (all ones).
+func (t *Table) Escape() uint8 { return uint8(1<<t.bits) - 1 }
+
+// Len returns the number of frequent values in the table.
+func (t *Table) Len() int { return len(t.values) }
+
+// Values returns a copy of the table's values in code order.
+func (t *Table) Values() []uint32 { return append([]uint32(nil), t.values...) }
+
+// Encode maps a value to its code; ok is false (and the escape code is
+// returned) when v is not a frequent value.
+func (t *Table) Encode(v uint32) (code uint8, ok bool) {
+	if c, found := t.index[v]; found {
+		return c, true
+	}
+	return t.Escape(), false
+}
+
+// Decode returns the value a non-escape code names.
+// It panics on the escape code or an unassigned code: callers must
+// check for the escape first (the hardware analogue is that the
+// decoder is only enabled on a frequent-value hit).
+func (t *Table) Decode(code uint8) uint32 {
+	if int(code) >= len(t.values) {
+		panic(fmt.Sprintf("fvc: Decode of non-value code %d (table holds %d values)", code, len(t.values)))
+	}
+	return t.values[code]
+}
+
+// Contains reports whether v is in the table.
+func (t *Table) Contains(v uint32) bool {
+	_, ok := t.index[v]
+	return ok
+}

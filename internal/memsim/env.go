@@ -1,0 +1,205 @@
+package memsim
+
+import (
+	"fmt"
+
+	"fvcache/internal/trace"
+)
+
+// Layout of the simulated 32-bit address space. The split mirrors a
+// classic Unix process image: static data low, heap growing up, stack
+// growing down from a high address.
+const (
+	// StaticBase is the base of the static data segment.
+	StaticBase uint32 = 0x0040_0000
+	// HeapBase is the base of the heap segment.
+	HeapBase uint32 = 0x1000_0000
+	// HeapLimit is the exclusive upper bound of the heap segment.
+	HeapLimit uint32 = 0x7000_0000
+	// StackTop is the initial (highest) stack address; frames grow down.
+	StackTop uint32 = 0x7fff_f000
+	// StackLimit is the lowest address the stack may reach.
+	StackLimit uint32 = 0x7800_0000
+)
+
+// Env is the instrumented execution environment handed to workloads.
+// Every Load/Store goes through the architectural memory and is
+// reported to the trace sink; Alloc/Free and PushFrame/PopFrame report
+// region lifetimes so profilers can track "interesting" locations.
+//
+// Workload-local scalars (loop counters, temporaries) are ordinary Go
+// variables and do not touch Env — this models register-allocated
+// variables, which the paper notes rarely reach memory.
+type Env struct {
+	Mem  *Memory
+	sink trace.Sink
+
+	heap   heapAllocator
+	stack  uint32 // current stack pointer (grows down)
+	frames []uint32
+
+	staticNext uint32
+
+	accesses uint64
+}
+
+// NewEnv returns an Env tracing into sink. A nil sink discards events.
+func NewEnv(sink trace.Sink) *Env {
+	if sink == nil {
+		sink = trace.Discard
+	}
+	e := &Env{
+		Mem:        NewMemory(),
+		sink:       sink,
+		stack:      StackTop,
+		staticNext: StaticBase,
+	}
+	e.heap.init()
+	return e
+}
+
+// Accesses returns the number of loads and stores performed so far.
+func (e *Env) Accesses() uint64 { return e.accesses }
+
+// Load reads the word at addr, emitting a Load event.
+func (e *Env) Load(addr uint32) uint32 {
+	v := e.Mem.LoadWord(addr)
+	e.accesses++
+	e.sink.Emit(trace.Event{Op: trace.Load, Addr: addr, Value: v})
+	return v
+}
+
+// Store writes v to addr, emitting a Store event.
+func (e *Env) Store(addr, v uint32) {
+	e.Mem.StoreWord(addr, v)
+	e.accesses++
+	e.sink.Emit(trace.Event{Op: trace.Store, Addr: addr, Value: v})
+}
+
+// LoadF reads a float32 stored at addr (bit pattern in the word).
+func (e *Env) LoadF(addr uint32) float32 { return fromBits(e.Load(addr)) }
+
+// StoreF writes a float32 to addr as its bit pattern.
+func (e *Env) StoreF(addr uint32, v float32) { e.Store(addr, toBits(v)) }
+
+// Static reserves nWords of static data and returns its base address.
+// Static data lives for the whole execution; no free event is emitted.
+func (e *Env) Static(nWords int) uint32 {
+	base := e.staticNext
+	e.staticNext += uint32(nWords) * trace.WordBytes
+	if e.staticNext > HeapBase {
+		panic("memsim: static segment overflow")
+	}
+	return base
+}
+
+// PushFrame allocates a stack frame of nWords words and returns its
+// base (lowest) address. Frames must be popped in LIFO order.
+func (e *Env) PushFrame(nWords int) uint32 {
+	size := uint32(nWords) * trace.WordBytes
+	if e.stack-size < StackLimit {
+		panic("memsim: stack overflow")
+	}
+	e.stack -= size
+	e.frames = append(e.frames, e.stack)
+	e.sink.Emit(trace.Event{Op: trace.StackAlloc, Addr: e.stack, Value: size})
+	return e.stack
+}
+
+// PopFrame releases the most recent stack frame.
+func (e *Env) PopFrame() {
+	if len(e.frames) == 0 {
+		panic("memsim: PopFrame with no frames")
+	}
+	base := e.frames[len(e.frames)-1]
+	e.frames = e.frames[:len(e.frames)-1]
+	var prevTop uint32
+	if len(e.frames) == 0 {
+		prevTop = StackTop
+	} else {
+		prevTop = e.frames[len(e.frames)-1]
+	}
+	size := prevTop - base
+	e.sink.Emit(trace.Event{Op: trace.StackFree, Addr: base, Value: size})
+	e.stack = prevTop
+}
+
+// FrameDepth returns the number of live stack frames.
+func (e *Env) FrameDepth() int { return len(e.frames) }
+
+// Alloc reserves nWords words on the heap and returns the base
+// address. The block is zeroed (the Memory reads unbacked words as
+// zero, and recycled blocks are scrubbed on free).
+func (e *Env) Alloc(nWords int) uint32 {
+	if nWords <= 0 {
+		panic("memsim: Alloc of non-positive size")
+	}
+	addr, size := e.heap.alloc(uint32(nWords) * trace.WordBytes)
+	e.sink.Emit(trace.Event{Op: trace.HeapAlloc, Addr: addr, Value: size})
+	return addr
+}
+
+// Free releases a heap block previously returned by Alloc. The block's
+// words are scrubbed to zero so a recycled block starts fresh, as a
+// zeroing allocator would provide.
+func (e *Env) Free(addr uint32) {
+	size := e.heap.free(addr)
+	for off := uint32(0); off < size; off += trace.WordBytes {
+		e.Mem.StoreWord(addr+off, 0)
+	}
+	e.sink.Emit(trace.Event{Op: trace.HeapFree, Addr: addr, Value: size})
+}
+
+// HeapLive returns the number of live heap blocks.
+func (e *Env) HeapLive() int { return len(e.heap.live) }
+
+// heapAllocator is a size-class free-list allocator over the heap
+// segment. Blocks are rounded up to a power-of-two size class (minimum
+// 8 bytes) so freed blocks of a class are reused before the bump
+// pointer advances — producing the address reuse patterns real
+// allocators exhibit, which matters for the constant-address study.
+type heapAllocator struct {
+	next      uint32
+	freeLists map[uint32][]uint32 // size class -> free base addresses
+	live      map[uint32]uint32   // base -> rounded size
+}
+
+func (h *heapAllocator) init() {
+	h.next = HeapBase
+	h.freeLists = make(map[uint32][]uint32)
+	h.live = make(map[uint32]uint32)
+}
+
+func roundClass(size uint32) uint32 {
+	c := uint32(8)
+	for c < size {
+		c <<= 1
+	}
+	return c
+}
+
+func (h *heapAllocator) alloc(size uint32) (addr, rounded uint32) {
+	rounded = roundClass(size)
+	if lst := h.freeLists[rounded]; len(lst) > 0 {
+		addr = lst[len(lst)-1]
+		h.freeLists[rounded] = lst[:len(lst)-1]
+	} else {
+		addr = h.next
+		h.next += rounded
+		if h.next > HeapLimit {
+			panic("memsim: heap exhausted")
+		}
+	}
+	h.live[addr] = rounded
+	return addr, rounded
+}
+
+func (h *heapAllocator) free(addr uint32) uint32 {
+	size, ok := h.live[addr]
+	if !ok {
+		panic(fmt.Sprintf("memsim: Free of non-live address %#x", addr))
+	}
+	delete(h.live, addr)
+	h.freeLists[size] = append(h.freeLists[size], addr)
+	return size
+}

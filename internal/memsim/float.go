@@ -1,0 +1,10 @@
+package memsim
+
+import "math"
+
+// toBits converts a float32 to its IEEE-754 bit pattern for storage in
+// a 32-bit memory word.
+func toBits(f float32) uint32 { return math.Float32bits(f) }
+
+// fromBits converts an IEEE-754 bit pattern back to a float32.
+func fromBits(b uint32) float32 { return math.Float32frombits(b) }

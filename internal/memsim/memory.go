@@ -1,0 +1,67 @@
+// Package memsim provides the architectural memory substrate that the
+// synthetic workloads execute against and that the cache simulator
+// uses as its backing store.
+//
+// Memory is a sparse, paged store of 32-bit words. Env layers an
+// instrumented load/store API with a stack and a heap allocator on top
+// of it, emitting trace events for every access and every allocation
+// lifetime change — this is the stand-in for the paper's traced
+// execution of SPEC95 binaries.
+package memsim
+
+import "fmt"
+
+const (
+	// PageWords is the number of 32-bit words per page (4 KB pages).
+	PageWords = 1024
+	pageShift = 12 // log2(PageWords * 4)
+)
+
+type page [PageWords]uint32
+
+// Memory is a sparse word-addressed memory. Unbacked addresses read as
+// zero, matching demand-zeroed pages on the machines the paper studied.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+func wordIndex(addr uint32) (pageID uint32, idx uint32) {
+	return addr >> pageShift, (addr >> 2) & (PageWords - 1)
+}
+
+// LoadWord returns the word at the word-aligned byte address addr.
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	pid, idx := wordIndex(addr)
+	p := m.pages[pid]
+	if p == nil {
+		return 0
+	}
+	return p[idx]
+}
+
+// StoreWord writes v to the word-aligned byte address addr.
+func (m *Memory) StoreWord(addr, v uint32) {
+	pid, idx := wordIndex(addr)
+	p := m.pages[pid]
+	if p == nil {
+		p = new(page)
+		m.pages[pid] = p
+	}
+	p[idx] = v
+}
+
+// PageCount returns the number of pages that have been materialized.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// CheckAligned panics if addr is not word aligned. Workload code is
+// trusted but this catches substrate bugs early in tests.
+func CheckAligned(addr uint32) {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("memsim: unaligned word address %#x", addr))
+	}
+}

@@ -1,0 +1,179 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, Markdown, and simple ASCII bar charts — the textual equivalents
+// of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(w) && len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(out io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(out, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		parts := make([]string, len(w))
+		for i := range w {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w[i], cell)
+		}
+		fmt.Fprintln(out, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(w))
+	for i := range w {
+		seps[i] = strings.Repeat("-", w[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(out, "note: %s\n", n)
+	}
+}
+
+// CSV writes the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV(out io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		fmt.Fprintln(out, strings.Join(parts, ","))
+	}
+	write(t.Columns)
+	for _, row := range t.Rows {
+		write(row)
+	}
+}
+
+// Markdown writes the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown(out io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(out, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(out, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(out, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		fmt.Fprintf(out, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(out, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(out)
+}
+
+// Pct formats a fraction in [0,1] as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats a float with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Bars renders a horizontal ASCII bar chart: one labeled bar per
+// value, scaled so the maximum value spans width characters.
+func Bars(out io.Writer, title string, labels []string, values []float64, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	if title != "" {
+		fmt.Fprintf(out, "%s\n%s\n", title, strings.Repeat("=", len(t(title))))
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		fmt.Fprintf(out, "%-*s %8.3f %s\n", maxLabel, l, v, strings.Repeat("#", n))
+	}
+}
+
+// t truncates a title used only for underline sizing (defensive against
+// pathological lengths).
+func t(s string) string {
+	if len(s) > 120 {
+		return s[:120]
+	}
+	return s
+}

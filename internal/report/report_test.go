@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Demo", "bench", "miss%", "notes")
+	t.AddRow("goboard", "1.23")
+	t.AddRow("cpusim", "0.55", "with, comma")
+	t.AddNote("scaled to %d accesses", 100)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var sb strings.Builder
+	sample().Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Demo", "====", "bench", "goboard", "1.23", "note: scaled to 100 accesses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	// Rows padded: the short row must still render cleanly.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var sb strings.Builder
+	sample().CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"with, comma"`) {
+		t.Errorf("CSV must quote cells with commas:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "bench,miss%,notes\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestCSVQuoteEscaping(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(`say "hi"`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if !strings.Contains(sb.String(), `"say ""hi"""`) {
+		t.Errorf("CSV must double quotes: %s", sb.String())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var sb strings.Builder
+	sample().Markdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"### Demo", "| bench | miss% | notes |", "| --- | --- | --- |", "| goboard | 1.23 |  |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.5); got != "50.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(1.234); got != "1.23" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := F3(1.2345); got != "1.234" {
+		t.Errorf("F3 = %q", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "chart", []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("max bar must span width:\n%s", out)
+	}
+	// Half-value bar is half the width.
+	if !strings.Contains(out, strings.Repeat("#", 5)+"\n") {
+		t.Errorf("scaled bar wrong:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "", []string{"x"}, []float64{0}, 0)
+	if !strings.Contains(sb.String(), "0.000") {
+		t.Errorf("zero bar should render value: %s", sb.String())
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim drives workloads through the cache hierarchy: a
+// profiling pass identifies a workload's frequently accessed values
+// (the paper's profile-based FVT selection), and a measurement pass
+// replays the workload against a configured core.System. A small
+// parallel runner fans independent configurations across goroutines
+// for the experiment sweeps.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"fvcache/internal/core"
+	"fvcache/internal/freqval"
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+	"fvcache/internal/workload"
+)
+
+// ProfileTopAccessed runs w at scale and returns its k most frequently
+// accessed values (the FVT a profile-directed compiler/loader would
+// install).
+func ProfileTopAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
+	h := trace.NewValueHistogram()
+	env := memsim.NewEnv(h)
+	w.Run(env, scale)
+	return freqval.TopAccessed(h, k)
+}
+
+// MeasureOptions tunes a measurement run.
+type MeasureOptions struct {
+	// SampleEvery samples the FVC's frequent-value content every this
+	// many accesses (0 disables sampling). Used for Figure 11.
+	SampleEvery uint64
+	// VerifyValues enables the hierarchy's value-verification asserts.
+	VerifyValues bool
+	// WarmupAccesses excludes the first N accesses from the reported
+	// statistics (the hierarchy still simulates them, so its state is
+	// warm when measurement begins). 0 measures everything, matching
+	// the paper's whole-execution accounting.
+	WarmupAccesses uint64
+}
+
+// MeasureResult is the outcome of one measurement run.
+type MeasureResult struct {
+	Stats core.Stats
+	// FVCFreqFrac is the average fraction of frequent (non-escape)
+	// codes across valid FVC entries over all samples; 0 when the
+	// config has no FVC or sampling was disabled.
+	FVCFreqFrac float64
+	// FVCOccupancy is the average fraction of FVC entries valid.
+	FVCOccupancy float64
+}
+
+// Measure runs w at scale against a hierarchy built from cfg.
+func Measure(w workload.Workload, scale workload.Scale, cfg core.Config, opt MeasureOptions) (MeasureResult, error) {
+	cfg.VerifyValues = opt.VerifyValues
+	sys, err := core.New(cfg)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+	var sink trace.Sink = sys
+	var fracSum, occSum float64
+	var samples int
+	var warmupStats core.Stats
+	needHook := opt.WarmupAccesses > 0 || (opt.SampleEvery > 0 && sys.FVC() != nil)
+	if needHook {
+		var n uint64
+		sink = trace.SinkFunc(func(e trace.Event) {
+			sys.Emit(e)
+			if !e.Op.IsAccess() {
+				return
+			}
+			n++
+			if opt.WarmupAccesses > 0 && n == opt.WarmupAccesses {
+				warmupStats = sys.Stats()
+			}
+			if opt.SampleEvery > 0 && sys.FVC() != nil && n%opt.SampleEvery == 0 {
+				fracSum += sys.FVC().FrequentFraction()
+				occSum += float64(sys.FVC().ValidEntries()) / float64(sys.FVC().Params().Entries)
+				samples++
+			}
+		})
+	}
+	env := memsim.NewEnv(sink)
+	w.Run(env, scale)
+	res := MeasureResult{Stats: sys.Stats().Minus(warmupStats)}
+	if samples > 0 {
+		res.FVCFreqFrac = fracSum / float64(samples)
+		res.FVCOccupancy = occSum / float64(samples)
+	}
+	return res, nil
+}
+
+// MissAttribution runs w at scale against a plain main cache and
+// returns the total misses and the misses whose accessed value is in
+// values — the paper's Figure 4 measurement.
+func MissAttribution(w workload.Workload, scale workload.Scale, cfg core.Config, values []uint32) (total, attributed uint64, err error) {
+	sys, err := core.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	set := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	sink := trace.SinkFunc(func(e trace.Event) {
+		if !e.Op.IsAccess() {
+			return
+		}
+		if sys.Access(e.Op, e.Addr, e.Value) == core.Miss {
+			total++
+			if _, ok := set[e.Value]; ok {
+				attributed++
+			}
+		}
+	})
+	env := memsim.NewEnv(sink)
+	w.Run(env, scale)
+	return total, attributed, nil
+}
+
+// ParallelMap evaluates fn(0..n-1) across up to workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns the results in order.
+func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

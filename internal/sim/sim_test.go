@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/workload"
+)
+
+func wl(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestProfileTopAccessed(t *testing.T) {
+	vals := ProfileTopAccessed(wl(t, "goboard"), workload.Test, 7)
+	if len(vals) != 7 {
+		t.Fatalf("got %d values, want 7", len(vals))
+	}
+	// The go-board workload's most accessed values must include the
+	// board cell constants.
+	found := map[uint32]bool{}
+	for _, v := range vals {
+		found[v] = true
+	}
+	for _, want := range []uint32{0, 1, 2} {
+		if !found[want] {
+			t.Errorf("top values %v missing %d", vals, want)
+		}
+	}
+}
+
+func TestMeasurePlainVsFVC(t *testing.T) {
+	w := wl(t, "goboard")
+	main := cache.Params{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 1}
+	base, err := Measure(w, workload.Test, core.Config{Main: main}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := ProfileTopAccessed(w, workload.Test, 7)
+	aug, err := Measure(w, workload.Test, core.Config{
+		Main:           main,
+		FVC:            &fvc.Params{Entries: 128, LineBytes: 32, Bits: 3},
+		FrequentValues: vals,
+	}, MeasureOptions{VerifyValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Accesses() != aug.Stats.Accesses() {
+		t.Fatalf("access counts differ: %d vs %d", base.Stats.Accesses(), aug.Stats.Accesses())
+	}
+	if aug.Stats.Misses >= base.Stats.Misses {
+		t.Errorf("FVC should reduce misses on goboard: base=%d fvc=%d",
+			base.Stats.Misses, aug.Stats.Misses)
+	}
+	if aug.Stats.FVCHits == 0 {
+		t.Error("expected FVC hits")
+	}
+}
+
+func TestMeasureSampling(t *testing.T) {
+	w := wl(t, "goboard")
+	vals := ProfileTopAccessed(w, workload.Test, 7)
+	res, err := Measure(w, workload.Test, core.Config{
+		Main:           cache.Params{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 128, LineBytes: 32, Bits: 3},
+		FrequentValues: vals,
+	}, MeasureOptions{SampleEvery: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FVCFreqFrac <= 0 || res.FVCFreqFrac > 1 {
+		t.Errorf("FVCFreqFrac = %v, want in (0,1]", res.FVCFreqFrac)
+	}
+	if res.FVCOccupancy <= 0 || res.FVCOccupancy > 1 {
+		t.Errorf("FVCOccupancy = %v, want in (0,1]", res.FVCOccupancy)
+	}
+}
+
+func TestMeasureBadConfig(t *testing.T) {
+	_, err := Measure(wl(t, "goboard"), workload.Test, core.Config{}, MeasureOptions{})
+	if err == nil {
+		t.Error("zero config must error")
+	}
+}
+
+func TestMissAttribution(t *testing.T) {
+	w := wl(t, "goboard")
+	cfg := core.Config{Main: cache.Params{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 1}}
+	vals := ProfileTopAccessed(w, workload.Test, 10)
+	total, attr, err := MissAttribution(w, workload.Test, cfg, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("expected misses")
+	}
+	if attr == 0 || attr > total {
+		t.Errorf("attributed = %d of %d", attr, total)
+	}
+	// On an FVL workload, a large share of misses involve top values.
+	if frac := float64(attr) / float64(total); frac < 0.25 {
+		t.Errorf("attribution fraction = %.2f, expected >= 0.25 on goboard", frac)
+	}
+}
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	got := ParallelMap(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapEdges(t *testing.T) {
+	if out := ParallelMap(0, 4, func(i int) int { return i }); len(out) != 0 {
+		t.Error("n=0 must return empty")
+	}
+	var calls atomic.Int64
+	out := ParallelMap(5, 0, func(i int) int { calls.Add(1); return i })
+	if len(out) != 5 || calls.Load() != 5 {
+		t.Errorf("default workers: out=%v calls=%d", out, calls.Load())
+	}
+}

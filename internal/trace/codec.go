@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format
+//
+//	magic   [4]byte  "FVT1"
+//	events  *        op-prefixed varint records
+//
+// Each record is the op byte followed by the zig-zag varint delta of
+// the address from the previous event's address (addresses cluster, so
+// deltas are small) and the varint of the value. The format is
+// self-delimiting and streams without an index.
+
+var magic = [4]byte{'F', 'V', 'T', '1'}
+
+// ErrBadMagic is returned when a trace stream does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic (not a FVT1 trace)")
+
+// Writer encodes events to an underlying io.Writer. Call Flush before
+// closing the destination.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint32
+	count    uint64
+	scratch  [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the trace header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Emit encodes e. It implements Sink; encoding errors are deferred to
+// Flush so that Emit can sit on the hot path.
+func (w *Writer) Emit(e Event) {
+	w.w.WriteByte(byte(e.Op))
+	delta := int64(e.Addr) - int64(w.prevAddr)
+	n := binary.PutUvarint(w.scratch[:], zigzag(delta))
+	w.w.Write(w.scratch[:n])
+	n = binary.PutUvarint(w.scratch[:], uint64(e.Value))
+	w.w.Write(w.scratch[:n])
+	w.prevAddr = e.Addr
+	w.count++
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered data and reports the first error that
+// occurred during encoding.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace stream produced by Writer.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint32
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next event, or io.EOF at the clean end of stream.
+func (r *Reader) Next() (Event, error) {
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF at a record boundary is a clean end
+	}
+	if Op(op) >= numOps {
+		return Event{}, fmt.Errorf("trace: invalid op byte %#x", op)
+	}
+	du, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, truncated(err)
+	}
+	val, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, truncated(err)
+	}
+	addr := uint32(int64(r.prevAddr) + unzigzag(du))
+	r.prevAddr = addr
+	return Event{Op: Op(op), Addr: addr, Value: uint32(val)}, nil
+}
+
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Drain replays the entire remaining stream into dst and returns the
+// number of events delivered.
+func (r *Reader) Drain(dst Sink) (uint64, error) {
+	var n uint64
+	for {
+		e, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		dst.Emit(e)
+		n++
+	}
+}

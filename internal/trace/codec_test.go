@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, events []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("Count() = %d, want %d", w.Count(), len(events))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var out Buffer
+	n, err := r.Drain(&out)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if n != uint64(len(events)) {
+		t.Fatalf("Drain returned %d events, want %d", n, len(events))
+	}
+	return out.Events
+}
+
+func TestCodecRoundTripBasic(t *testing.T) {
+	events := []Event{
+		{Op: StackAlloc, Addr: 0x7fff0000, Value: 4096},
+		{Op: Store, Addr: 0x7fff0000, Value: 0},
+		{Op: Load, Addr: 0x7fff0000, Value: 0},
+		{Op: HeapAlloc, Addr: 0x10000000, Value: 64},
+		{Op: Store, Addr: 0x10000000, Value: 0xffffffff},
+		{Op: Load, Addr: 0x10000004, Value: 42},
+		{Op: HeapFree, Addr: 0x10000000, Value: 64},
+		{Op: StackFree, Addr: 0x7fff0000, Value: 4096},
+	}
+	got := roundTrip(t, events)
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %v, want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Errorf("empty trace decoded to %d events", len(got))
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	events := make([]Event, 5000)
+	for i := range events {
+		events[i] = Event{
+			Op:    Op(rng.Intn(int(numOps))),
+			Addr:  uint32(rng.Uint64()) &^ 3,
+			Value: uint32(rng.Uint64()),
+		}
+	}
+	got := roundTrip(t, events)
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %v, want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(ops []uint8, addrs []uint32, vals []uint32) bool {
+		n := len(ops)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(vals) < n {
+			n = len(vals)
+		}
+		events := make([]Event, n)
+		for i := 0; i < n; i++ {
+			events[i] = Event{Op: Op(ops[i] % uint8(numOps)), Addr: addrs[i], Value: vals[i]}
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, e := range events {
+			w.Emit(e)
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var out Buffer
+		if _, err := r.Drain(&out); err != nil {
+			return false
+		}
+		if len(out.Events) != n {
+			return false
+		}
+		for i := range events {
+			if out.Events[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOPE....")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("FV")))
+	if err == nil {
+		t.Error("expected error on short header")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Emit(Event{Op: Load, Addr: 0xdeadbeec, Value: 7})
+	w.Flush()
+	data := buf.Bytes()
+	// Chop the record in half: header is 4 bytes, keep header + 1 byte.
+	r, err := NewReader(bytes.NewReader(data[:5]))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("Next on truncated record: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderInvalidOp(t *testing.T) {
+	data := append([]byte{}, magic[:]...)
+	data = append(data, 0xff)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("expected error on invalid op byte")
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Sequential word accesses should take only a few bytes per event
+	// thanks to delta encoding.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		w.Emit(Event{Op: Load, Addr: uint32(0x1000 + 4*i), Value: 0})
+	}
+	w.Flush()
+	perEvent := float64(buf.Len()-4) / n
+	if perEvent > 4 {
+		t.Errorf("sequential trace uses %.1f bytes/event, want <= 4", perEvent)
+	}
+}

@@ -1,0 +1,41 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"fvcache/internal/trace"
+)
+
+// Traces round-trip through the compact binary codec.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf)
+	w.Emit(trace.Event{Op: trace.Store, Addr: 0x1000, Value: 42})
+	w.Emit(trace.Event{Op: trace.Load, Addr: 0x1000, Value: 42})
+	w.Flush()
+
+	r, _ := trace.NewReader(&buf)
+	for {
+		e, err := r.Next()
+		if err != nil {
+			break
+		}
+		fmt.Println(e)
+	}
+	// Output:
+	// st 0x1000 = 0x2a
+	// ld 0x1000 = 0x2a
+}
+
+// ValueHistogram identifies a stream's frequently accessed values.
+func ExampleValueHistogram() {
+	h := trace.NewValueHistogram()
+	for i := 0; i < 10; i++ {
+		h.Emit(trace.Event{Op: trace.Load, Value: 0})
+	}
+	h.Emit(trace.Event{Op: trace.Load, Value: 7})
+	fmt.Printf("top: %#x, coverage of top-1: %.0f%%\n",
+		h.TopK(1)[0].Value, h.CoverageOfTopK(1)*100)
+	// Output: top: 0x0, coverage of top-1: 91%
+}

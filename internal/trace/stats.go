@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats accumulates summary statistics over a stream of access events.
+// It is a Sink; allocation events are ignored.
+type Stats struct {
+	Loads     uint64
+	Stores    uint64
+	MinAddr   uint32
+	MaxAddr   uint32
+	seenAny   bool
+	uniqAddrs map[uint32]struct{}
+	uniqVals  map[uint32]struct{}
+}
+
+// NewStats returns an empty Stats collector.
+func NewStats() *Stats {
+	return &Stats{
+		uniqAddrs: make(map[uint32]struct{}),
+		uniqVals:  make(map[uint32]struct{}),
+	}
+}
+
+// Emit records e if it is an access.
+func (s *Stats) Emit(e Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	if e.Op == Load {
+		s.Loads++
+	} else {
+		s.Stores++
+	}
+	if !s.seenAny || e.Addr < s.MinAddr {
+		s.MinAddr = e.Addr
+	}
+	if !s.seenAny || e.Addr > s.MaxAddr {
+		s.MaxAddr = e.Addr
+	}
+	s.seenAny = true
+	s.uniqAddrs[e.Addr] = struct{}{}
+	s.uniqVals[e.Value] = struct{}{}
+}
+
+// Accesses returns loads + stores.
+func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+// UniqueAddrs returns the number of distinct word addresses touched.
+func (s *Stats) UniqueAddrs() int { return len(s.uniqAddrs) }
+
+// UniqueValues returns the number of distinct values moved.
+func (s *Stats) UniqueValues() int { return len(s.uniqVals) }
+
+// Footprint returns the touched footprint in bytes (unique words × 4).
+func (s *Stats) Footprint() uint64 { return uint64(len(s.uniqAddrs)) * WordBytes }
+
+// String summarizes the stats on one line.
+func (s *Stats) String() string {
+	return fmt.Sprintf("accesses=%d (ld=%d st=%d) uniqAddrs=%d uniqVals=%d footprint=%dB",
+		s.Accesses(), s.Loads, s.Stores, s.UniqueAddrs(), s.UniqueValues(), s.Footprint())
+}
+
+// ValueHistogram counts, for every distinct value, how many accesses
+// carried it. It powers the "frequently accessed values" half of the
+// paper's Section 2 study.
+type ValueHistogram struct {
+	counts map[uint32]uint64
+	total  uint64
+}
+
+// NewValueHistogram returns an empty histogram.
+func NewValueHistogram() *ValueHistogram {
+	return &ValueHistogram{counts: make(map[uint32]uint64)}
+}
+
+// Emit records the value of an access event.
+func (h *ValueHistogram) Emit(e Event) {
+	if !e.Op.IsAccess() {
+		return
+	}
+	h.counts[e.Value]++
+	h.total++
+}
+
+// Total returns the number of accesses recorded.
+func (h *ValueHistogram) Total() uint64 { return h.total }
+
+// Count returns the access count for value v.
+func (h *ValueHistogram) Count(v uint32) uint64 { return h.counts[v] }
+
+// Distinct returns the number of distinct values seen.
+func (h *ValueHistogram) Distinct() int { return len(h.counts) }
+
+// ValueCount pairs a value with its frequency.
+type ValueCount struct {
+	Value uint32
+	Count uint64
+}
+
+// TopK returns the k most frequent values in decreasing order of
+// count, breaking ties by smaller value for determinism.
+func (h *ValueHistogram) TopK(k int) []ValueCount {
+	all := make([]ValueCount, 0, len(h.counts))
+	for v, c := range h.counts {
+		all = append(all, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// CoverageOfTopK returns the fraction of all accesses covered by the
+// top k values, in [0,1]. Returns 0 when the histogram is empty.
+func (h *ValueHistogram) CoverageOfTopK(k int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var covered uint64
+	for _, vc := range h.TopK(k) {
+		covered += vc.Count
+	}
+	return float64(covered) / float64(h.total)
+}

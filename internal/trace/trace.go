@@ -1,0 +1,179 @@
+// Package trace defines the memory-access event model shared by the
+// workload substrate, the frequent-value profilers, and the cache
+// simulator, together with a compact binary codec for storing traces
+// on disk.
+//
+// The unit of access is the 32-bit word, matching the SPEC95-era
+// machines studied in the paper. Addresses are byte addresses and are
+// always word aligned.
+package trace
+
+import "fmt"
+
+// WordBytes is the size of a machine word in bytes. The paper studies
+// 32-bit programs; all values and addresses in this module are 32 bits.
+const WordBytes = 4
+
+// Op identifies the kind of a trace event.
+type Op uint8
+
+const (
+	// Load is a read of one word from memory.
+	Load Op = iota
+	// Store is a write of one word to memory.
+	Store
+	// StackAlloc marks a stack frame of Size bytes becoming live at Addr.
+	StackAlloc
+	// StackFree marks the release of the stack frame at Addr.
+	StackFree
+	// HeapAlloc marks a heap block of Size bytes becoming live at Addr.
+	HeapAlloc
+	// HeapFree marks the release of the heap block at Addr.
+	HeapFree
+	numOps
+)
+
+// String returns a short human-readable mnemonic for the op.
+func (o Op) String() string {
+	switch o {
+	case Load:
+		return "ld"
+	case Store:
+		return "st"
+	case StackAlloc:
+		return "salloc"
+	case StackFree:
+		return "sfree"
+	case HeapAlloc:
+		return "halloc"
+	case HeapFree:
+		return "hfree"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsAccess reports whether the op is a data access (load or store) as
+// opposed to an allocation lifetime marker.
+func (o Op) IsAccess() bool { return o == Load || o == Store }
+
+// Event is a single entry of a memory trace.
+//
+// For Load and Store, Addr is the word-aligned byte address and Value
+// is the 32-bit value read or written. For allocation events, Addr is
+// the base address of the region and Value holds its size in bytes.
+type Event struct {
+	Op    Op
+	Addr  uint32
+	Value uint32
+}
+
+// Size returns the size in bytes carried by an allocation event.
+// It is only meaningful for StackAlloc and HeapAlloc.
+func (e Event) Size() uint32 { return e.Value }
+
+// String formats the event for diagnostics.
+func (e Event) String() string {
+	if e.Op.IsAccess() {
+		return fmt.Sprintf("%s %#x = %#x", e.Op, e.Addr, e.Value)
+	}
+	return fmt.Sprintf("%s %#x size=%d", e.Op, e.Addr, e.Value)
+}
+
+// Sink consumes trace events. Implementations must be cheap: the
+// workloads call Emit once per simulated load or store.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f(e).
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Discard is a Sink that drops every event.
+var Discard Sink = SinkFunc(func(Event) {})
+
+// Tee fans events out to every sink in order. A nil entry is skipped.
+type Tee []Sink
+
+// Emit forwards e to each non-nil sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// MultiSink returns a sink forwarding to all of sinks, flattening the
+// trivial cases: zero sinks become Discard and one sink is returned
+// unchanged.
+func MultiSink(sinks ...Sink) Sink {
+	nonNil := make(Tee, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			nonNil = append(nonNil, s)
+		}
+	}
+	switch len(nonNil) {
+	case 0:
+		return Discard
+	case 1:
+		return nonNil[0]
+	}
+	return nonNil
+}
+
+// AccessOnly wraps a sink so that only Load and Store events reach it.
+func AccessOnly(s Sink) Sink {
+	return SinkFunc(func(e Event) {
+		if e.Op.IsAccess() {
+			s.Emit(e)
+		}
+	})
+}
+
+// Counter is a Sink that tallies events by kind.
+type Counter struct {
+	Loads  uint64
+	Stores uint64
+	Allocs uint64
+	Frees  uint64
+}
+
+// Emit records e in the counter.
+func (c *Counter) Emit(e Event) {
+	switch e.Op {
+	case Load:
+		c.Loads++
+	case Store:
+		c.Stores++
+	case StackAlloc, HeapAlloc:
+		c.Allocs++
+	case StackFree, HeapFree:
+		c.Frees++
+	}
+}
+
+// Accesses returns the number of loads plus stores seen.
+func (c *Counter) Accesses() uint64 { return c.Loads + c.Stores }
+
+// Buffer is a Sink that records every event in memory. It is intended
+// for tests and small traces; production paths stream events instead.
+type Buffer struct {
+	Events []Event
+}
+
+// Emit appends e.
+func (b *Buffer) Emit(e Event) { b.Events = append(b.Events, e) }
+
+// Replay sends every buffered event to dst in order.
+func (b *Buffer) Replay(dst Sink) {
+	for _, e := range b.Events {
+		dst.Emit(e)
+	}
+}
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.Events) }

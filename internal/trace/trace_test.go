@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Load: "ld", Store: "st",
+		StackAlloc: "salloc", StackFree: "sfree",
+		HeapAlloc: "halloc", HeapFree: "hfree",
+		Op(200): "op(200)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestOpIsAccess(t *testing.T) {
+	if !Load.IsAccess() || !Store.IsAccess() {
+		t.Error("Load/Store must be accesses")
+	}
+	for _, op := range []Op{StackAlloc, StackFree, HeapAlloc, HeapFree} {
+		if op.IsAccess() {
+			t.Errorf("%v must not be an access", op)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Op: Load, Addr: 0x100, Value: 0x2a}
+	if got := e.String(); got != "ld 0x100 = 0x2a" {
+		t.Errorf("access String() = %q", got)
+	}
+	a := Event{Op: HeapAlloc, Addr: 0x200, Value: 64}
+	if got := a.String(); got != "halloc 0x200 size=64" {
+		t.Errorf("alloc String() = %q", got)
+	}
+	if a.Size() != 64 {
+		t.Errorf("Size() = %d, want 64", a.Size())
+	}
+}
+
+func TestTeeAndMultiSink(t *testing.T) {
+	var a, b Counter
+	s := MultiSink(&a, nil, &b)
+	s.Emit(Event{Op: Load})
+	s.Emit(Event{Op: Store})
+	if a.Loads != 1 || a.Stores != 1 || b.Loads != 1 || b.Stores != 1 {
+		t.Errorf("tee did not fan out: a=%+v b=%+v", a, b)
+	}
+	var noDrop Counter
+	MultiSink().Emit(Event{Op: Load}) // no sinks: must not panic
+	if noDrop.Loads != 0 {
+		t.Error("MultiSink() with no sinks must drop events")
+	}
+	if got := MultiSink(&a); got != Sink(&a) {
+		t.Error("MultiSink with one sink should return it unchanged")
+	}
+}
+
+func TestAccessOnly(t *testing.T) {
+	var buf Buffer
+	s := AccessOnly(&buf)
+	s.Emit(Event{Op: Load, Addr: 4})
+	s.Emit(Event{Op: HeapAlloc, Addr: 8, Value: 16})
+	s.Emit(Event{Op: Store, Addr: 12})
+	if buf.Len() != 2 {
+		t.Fatalf("AccessOnly passed %d events, want 2", buf.Len())
+	}
+	if buf.Events[0].Op != Load || buf.Events[1].Op != Store {
+		t.Errorf("wrong events passed: %v", buf.Events)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	for i := 0; i < 3; i++ {
+		c.Emit(Event{Op: Load})
+	}
+	c.Emit(Event{Op: Store})
+	c.Emit(Event{Op: StackAlloc})
+	c.Emit(Event{Op: HeapAlloc})
+	c.Emit(Event{Op: StackFree})
+	c.Emit(Event{Op: HeapFree})
+	if c.Loads != 3 || c.Stores != 1 || c.Allocs != 2 || c.Frees != 2 {
+		t.Errorf("counter wrong: %+v", c)
+	}
+	if c.Accesses() != 4 {
+		t.Errorf("Accesses() = %d, want 4", c.Accesses())
+	}
+}
+
+func TestBufferReplay(t *testing.T) {
+	var buf Buffer
+	events := []Event{
+		{Op: Load, Addr: 4, Value: 1},
+		{Op: Store, Addr: 8, Value: 2},
+	}
+	for _, e := range events {
+		buf.Emit(e)
+	}
+	var out Buffer
+	buf.Replay(&out)
+	if out.Len() != len(events) {
+		t.Fatalf("replay delivered %d events, want %d", out.Len(), len(events))
+	}
+	for i := range events {
+		if out.Events[i] != events[i] {
+			t.Errorf("event %d = %v, want %v", i, out.Events[i], events[i])
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(d int64) bool { return unzigzag(zigzag(d)) == d }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

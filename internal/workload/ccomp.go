@@ -1,0 +1,328 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// cComp mirrors 126.gcc: a small optimizing compiler. It generates
+// random expression-statement programs as packed character source,
+// lexes them word-by-word out of simulated memory, parses them into
+// heap-allocated tagged AST nodes (whose nil child pointers and small
+// kind tags are the frequent values), folds constants, and emits
+// instruction words into a code buffer.
+type cComp struct{}
+
+func (cComp) Name() string     { return "ccomp" }
+func (cComp) Analogue() string { return "126.gcc" }
+func (cComp) FVL() bool        { return true }
+func (cComp) Description() string {
+	return "expression compiler: lexer, AST with tagged nodes, constant folding, codegen"
+}
+
+// AST node layout (8 words): kind, left, right, value, plus four
+// attribute words (type annotation, source location, flags, scratch)
+// that are almost always zero — mirroring gcc's tree nodes, which are
+// large structs full of NULL pointers and zero flags.
+const (
+	nKindOff  = 0
+	nLeftOff  = 4
+	nRightOff = 8
+	nValueOff = 12
+	nAttrOff  = 16
+	nodeWords = 8
+)
+
+// Node kinds (small tags, frequent values like gcc's).
+const (
+	kNum uint32 = iota + 1
+	kVar
+	kAdd
+	kSub
+	kMul
+	kNeg
+)
+
+type compilerState struct {
+	env *memsim.Env
+	r   *rng
+
+	src    uint32 // packed source chars, 4 per word
+	srcLen int    // in bytes
+	pos    int    // lexer byte position
+
+	code    uint32 // emitted instruction words
+	codeCap int
+	codeLen int
+}
+
+func (cComp) Run(env *memsim.Env, scale Scale) {
+	funcs := map[Scale]int{Test: 70, Train: 200, Ref: 620}[scale]
+	r := newRNG(seedFor("ccomp", scale))
+
+	const stmtsPerFunc = 12
+	// A translation unit keeps a window of functions' ASTs alive, like
+	// a compiler holding whole-function IR before lowering; the code
+	// buffer accumulates emitted words across the run (256KB, wraps).
+	const window = 8
+	const srcCapBytes = 512
+	const codeCap = 8192
+	cs := &compilerState{
+		env:     env,
+		r:       r,
+		src:     env.Static(srcCapBytes / 4),
+		code:    env.Static(codeCap),
+		codeCap: codeCap,
+	}
+
+	var windowQ [][]uint32 // per-function tree roots awaiting free
+	freeFunc := func(trees []uint32) {
+		for _, t := range trees {
+			cs.freeTree(t)
+		}
+	}
+	for f := 0; f < funcs; f++ {
+		trees := make([]uint32, 0, stmtsPerFunc)
+		for s := 0; s < stmtsPerFunc; s++ {
+			cs.generateStatement()
+			cs.pos = 0
+			trees = append(trees, cs.parseExpr(0))
+		}
+		for i, t := range trees {
+			trees[i] = cs.fold(t)
+		}
+		for _, t := range trees {
+			cs.emit(t)
+		}
+		windowQ = append(windowQ, trees)
+		if len(windowQ) > window {
+			freeFunc(windowQ[0])
+			windowQ = windowQ[1:]
+		}
+	}
+	for _, trees := range windowQ {
+		freeFunc(trees)
+	}
+}
+
+// --- source generation (writes packed chars) ---
+
+// putByte writes one source byte via read-modify-write of the packed
+// word, like string code manipulating character buffers.
+func (c *compilerState) putByte(i int, b byte) {
+	addr := c.src + uint32(i/4)*4
+	w := c.env.Load(addr)
+	shift := uint32(i%4) * 8
+	w = (w &^ (0xff << shift)) | uint32(b)<<shift
+	c.env.Store(addr, w)
+}
+
+func (c *compilerState) getByte(i int) byte {
+	addr := c.src + uint32(i/4)*4
+	return byte(c.env.Load(addr) >> (uint32(i%4) * 8))
+}
+
+// generateStatement writes a random expression like "x*(3+y)-12;" into
+// the source buffer.
+func (c *compilerState) generateStatement() {
+	n := 0
+	var gen func(depth int)
+	gen = func(depth int) {
+		if depth > 4 || (depth > 1 && c.r.intn(3) == 0) {
+			if c.r.intn(2) == 0 {
+				c.putByte(n, byte('a'+c.r.intn(6)))
+				n++
+			} else {
+				d := c.r.intn(100)
+				if d >= 10 {
+					c.putByte(n, byte('0'+d/10))
+					n++
+				}
+				c.putByte(n, byte('0'+d%10))
+				n++
+			}
+			return
+		}
+		switch c.r.intn(4) {
+		case 0, 1:
+			gen(depth + 1)
+			c.putByte(n, []byte{'+', '-', '*'}[c.r.intn(3)])
+			n++
+			gen(depth + 1)
+		case 2:
+			c.putByte(n, '(')
+			n++
+			gen(depth + 1)
+			c.putByte(n, ')')
+			n++
+		default:
+			c.putByte(n, '-')
+			n++
+			gen(depth + 1)
+		}
+	}
+	gen(0)
+	c.putByte(n, ';')
+	n++
+	c.srcLen = n
+}
+
+// --- lexer/parser (reads packed chars, allocates AST in heap) ---
+
+func (c *compilerState) newNode(kind, left, right, value uint32) uint32 {
+	p := c.env.Alloc(nodeWords)
+	c.env.Store(p+nKindOff, kind)
+	c.env.Store(p+nLeftOff, left)
+	c.env.Store(p+nRightOff, right)
+	c.env.Store(p+nValueOff, value)
+	// Attribute words are cleared on construction, as a compiler
+	// memsets its tree nodes; they stay zero for most nodes.
+	for off := uint32(nAttrOff); off < nodeWords*4; off += 4 {
+		c.env.Store(p+off, 0)
+	}
+	return p
+}
+
+func (c *compilerState) peek() byte {
+	if c.pos >= c.srcLen {
+		return ';'
+	}
+	return c.getByte(c.pos)
+}
+
+// parseExpr is a precedence-climbing parser: level 0 = +/-, 1 = *.
+func (c *compilerState) parseExpr(level int) uint32 {
+	if level >= 2 {
+		return c.parsePrimary()
+	}
+	left := c.parseExpr(level + 1)
+	for {
+		op := c.peek()
+		var kind uint32
+		switch {
+		case level == 0 && op == '+':
+			kind = kAdd
+		case level == 0 && op == '-':
+			kind = kSub
+		case level == 1 && op == '*':
+			kind = kMul
+		default:
+			return left
+		}
+		c.pos++
+		right := c.parseExpr(level + 1)
+		left = c.newNode(kind, left, right, 0)
+	}
+}
+
+func (c *compilerState) parsePrimary() uint32 {
+	ch := c.peek()
+	switch {
+	case ch == '(':
+		c.pos++
+		e := c.parseExpr(0)
+		c.pos++ // ')'
+		return e
+	case ch == '-':
+		c.pos++
+		return c.newNode(kNeg, c.parsePrimary(), 0, 0)
+	case ch >= '0' && ch <= '9':
+		v := uint32(0)
+		for {
+			ch = c.peek()
+			if ch < '0' || ch > '9' {
+				break
+			}
+			v = v*10 + uint32(ch-'0')
+			c.pos++
+		}
+		return c.newNode(kNum, 0, 0, v)
+	default: // variable
+		c.pos++
+		return c.newNode(kVar, 0, 0, uint32(ch-'a'))
+	}
+}
+
+// --- constant folding ---
+
+func (c *compilerState) fold(n uint32) uint32 {
+	kind := c.env.Load(n + nKindOff)
+	// Skip nodes already annotated by an earlier pass (the annotation
+	// word is almost always zero — a frequent-value read, like gcc's
+	// flag checks on tree nodes).
+	if c.env.Load(n+nAttrOff) != 0 {
+		return n
+	}
+	switch kind {
+	case kNum, kVar:
+		return n
+	case kNeg:
+		l := c.fold(c.env.Load(n + nLeftOff))
+		c.env.Store(n+nLeftOff, l)
+		if c.env.Load(l+nKindOff) == kNum {
+			v := c.env.Load(l + nValueOff)
+			c.env.Free(l)
+			c.env.Store(n+nKindOff, kNum)
+			c.env.Store(n+nLeftOff, 0)
+			c.env.Store(n+nValueOff, -v)
+		}
+		return n
+	}
+	l := c.fold(c.env.Load(n + nLeftOff))
+	r := c.fold(c.env.Load(n + nRightOff))
+	c.env.Store(n+nLeftOff, l)
+	c.env.Store(n+nRightOff, r)
+	if c.env.Load(l+nKindOff) == kNum && c.env.Load(r+nKindOff) == kNum {
+		lv, rv := c.env.Load(l+nValueOff), c.env.Load(r+nValueOff)
+		var v uint32
+		switch kind {
+		case kAdd:
+			v = lv + rv
+		case kSub:
+			v = lv - rv
+		case kMul:
+			v = lv * rv
+		}
+		c.env.Free(l)
+		c.env.Free(r)
+		c.env.Store(n+nKindOff, kNum)
+		c.env.Store(n+nLeftOff, 0)
+		c.env.Store(n+nRightOff, 0)
+		c.env.Store(n+nValueOff, v)
+	}
+	return n
+}
+
+// --- code generation (stack machine) ---
+
+func (c *compilerState) emitWord(w uint32) {
+	c.env.Store(c.code+uint32(c.codeLen%c.codeCap)*4, w)
+	c.codeLen++
+}
+
+func (c *compilerState) emit(n uint32) {
+	kind := c.env.Load(n + nKindOff)
+	switch kind {
+	case kNum:
+		c.emitWord(0x01000000 | (c.env.Load(n+nValueOff) & 0xffffff)) // PUSHI
+	case kVar:
+		c.emitWord(0x02000000 | c.env.Load(n+nValueOff)) // PUSHV
+	case kNeg:
+		c.emit(c.env.Load(n + nLeftOff))
+		c.emitWord(0x03000000) // NEG
+	default:
+		c.emit(c.env.Load(n + nLeftOff))
+		c.emit(c.env.Load(n + nRightOff))
+		c.emitWord(0x04000000 + kind) // ADD/SUB/MUL
+	}
+}
+
+// freeTree returns the AST to the heap (emitting free events so the
+// profilers see node lifetimes).
+func (c *compilerState) freeTree(n uint32) {
+	if n == 0 {
+		return
+	}
+	c.freeTree(c.env.Load(n + nLeftOff))
+	c.freeTree(c.env.Load(n + nRightOff))
+	c.env.Free(n)
+}
+
+func init() { Register(cComp{}) }

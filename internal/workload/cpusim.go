@@ -1,0 +1,233 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// cpuSim mirrors 124.m88ksim: an instruction-set simulator whose
+// simulated machine state (instruction memory, register file, data
+// memory, read-only image) lives in traced memory.
+//
+// Two properties of the real benchmark are reproduced deliberately:
+//
+//   - The paper's Table 4 reports 99.3% of m88ksim's referenced
+//     addresses hold constant values per allocation. Here the
+//     simulator's read-write segment is calloc-allocated fresh for
+//     every simulated run (each pass is a separate allocation
+//     instance) and cells are only ever written with one value, while
+//     the instruction memory and read-only image are written once.
+//   - The repeated fetches of the same instruction words make those
+//     encodings the frequently accessed values, and stores into the
+//     zeroed segment write the frequent value 1 — the access profile
+//     that lets a tiny FVC capture most of the benchmark's misses.
+type cpuSim struct{}
+
+func (cpuSim) Name() string     { return "cpusim" }
+func (cpuSim) Analogue() string { return "124.m88ksim" }
+func (cpuSim) FVL() bool        { return true }
+func (cpuSim) Description() string {
+	return "toy-RISC instruction-set simulator running a sieve program"
+}
+
+// Toy ISA: 32-bit words, op<<24 | rd<<20 | rs1<<16 | rs2<<12 | imm12.
+const (
+	opHalt uint32 = iota
+	opLoadI
+	opAdd
+	opAddI
+	opLd
+	opSt
+	opBeq
+	opBne
+	opBge
+	opJmp
+	opMul
+)
+
+func ins(op, rd, rs1, rs2 uint32, imm int) uint32 {
+	return op<<24 | rd<<20 | rs1<<16 | rs2<<12 | (uint32(imm) & 0xfff)
+}
+
+// signExt12 sign-extends a 12-bit immediate.
+func signExt12(v uint32) int32 {
+	if v&0x800 != 0 {
+		return int32(v | 0xfffff000)
+	}
+	return int32(v)
+}
+
+// romFactor is the size of the read-only image relative to the sieve
+// array (the simulated binary's code + rodata).
+const romFactor = 2
+
+// sieveProgram is the simulated binary: the sieve of Eratosthenes over
+// mem[0:n) (freshly zeroed, so composites are marked by storing 1 and
+// primes stay untouched), a checksum pass, then a checksum of the
+// read-only image at mem[n:n+romFactor*n).
+//
+// Register use: r1=n, r2=i, r3=j, r4=tmp, r5=one, r6=sum, r7=end.
+func sieveProgram() []uint32 {
+	return []uint32{
+		// 0: r5 = 1
+		ins(opLoadI, 5, 0, 0, 1),
+		// 1: r2 = 2                       (i = 2)
+		ins(opLoadI, 2, 0, 0, 2),
+		// 2: outer: r4 = i*i
+		ins(opMul, 4, 2, 2, 0),
+		// 3: if i*i >= n goto checksum(14)
+		ins(opBge, 0, 4, 1, 14),
+		// 4: r4 = mem[i]
+		ins(opLd, 4, 2, 0, 0),
+		// 5: if mem[i] != 0 goto next(12)
+		ins(opBne, 0, 4, 0, 12),
+		// 6: r3 = i*i                     (j = i*i)
+		ins(opMul, 3, 2, 2, 0),
+		// 7: inner: if j >= n goto next(12)
+		ins(opBge, 0, 3, 1, 12),
+		// 8: mem[j] = 1
+		ins(opSt, 0, 3, 5, 0),
+		// 9: j += i; goto inner
+		ins(opAdd, 3, 3, 2, 0),
+		ins(opJmp, 0, 0, 0, 7),
+		// 11: pad
+		ins(opJmp, 0, 0, 0, 12),
+		// 12: next: i += 1; goto outer
+		ins(opAddI, 2, 2, 0, 1),
+		ins(opJmp, 0, 0, 0, 2),
+		// 14: checksum: i = 0; sum = 0
+		ins(opLoadI, 2, 0, 0, 0),
+		ins(opLoadI, 6, 0, 0, 0),
+		// 16: loop: if i >= n goto romsum(21)
+		ins(opBge, 0, 2, 1, 21),
+		// 17: r4 = mem[i]; sum += r4; i++
+		ins(opLd, 4, 2, 0, 0),
+		ins(opAdd, 6, 6, 4, 0),
+		ins(opAddI, 2, 2, 0, 1),
+		ins(opJmp, 0, 0, 0, 16),
+		// 21: romsum: r4 = romFactor; r7 = n*(1+romFactor); i = n
+		ins(opLoadI, 4, 0, 0, romFactor),
+		ins(opMul, 7, 1, 4, 0),
+		ins(opAdd, 7, 7, 1, 0),
+		ins(opAdd, 2, 1, 0, 0),
+		// 25: romloop: if i >= end goto halt(30)
+		ins(opBge, 0, 2, 7, 30),
+		ins(opLd, 4, 2, 0, 0),
+		ins(opAdd, 6, 6, 4, 0),
+		ins(opAddI, 2, 2, 0, 1),
+		ins(opJmp, 0, 0, 0, 25),
+		// 30: halt
+		ins(opHalt, 0, 0, 0, 0),
+	}
+}
+
+func (c cpuSim) Run(env *memsim.Env, scale Scale) {
+	n := map[Scale]int{Test: 1500, Train: 1800, Ref: 2000}[scale]
+	passes := map[Scale]int{Test: 4, Train: 9, Ref: 24}[scale]
+
+	prog := sieveProgram()
+	r := newRNG(seedFor(c.Name(), scale))
+	imem := env.Static(len(prog))
+	regs := env.Static(16)
+	rom := env.Static(n * romFactor)
+
+	// Program load: the only writes to instruction memory.
+	for i, w := range prog {
+		env.Store(imem+uint32(i)*4, w)
+	}
+	// Image load: written once, then only read — a mostly-sparse table
+	// of small constants, like the simulated binary's rodata.
+	for i := 0; i < n*romFactor; i++ {
+		var v uint32
+		switch r.intn(20) {
+		case 0:
+			v = uint32(1 + r.intn(200))
+		case 1, 2:
+			v = []uint32{1, 2, 4, 8}[r.intn(4)]
+		}
+		env.Store(rom+uint32(i)*4, v)
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		// A fresh zeroed (calloc-style) read-write segment per
+		// simulated run: no explicit clearing, so untouched words read
+		// 0 and every word holds a single value for its lifetime.
+		rw := env.Alloc(n)
+
+		for i := 0; i < 16; i++ {
+			env.Store(regs+uint32(i)*4, 0)
+		}
+		env.Store(regs+1*4, uint32(n))
+
+		// The simulated address space: indices [0,n) map to the rw
+		// segment, [n, n*(1+romFactor)) to the read-only image.
+		dload := func(idx uint32) uint32 {
+			if idx < uint32(n) {
+				return env.Load(rw + idx*4)
+			}
+			return env.Load(rom + (idx-uint32(n))*4)
+		}
+		dstore := func(idx, v uint32) {
+			if idx < uint32(n) {
+				env.Store(rw+idx*4, v)
+			}
+			// Stores to the read-only image are dropped, as a memory
+			// controller would fault; the program never does this.
+		}
+
+		pc := 0
+		rd := func(r uint32) uint32 {
+			if r == 0 {
+				return 0
+			}
+			return env.Load(regs + r*4)
+		}
+		wr := func(r, v uint32) {
+			if r != 0 {
+				env.Store(regs+r*4, v)
+			}
+		}
+		for steps := 0; steps < 50_000_000; steps++ {
+			w := env.Load(imem + uint32(pc)*4)
+			op := w >> 24
+			rdst := (w >> 20) & 0xf
+			rs1 := (w >> 16) & 0xf
+			rs2 := (w >> 12) & 0xf
+			imm := signExt12(w & 0xfff)
+			pc++
+			switch op {
+			case opHalt:
+				// handled below
+			case opLoadI:
+				wr(rdst, uint32(imm))
+			case opAdd:
+				wr(rdst, rd(rs1)+rd(rs2))
+			case opAddI:
+				wr(rdst, rd(rs1)+uint32(imm))
+			case opLd:
+				wr(rdst, dload(rd(rs1)+uint32(imm)))
+			case opSt:
+				dstore(rd(rs1)+uint32(imm), rd(rs2))
+			case opBeq:
+				if rd(rs1) == rd(rs2) {
+					pc = int(imm)
+				}
+			case opBne:
+				if rd(rs1) != rd(rs2) {
+					pc = int(imm)
+				}
+			case opBge:
+				if int32(rd(rs1)) >= int32(rd(rs2)) {
+					pc = int(imm)
+				}
+			case opJmp:
+				pc = int(imm)
+			case opMul:
+				wr(rdst, rd(rs1)*rd(rs2))
+			}
+			if op == opHalt {
+				break
+			}
+		}
+		env.Free(rw)
+	}
+}
+
+func init() { Register(cpuSim{}) }

@@ -1,0 +1,302 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// The four floating-point kernels mirror SPECfp95 programs for the
+// paper's Figure 2 study. Scientific grids carry abundant repeated
+// values — zero boundaries, zero-initialized residuals, and constant
+// coefficients — which is why the paper finds SPECfp95 also exhibits
+// strong frequent value locality. Values are float32 bit patterns in
+// 32-bit words (fvc codes compare raw words, so 0.0 == the zero word).
+
+// stencil2D mirrors 102.swim: a shallow-water-style 5-point stencil
+// relaxation over three grids with fixed zero boundaries.
+type stencil2D struct{}
+
+func (stencil2D) Name() string     { return "stencil2d" }
+func (stencil2D) Analogue() string { return "102.swim" }
+func (stencil2D) FVL() bool        { return true }
+func (stencil2D) Description() string {
+	return "shallow-water 5-point stencil over zero-bordered float32 grids"
+}
+
+func (s stencil2D) Run(env *memsim.Env, scale Scale) {
+	iters := map[Scale]int{Test: 6, Train: 15, Ref: 40}[scale]
+	r := newRNG(seedFor(s.Name(), scale))
+
+	const n = 128
+	u := env.Static(n * n)
+	env.Static(33) // padding: stagger bases to avoid set aliasing
+	v := env.Static(n * n)
+	env.Static(57)
+	p := env.Static(n * n)
+	at := func(g uint32, y, x int) uint32 { return g + uint32(y*n+x)*4 }
+
+	// Initialize: a sparse disturbance field in a zero ocean — swim's
+	// grids are dominated by exact zeros away from the wave front.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var val float32
+			if y > 0 && x > 0 && y < n-1 && x < n-1 && r.intn(12) == 0 {
+				val = r.f32() + 0.5
+			}
+			env.StoreF(at(u, y, x), val)
+			env.StoreF(at(v, y, x), 0)
+			env.StoreF(at(p, y, x), 0)
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				du := env.LoadF(at(u, y, x-1)) + env.LoadF(at(u, y, x+1)) +
+					env.LoadF(at(u, y-1, x)) + env.LoadF(at(u, y+1, x))
+				dv := env.LoadF(at(v, y, x-1)) + env.LoadF(at(v, y, x+1))
+				pv := 0.25*du - 0.125*dv
+				// Threshold small pressures to exactly zero, keeping
+				// the grids sparse as the physical damping does.
+				if pv < 0.05 && pv > -0.05 {
+					pv = 0
+				}
+				env.StoreF(at(p, y, x), pv)
+			}
+		}
+		// Velocity update reads the (mostly zero) pressure grid and
+		// damps the disturbance back toward zero.
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				g := env.LoadF(at(p, y, x))
+				if g != 0 {
+					nu := env.LoadF(at(u, y, x))*0.5 + 0.1*g
+					if nu < 0.05 && nu > -0.05 {
+						nu = 0
+					}
+					env.StoreF(at(u, y, x), nu)
+					env.StoreF(at(v, y, x), g*0.5)
+				}
+			}
+		}
+		// Re-seed a few disturbances so the field never fully dies.
+		for k := 0; k < 8; k++ {
+			env.StoreF(at(u, 1+r.intn(n-2), 1+r.intn(n-2)), 1)
+		}
+	}
+}
+
+// meshGen mirrors 101.tomcatv: mesh-coordinate smoothing with residual
+// grids that are zeroed every sweep.
+type meshGen struct{}
+
+func (meshGen) Name() string     { return "meshgen" }
+func (meshGen) Analogue() string { return "101.tomcatv" }
+func (meshGen) FVL() bool        { return true }
+func (meshGen) Description() string {
+	return "mesh-generation smoothing with zeroed residual grids"
+}
+
+func (m meshGen) Run(env *memsim.Env, scale Scale) {
+	iters := map[Scale]int{Test: 8, Train: 20, Ref: 52}[scale]
+	r := newRNG(seedFor(m.Name(), scale))
+
+	const n = 128
+	active := env.Static(n * n) // 0/1 convergence flags, mostly 0
+	env.Static(41)              // padding: stagger bases to avoid set aliasing
+	rx := env.Static(n * n)     // residuals, mostly exact zero
+	env.Static(73)
+	xs := env.Static(n * n) // coordinates, touched only where active
+	at := func(g uint32, y, x int) uint32 { return g + uint32(y*n+x)*4 }
+
+	// Initialize: mesh mostly converged (inactive); a sparse set of
+	// cells still moving — tomcatv's late iterations look like this.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			env.StoreF(at(xs, y, x), float32(x))
+			env.StoreF(at(rx, y, x), 0)
+			a := uint32(0)
+			if y > 0 && x > 0 && y < n-1 && x < n-1 && r.intn(10) == 0 {
+				a = 1
+			}
+			env.Store(at(active, y, x), a)
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		// Residual sweep: the activity mask is read everywhere; work
+		// happens only at active cells.
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				if env.Load(at(active, y, x)) == 0 {
+					continue
+				}
+				ex := env.LoadF(at(xs, y, x-1)) + env.LoadF(at(xs, y, x+1)) -
+					2*env.LoadF(at(xs, y, x)) + (r.f32()-0.5)*0.2
+				if ex < 0.05 && ex > -0.05 {
+					ex = 0
+				}
+				env.StoreF(at(rx, y, x), ex)
+			}
+		}
+		// Correction sweep reads the sparse residual grid everywhere.
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				ex := env.LoadF(at(rx, y, x))
+				if ex == 0 {
+					// Converged cell: deactivate.
+					if env.Load(at(active, y, x)) == 1 && r.intn(4) == 0 {
+						env.Store(at(active, y, x), 0)
+					}
+					continue
+				}
+				env.StoreF(at(xs, y, x), env.LoadF(at(xs, y, x))+0.5*ex)
+				// Activity spreads to a neighbor.
+				env.Store(at(active, y, x+1), 1)
+			}
+		}
+		// Keep a trickle of activity alive.
+		for k := 0; k < 6; k++ {
+			env.Store(at(active, 1+r.intn(n-2), 1+r.intn(n-2)), 1)
+		}
+	}
+}
+
+// mgrid3D mirrors 107.mgrid: multigrid restriction/prolongation over a
+// 3D grid whose coarse levels are dominated by zeros.
+type mgrid3D struct{}
+
+func (mgrid3D) Name() string     { return "mgrid3d" }
+func (mgrid3D) Analogue() string { return "107.mgrid" }
+func (mgrid3D) FVL() bool        { return true }
+func (mgrid3D) Description() string {
+	return "multigrid V-cycles over 3D grids with sparse non-zeros"
+}
+
+func (m mgrid3D) Run(env *memsim.Env, scale Scale) {
+	cycles := map[Scale]int{Test: 3, Train: 8, Ref: 20}[scale]
+	r := newRNG(seedFor(m.Name(), scale))
+
+	const n = 32 // fine grid n^3
+	fine := env.Static(n * n * n)
+	env.Static(29) // padding: stagger bases to avoid set aliasing
+	coarse := env.Static((n / 2) * (n / 2) * (n / 2))
+	at := func(g uint32, dim, z, y, x int) uint32 {
+		return g + uint32((z*dim+y)*dim+x)*4
+	}
+
+	// Sparse initial charge: a few point sources in a zero field.
+	for i := 0; i < n*n*n; i++ {
+		env.StoreF(fine+uint32(i)*4, 0)
+	}
+	for k := 0; k < 12; k++ {
+		z, y, x := 1+r.intn(n-2), 1+r.intn(n-2), 1+r.intn(n-2)
+		env.StoreF(at(fine, n, z, y, x), 1)
+	}
+
+	for c := 0; c < cycles; c++ {
+		// Restrict: average 2x2x2 fine cells into coarse.
+		half := n / 2
+		for z := 0; z < half; z++ {
+			for y := 0; y < half; y++ {
+				for x := 0; x < half; x++ {
+					var sum float32
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								sum += env.LoadF(at(fine, n, 2*z+dz, 2*y+dy, 2*x+dx))
+							}
+						}
+					}
+					v := sum / 8
+					if v < 1e-3 && v > -1e-3 {
+						v = 0
+					}
+					env.StoreF(at(coarse, half, z, y, x), v)
+				}
+			}
+		}
+		// Smooth on the coarse grid.
+		for z := 1; z < half-1; z++ {
+			for y := 1; y < half-1; y++ {
+				for x := 1; x < half-1; x++ {
+					v := (env.LoadF(at(coarse, half, z, y, x-1)) +
+						env.LoadF(at(coarse, half, z, y, x+1)) +
+						env.LoadF(at(coarse, half, z, y-1, x)) +
+						env.LoadF(at(coarse, half, z, y+1, x))) * 0.25
+					if v < 1e-3 && v > -1e-3 {
+						v = 0
+					}
+					env.StoreF(at(coarse, half, z, y, x), v)
+				}
+			}
+		}
+		// Prolongate back with injection.
+		for z := 0; z < half; z++ {
+			for y := 0; y < half; y++ {
+				for x := 0; x < half; x++ {
+					v := env.LoadF(at(coarse, half, z, y, x))
+					if v != 0 {
+						env.StoreF(at(fine, n, 2*z, 2*y, 2*x), v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// linSolve mirrors 110.applu: a banded triangular solver whose band
+// matrix is mostly structural zeros.
+type linSolve struct{}
+
+func (linSolve) Name() string     { return "linsolve" }
+func (linSolve) Analogue() string { return "110.applu" }
+func (linSolve) FVL() bool        { return true }
+func (linSolve) Description() string {
+	return "banded lower-triangular solves over a mostly-zero band matrix"
+}
+
+func (l linSolve) Run(env *memsim.Env, scale Scale) {
+	solves := map[Scale]int{Test: 8, Train: 20, Ref: 55}[scale]
+	r := newRNG(seedFor(l.Name(), scale))
+
+	const n = 1024
+	const band = 32
+	mat := env.Static(n * band) // row-major band storage, mostly zeros
+	rhs := env.Static(n)
+	x := env.Static(n)
+
+	// Band matrix: diagonal ones, a few off-diagonal entries per row,
+	// everything else exactly zero.
+	for i := 0; i < n; i++ {
+		for j := 0; j < band; j++ {
+			env.StoreF(mat+uint32(i*band+j)*4, 0)
+		}
+		env.StoreF(mat+uint32(i*band)*4, 1) // diagonal
+		for k := 0; k < 3; k++ {
+			j := 1 + r.intn(band-1)
+			env.StoreF(mat+uint32(i*band+j)*4, (r.f32()-0.5)*0.25)
+		}
+	}
+
+	for s := 0; s < solves; s++ {
+		for i := 0; i < n; i++ {
+			env.StoreF(rhs+uint32(i)*4, r.f32())
+		}
+		// Forward substitution over the band.
+		for i := 0; i < n; i++ {
+			acc := env.LoadF(rhs + uint32(i)*4)
+			for j := 1; j < band && j <= i; j++ {
+				a := env.LoadF(mat + uint32(i*band+j)*4)
+				if a != 0 {
+					acc -= a * env.LoadF(x+uint32(i-j)*4)
+				}
+			}
+			env.StoreF(x+uint32(i)*4, acc)
+		}
+	}
+}
+
+func init() {
+	Register(stencil2D{})
+	Register(meshGen{})
+	Register(mgrid3D{})
+	Register(linSolve{})
+}

@@ -1,0 +1,412 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// The remaining six SPECfp95 analogues, completing the paper's
+// Figure 2 suite. Like fp.go's kernels, their frequent value locality
+// comes from the places real scientific codes get it: zero-dominated
+// grids and screening thresholds, fixed coefficient tables, and
+// boundary regions that never change.
+
+// lattice4D mirrors 103.su2cor: quantum-chromodynamics-style sweeps
+// over a 4D lattice whose link variables are mostly cold (zero) with a
+// sparse set of excited sites.
+type lattice4D struct{}
+
+func (lattice4D) Name() string     { return "lattice4d" }
+func (lattice4D) Analogue() string { return "103.su2cor" }
+func (lattice4D) FVL() bool        { return true }
+func (lattice4D) Description() string {
+	return "4D lattice sweeps with sparse excited links (su2cor-style)"
+}
+
+func (l lattice4D) Run(env *memsim.Env, scale Scale) {
+	sweeps := map[Scale]int{Test: 3, Train: 8, Ref: 20}[scale]
+	r := newRNG(seedFor(l.Name(), scale))
+
+	const n = 12 // n^4 sites
+	sites := n * n * n * n
+	links := env.Static(sites) // one link weight per site
+	accum := env.Static(sites) // action accumulator per site
+	at := func(g uint32, i int) uint32 { return g + uint32(i)*4 }
+
+	for i := 0; i < sites; i++ {
+		var v float32
+		if r.intn(16) == 0 {
+			v = r.f32()
+		}
+		env.StoreF(at(links, i), v)
+		env.StoreF(at(accum, i), 0)
+	}
+
+	stride := [4]int{1, n, n * n, n * n * n}
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < sites; i++ {
+			w := env.LoadF(at(links, i))
+			if w == 0 {
+				continue // cold link: nothing to update
+			}
+			// Plaquette-style neighbor product along each dimension.
+			var act float32
+			for d := 0; d < 4; d++ {
+				j := (i + stride[d]) % sites
+				act += w * env.LoadF(at(links, j))
+			}
+			// Screening: small actions flushed to exactly zero.
+			if act < 0.01 && act > -0.01 {
+				act = 0
+			}
+			env.StoreF(at(accum, i), act)
+			// Links decay back toward cold.
+			if r.intn(8) == 0 {
+				env.StoreF(at(links, i), 0)
+			}
+		}
+		// Occasionally re-excite a few links.
+		for k := 0; k < sites/64; k++ {
+			env.StoreF(at(links, r.intn(sites)), r.f32())
+		}
+	}
+}
+
+// hydro2D mirrors 104.hydro2d: a conservation-law update with flux
+// arrays recomputed (and mostly zeroed) every step.
+type hydro2D struct{}
+
+func (hydro2D) Name() string     { return "hydro2d" }
+func (hydro2D) Analogue() string { return "104.hydro2d" }
+func (hydro2D) FVL() bool        { return true }
+func (hydro2D) Description() string {
+	return "2D conservation-law updates with zeroed flux arrays (hydro2d-style)"
+}
+
+func (h hydro2D) Run(env *memsim.Env, scale Scale) {
+	steps := map[Scale]int{Test: 6, Train: 16, Ref: 40}[scale]
+	r := newRNG(seedFor(h.Name(), scale))
+
+	const n = 96
+	rho := env.Static(n * n)
+	env.Static(29) // stagger bases to avoid set aliasing
+	flux := env.Static(n * n)
+	at := func(g uint32, y, x int) uint32 { return g + uint32(y*n+x)*4 }
+
+	// A dense blob in a zero background.
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var v float32
+			cy, cx := y-n/2, x-n/2
+			if cy*cy+cx*cx < (n/6)*(n/6) {
+				v = 1 + r.f32()*0.1
+			}
+			env.StoreF(at(rho, y, x), v)
+			env.StoreF(at(flux, y, x), 0)
+		}
+	}
+
+	for s := 0; s < steps; s++ {
+		// Flux computation: nonzero only at the blob's boundary.
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				d := env.LoadF(at(rho, y, x)) - env.LoadF(at(rho, y, x-1))
+				if d < 0.05 && d > -0.05 {
+					d = 0
+				}
+				env.StoreF(at(flux, y, x), d*0.5)
+			}
+		}
+		// Conservative update: only where flux is nonzero.
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-2; x++ {
+				f := env.LoadF(at(flux, y, x))
+				if f == 0 {
+					continue
+				}
+				env.StoreF(at(rho, y, x), env.LoadF(at(rho, y, x))-f*0.2)
+				env.StoreF(at(rho, y, x+1), env.LoadF(at(rho, y, x+1))+f*0.2)
+			}
+		}
+	}
+}
+
+// spectral3D mirrors 125.turb3d: butterfly passes over spectral data
+// where high-frequency modes have been truncated to zero.
+type spectral3D struct{}
+
+func (spectral3D) Name() string     { return "spectral3d" }
+func (spectral3D) Analogue() string { return "125.turb3d" }
+func (spectral3D) FVL() bool        { return true }
+func (spectral3D) Description() string {
+	return "spectral butterfly passes over truncated (mostly zero) modes (turb3d-style)"
+}
+
+func (t spectral3D) Run(env *memsim.Env, scale Scale) {
+	rounds := map[Scale]int{Test: 4, Train: 10, Ref: 26}[scale]
+	r := newRNG(seedFor(t.Name(), scale))
+
+	const n = 1 << 14 // one flattened spectral plane
+	re := env.Static(n)
+	at := func(i int) uint32 { return re + uint32(i)*4 }
+
+	// Energy concentrated in the lowest 1/16 of modes; rest truncated.
+	for i := 0; i < n; i++ {
+		var v float32
+		if i < n/16 {
+			v = r.f32() - 0.5
+		}
+		env.StoreF(at(i), v)
+	}
+
+	for round := 0; round < rounds; round++ {
+		// log2(n) butterfly passes.
+		for half := 1; half < n; half <<= 1 {
+			for i := 0; i < n; i += half * 2 {
+				for j := i; j < i+half; j++ {
+					a := env.LoadF(at(j))
+					b := env.LoadF(at(j + half))
+					if a == 0 && b == 0 {
+						continue // zero-block shortcut, like real FFTs on truncated data
+					}
+					s, d := a+b, a-b
+					if s < 1e-3 && s > -1e-3 {
+						s = 0
+					}
+					if d < 1e-3 && d > -1e-3 {
+						d = 0
+					}
+					env.StoreF(at(j), s)
+					env.StoreF(at(j+half), d)
+				}
+			}
+		}
+	}
+}
+
+// airAdvect mirrors 141.apsi: layered advection of a sparse pollution
+// plume through a mostly clean atmosphere.
+type airAdvect struct{}
+
+func (airAdvect) Name() string     { return "airadvect" }
+func (airAdvect) Analogue() string { return "141.apsi" }
+func (airAdvect) FVL() bool        { return true }
+func (airAdvect) Description() string {
+	return "layered advection of a sparse plume (apsi-style)"
+}
+
+func (a airAdvect) Run(env *memsim.Env, scale Scale) {
+	steps := map[Scale]int{Test: 8, Train: 20, Ref: 50}[scale]
+	r := newRNG(seedFor(a.Name(), scale))
+
+	const nx, ny, nz = 64, 48, 8
+	conc := env.Static(nx * ny * nz)
+	at := func(z, y, x int) uint32 { return conc + uint32((z*ny+y)*nx+x)*4 }
+
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				env.StoreF(at(z, y, x), 0)
+			}
+		}
+	}
+	// Point sources near the surface.
+	for k := 0; k < 6; k++ {
+		env.StoreF(at(0, 4+r.intn(ny-8), 4+r.intn(8)), 1)
+	}
+
+	for s := 0; s < steps; s++ {
+		// Advect east and diffuse upward; the plume stays sparse.
+		for z := nz - 1; z >= 0; z-- {
+			for y := 1; y < ny-1; y++ {
+				for x := nx - 2; x >= 1; x-- {
+					c := env.LoadF(at(z, y, x))
+					if c == 0 {
+						continue
+					}
+					moved := c * 0.4
+					rest := c - moved
+					if rest < 0.01 {
+						rest = 0
+					}
+					env.StoreF(at(z, y, x), rest)
+					env.StoreF(at(z, y, x+1), env.LoadF(at(z, y, x+1))+moved*0.8)
+					if z+1 < nz {
+						env.StoreF(at(z+1, y, x), env.LoadF(at(z+1, y, x))+moved*0.2)
+					}
+				}
+			}
+		}
+		// Sources keep emitting.
+		for k := 0; k < 3; k++ {
+			env.StoreF(at(0, 4+r.intn(ny-8), 4+r.intn(8)), 1)
+		}
+		// Deposition wipes the top layer clean.
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				env.StoreF(at(nz-1, y, x), 0)
+			}
+		}
+	}
+}
+
+// quadInt mirrors 145.fpppp: two-electron-integral-style accumulation
+// where integral screening zeroes the vast majority of contributions.
+type quadInt struct{}
+
+func (quadInt) Name() string     { return "quadint" }
+func (quadInt) Analogue() string { return "145.fpppp" }
+func (quadInt) FVL() bool        { return true }
+func (quadInt) Description() string {
+	return "screened integral accumulation into dense matrices (fpppp-style)"
+}
+
+func (q quadInt) Run(env *memsim.Env, scale Scale) {
+	shells := map[Scale]int{Test: 32, Train: 48, Ref: 72}[scale]
+	r := newRNG(seedFor(q.Name(), scale))
+
+	nbf := shells * 2 // basis functions
+	fock := env.Static(nbf * nbf)
+	dens := env.Static(nbf * nbf)
+	screen := env.Static(shells * shells) // Schwarz screening bounds
+	at := func(g uint32, i, j, n int) uint32 { return g + uint32(i*n+j)*4 }
+
+	for i := 0; i < nbf; i++ {
+		for j := 0; j < nbf; j++ {
+			env.StoreF(at(fock, i, j, nbf), 0)
+			var d float32
+			if i == j {
+				d = 1
+			} else if r.intn(12) == 0 {
+				d = r.f32() * 0.1
+			}
+			env.StoreF(at(dens, i, j, nbf), d)
+		}
+	}
+	for i := 0; i < shells; i++ {
+		for j := 0; j < shells; j++ {
+			var b float32
+			if r.intn(6) == 0 {
+				b = r.f32()
+			}
+			env.StoreF(at(screen, i, j, shells), b)
+		}
+	}
+
+	// Repeated Fock builds, one per SCF iteration.
+	iters := map[Scale]int{Test: 5, Train: 10, Ref: 22}[scale]
+	for it := 0; it < iters; it++ {
+		for si := 0; si < shells; si++ {
+			for sj := 0; sj <= si; sj++ {
+				bij := env.LoadF(at(screen, si, sj, shells))
+				if bij == 0 {
+					continue // screened out: most of the quartic loop
+				}
+				for sk := 0; sk <= si; sk++ {
+					bkl := env.LoadF(at(screen, si, sk, shells))
+					if bij*bkl < 0.05 {
+						continue
+					}
+					// Contract the surviving integral block with density.
+					for a := 0; a < 2; a++ {
+						for b := 0; b < 2; b++ {
+							i, j, k := si*2+a, sj*2+b, sk*2+a
+							d := env.LoadF(at(dens, k, j, nbf))
+							if d == 0 {
+								continue
+							}
+							f := env.LoadF(at(fock, i, j, nbf)) + d*bij*bkl
+							env.StoreF(at(fock, i, j, nbf), f)
+						}
+					}
+				}
+			}
+		}
+		// Density update between iterations: mix in a fraction of the
+		// Fock diagonal (keeps the sparsity pattern stable).
+		for i := 0; i < nbf; i++ {
+			f := env.LoadF(at(fock, i, i, nbf))
+			if f != 0 {
+				env.StoreF(at(dens, i, i, nbf), 1+f*0.01)
+			}
+		}
+	}
+}
+
+// particleWave mirrors 146.wave5: a particle-in-cell plasma step with
+// a sparse charge-deposition grid.
+type particleWave struct{}
+
+func (particleWave) Name() string     { return "particlewave" }
+func (particleWave) Analogue() string { return "146.wave5" }
+func (particleWave) FVL() bool        { return true }
+func (particleWave) Description() string {
+	return "particle-in-cell steps with sparse charge grids (wave5-style)"
+}
+
+func (p particleWave) Run(env *memsim.Env, scale Scale) {
+	steps := map[Scale]int{Test: 5, Train: 14, Ref: 36}[scale]
+	parts := map[Scale]int{Test: 1500, Train: 2500, Ref: 4000}[scale]
+	r := newRNG(seedFor(p.Name(), scale))
+
+	const gx, gy = 128, 64
+	charge := env.Static(gx * gy)
+	field := env.Static(gx * gy)
+	// Particle arrays: x, y, vx per particle (structure of arrays).
+	px := env.Static(parts)
+	py := env.Static(parts)
+	pv := env.Static(parts)
+	gat := func(g uint32, y, x int) uint32 { return g + uint32(y*gx+x)*4 }
+
+	for i := 0; i < parts; i++ {
+		env.Store(px+uint32(i)*4, uint32(r.intn(gx/4))) // clustered left
+		env.Store(py+uint32(i)*4, uint32(r.intn(gy)))
+		env.StoreF(pv+uint32(i)*4, 1)
+	}
+	for i := 0; i < gx*gy; i++ {
+		env.StoreF(charge+uint32(i)*4, 0)
+		env.StoreF(field+uint32(i)*4, 0)
+	}
+
+	for s := 0; s < steps; s++ {
+		// Scatter: zero the charge grid, deposit particles (grid stays
+		// sparse because particles cluster).
+		for i := 0; i < gx*gy; i++ {
+			env.StoreF(charge+uint32(i)*4, 0)
+		}
+		for i := 0; i < parts; i++ {
+			x := int(env.Load(px+uint32(i)*4)) % gx
+			y := int(env.Load(py+uint32(i)*4)) % gy
+			c := gat(charge, y, x)
+			env.StoreF(c, env.LoadF(c)+1)
+		}
+		// Field solve: smooth the charge into the field grid.
+		for y := 1; y < gy-1; y++ {
+			for x := 1; x < gx-1; x++ {
+				v := (env.LoadF(gat(charge, y, x-1)) + env.LoadF(gat(charge, y, x+1))) * 0.5
+				if v < 0.25 {
+					v = 0
+				}
+				env.StoreF(gat(field, y, x), v)
+			}
+		}
+		// Push: particles drift under the (mostly zero) field.
+		for i := 0; i < parts; i++ {
+			x := int(env.Load(px + uint32(i)*4))
+			y := int(env.Load(py + uint32(i)*4))
+			f := env.LoadF(gat(field, y%gy, x%gx))
+			v := env.LoadF(pv + uint32(i)*4)
+			if f != 0 {
+				v += f * 0.01
+				env.StoreF(pv+uint32(i)*4, v)
+			}
+			env.Store(px+uint32(i)*4, uint32((x+int(v))%gx))
+		}
+	}
+}
+
+func init() {
+	Register(lattice4D{})
+	Register(hydro2D{})
+	Register(spectral3D{})
+	Register(airAdvect{})
+	Register(quadInt{})
+	Register(particleWave{})
+}

@@ -1,0 +1,194 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// goBoard mirrors 099.go: a board-game engine whose dominant data
+// structure is a mostly-empty board array with border sentinels.
+// It plays pseudo-random games of capture go: stones are placed, group
+// liberties are computed by flood fill, and libertyless groups are
+// removed. The board's cell values (empty=0, black=1, white=2,
+// border=0xffffffff) mirror the top frequent values the paper reports
+// for 099.go (0, 1, 2, fffffff...).
+type goBoard struct{}
+
+func (goBoard) Name() string     { return "goboard" }
+func (goBoard) Analogue() string { return "099.go" }
+func (goBoard) FVL() bool        { return true }
+func (goBoard) Description() string {
+	return "capture-go engine: flood-fill liberties over a sparse board array"
+}
+
+const (
+	goEmpty  uint32 = 0
+	goBlack  uint32 = 1
+	goWhite  uint32 = 2
+	goBorder uint32 = 0xffffffff
+)
+
+func (g goBoard) Run(env *memsim.Env, scale Scale) {
+	moves := map[Scale]int{Test: 3000, Train: 10000, Ref: 32000}[scale]
+	games := map[Scale]int{Test: 6, Train: 10, Ref: 16}[scale]
+	r := newRNG(seedFor(g.Name(), scale))
+
+	const size = 19
+	const dim = size + 2 // sentinel border ring
+	const cells = dim * dim
+	// Many concurrent games played round-robin, like an engine
+	// searching positions: the boards are the dominant footprint.
+	boards := env.Static(games * cells)
+	seen := env.Static(cells) // flood-fill visited flags (0/1), shared
+	// A pattern/history table consulted on every candidate move: the
+	// engine's big side table (counts are small frequent integers).
+	const patSize = 4096
+	pattern := env.Static(patSize)
+	// Static evaluation weights, written once at startup and then only
+	// read — the engine's constant tables (matches the high
+	// constant-address fraction the paper reports for 099.go).
+	weights := env.Static(patSize)
+	// Worklist and touched-list live in a stack frame, like a real
+	// engine's recursion or explicit stack.
+	frame := env.PushFrame(2 * cells)
+	work := frame
+	touched := frame + 4*cells
+	defer env.PopFrame()
+
+	board := boards // current game's board base
+	at := func(row, col int) uint32 { return board + uint32(row*dim+col)*4 }
+
+	reset := func() {
+		for row := 0; row < dim; row++ {
+			for col := 0; col < dim; col++ {
+				v := goEmpty
+				if row == 0 || col == 0 || row == dim-1 || col == dim-1 {
+					v = goBorder
+				}
+				env.Store(at(row, col), v)
+			}
+		}
+	}
+	for gi := 0; gi < games; gi++ {
+		board = boards + uint32(gi*cells)*4
+		reset()
+	}
+	for i := 0; i < cells; i++ {
+		env.Store(seen+uint32(i)*4, 0)
+	}
+	for i := 0; i < patSize; i++ {
+		env.Store(pattern+uint32(i)*4, 0)
+		var wv uint32
+		if r.intn(4) == 0 {
+			wv = uint32(1 + r.intn(8))
+		}
+		env.Store(weights+uint32(i)*4, wv)
+	}
+
+	neighbors := [4]int{-1, 1, -dim, dim}
+
+	// groupLiberties flood-fills the same-colored group containing
+	// cell idx, returning its liberty count and recording its cells in
+	// the touched list (count returned).
+	groupLiberties := func(idx int, color uint32) (libs, groupLen int) {
+		wp := 0 // worklist size
+		env.Store(work+uint32(wp)*4, uint32(idx))
+		wp++
+		env.Store(seen+uint32(idx)*4, 1)
+		tl := 0
+		for wp > 0 {
+			wp--
+			cur := int(env.Load(work + uint32(wp)*4))
+			env.Store(touched+uint32(tl)*4, uint32(cur))
+			tl++
+			for _, d := range neighbors {
+				n := cur + d
+				v := env.Load(board + uint32(n)*4)
+				switch v {
+				case goEmpty:
+					libs++ // liberties may be double-counted; fine for capture logic (0 stays 0)
+				case color:
+					if env.Load(seen+uint32(n)*4) == 0 {
+						env.Store(seen+uint32(n)*4, 1)
+						env.Store(work+uint32(wp)*4, uint32(n))
+						wp++
+					}
+				}
+			}
+		}
+		// Clear visited flags for the touched cells.
+		for i := 0; i < tl; i++ {
+			c := env.Load(touched + uint32(i)*4)
+			env.Store(seen+c*4, 0)
+		}
+		return libs, tl
+	}
+
+	// removeGroup clears the group recorded in touched[0:n].
+	removeGroup := func(n int) {
+		for i := 0; i < n; i++ {
+			c := env.Load(touched + uint32(i)*4)
+			env.Store(board+c*4, goEmpty)
+		}
+	}
+
+	empties := make([]int, games)
+	colors := make([]uint32, games)
+	for gi := range empties {
+		empties[gi] = size * size
+		colors[gi] = goBlack
+	}
+	const movesPerBlock = 200 // stay on one game for a while (temporal locality)
+	for m := 0; m < moves; m++ {
+		gi := (m / movesPerBlock) % games
+		board = boards + uint32(gi*cells)*4
+		color := colors[gi]
+		if empties[gi] < size { // board nearly full: start a new game
+			reset()
+			empties[gi] = size * size
+		}
+		// Find the best-scoring empty cell among a few candidates,
+		// consulting the pattern table (a load of a small counter).
+		idx, bestScore := 0, uint32(0)
+		for try := 0; try < 12; try++ {
+			row := 1 + r.intn(size)
+			col := 1 + r.intn(size)
+			cand := row*dim + col
+			if env.Load(board+uint32(cand)*4) != goEmpty {
+				continue
+			}
+			h := uint32((cand*31 + int(color)*17) % patSize)
+			score := env.Load(pattern+h*4) + env.Load(weights+h*4) + uint32(r.intn(3))
+			if idx == 0 || score > bestScore {
+				idx, bestScore = cand, score
+			}
+		}
+		if idx == 0 {
+			reset()
+			empties[gi] = size * size
+			continue
+		}
+		env.Store(board+uint32(idx)*4, color)
+		empties[gi]--
+		opp := goBlack + goWhite - color
+		// Capture any adjacent libertyless opponent group.
+		for _, d := range neighbors {
+			n := idx + d
+			if env.Load(board+uint32(n)*4) != opp {
+				continue
+			}
+			if libs, gl := groupLiberties(n, opp); libs == 0 {
+				removeGroup(gl)
+				empties[gi] += gl
+				// Reward the capturing pattern.
+				pa := pattern + uint32((idx*31+int(color)*17)%patSize)*4
+				env.Store(pa, env.Load(pa)+1)
+			}
+		}
+		// Suicide rule: if own group has no liberties, remove it.
+		if libs, gl := groupLiberties(idx, color); libs == 0 {
+			removeGroup(gl)
+			empties[gi] += gl
+		}
+		colors[gi] = opp
+	}
+}
+
+func init() { Register(goBoard{}) }

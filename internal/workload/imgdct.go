@@ -1,0 +1,103 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// imgDCT mirrors 132.ijpeg — the second control program. It runs 8×8
+// integer DCT transforms with light quantization over a synthetic
+// image: pixel and coefficient values vary across the whole dynamic
+// range, so no small value set dominates memory and addresses are
+// overwritten with fresh values block after block.
+type imgDCT struct{}
+
+func (imgDCT) Name() string     { return "imgdct" }
+func (imgDCT) Analogue() string { return "132.ijpeg" }
+func (imgDCT) FVL() bool        { return false }
+func (imgDCT) Description() string {
+	return "8x8 integer DCT + light quantization over a synthetic image (FVL control)"
+}
+
+func (d imgDCT) Run(env *memsim.Env, scale Scale) {
+	frames := map[Scale]int{Test: 2, Train: 4, Ref: 9}[scale]
+	r := newRNG(seedFor(d.Name(), scale))
+
+	const w, h = 192, 144
+	img := env.Static(w * h)    // one pixel per word (luma 0..255 + noise bits)
+	coef := env.Static(w * h)   // coefficient plane
+	block := env.PushFrame(128) // 8x8 input + 8x8 temp
+	defer env.PopFrame()
+	tmp := block + 64*4
+
+	// cosTab is an integer-scaled DCT basis (values precomputed in Go,
+	// like ijpeg's static tables kept in registers/ROM).
+	var cosTab [8][8]int32
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			// round(cos((2n+1)kπ/16) * 64) via integer approximation
+			cosTab[k][n] = icos((2*n + 1) * k)
+		}
+	}
+
+	for f := 0; f < frames; f++ {
+		// Synthesize the frame: gradients + block offsets + noise.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				v := uint32((x*2+y*3)%256) ^ uint32(r.intn(64))
+				env.Store(img+uint32(y*w+x)*4, v|uint32(r.intn(3))<<16)
+			}
+		}
+		// Per-block DCT.
+		for by := 0; by < h; by += 8 {
+			for bx := 0; bx < w; bx += 8 {
+				// Load block into the frame-local buffer.
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						px := env.Load(img + uint32((by+y)*w+bx+x)*4)
+						env.Store(block+uint32(y*8+x)*4, px&0xff)
+					}
+				}
+				// Rows then columns (separable DCT).
+				for y := 0; y < 8; y++ {
+					for k := 0; k < 8; k++ {
+						var acc int32
+						for n := 0; n < 8; n++ {
+							acc += int32(env.Load(block+uint32(y*8+n)*4)) * cosTab[k][n]
+						}
+						env.Store(tmp+uint32(y*8+k)*4, uint32(acc>>6))
+					}
+				}
+				for x := 0; x < 8; x++ {
+					for k := 0; k < 8; k++ {
+						var acc int32
+						for n := 0; n < 8; n++ {
+							acc += int32(env.Load(tmp+uint32(n*8+x)*4)) * cosTab[k][n]
+						}
+						// Light quantization (divide by 4): values stay
+						// varied rather than collapsing to zero.
+						q := acc >> 8
+						env.Store(coef+uint32((by+k)*w+bx+x)*4, uint32(q))
+					}
+				}
+			}
+		}
+	}
+}
+
+// icos approximates round(64*cos(m*π/16)) with a lookup over the
+// period (avoiding math imports in the hot path; exactness is
+// irrelevant to the memory behaviour).
+func icos(m int) int32 {
+	quarter := [9]int32{64, 63, 59, 53, 45, 36, 24, 12, 0}
+	m = ((m % 32) + 32) % 32
+	switch {
+	case m <= 8:
+		return quarter[m]
+	case m <= 16:
+		return -quarter[16-m]
+	case m <= 24:
+		return -quarter[m-16]
+	default:
+		return quarter[32-m]
+	}
+}
+
+func init() { Register(imgDCT{}) }

@@ -1,0 +1,205 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// lispInt mirrors 130.li: a Lisp interpreter workload. Cons cells (two
+// words: car, cdr) live in a heap managed by a mark-sweep collector;
+// small integers are stored tagged (v<<2|1) and NIL is the zero word.
+// The frequent values are NIL, the mark bits, small tagged integers,
+// and recurring cell pointers — matching li's profile in the paper
+// (0, 1, 3, 4, small tags, and a few addresses).
+//
+// The paper's Table 4 shows li with the lowest constant-address
+// fraction (28.8%) of the FVL six: cells are recycled constantly with
+// fresh contents, which the GC's free-list reuse reproduces.
+type lispInt struct{}
+
+func (lispInt) Name() string     { return "lispint" }
+func (lispInt) Analogue() string { return "130.li" }
+func (lispInt) FVL() bool        { return true }
+func (lispInt) Description() string {
+	return "lisp list kernels (build/map/reverse/length) over cons cells with mark-sweep GC"
+}
+
+const (
+	lispNil uint32 = 0
+	// tag scheme: pointers are word-aligned (low bits 00); integers
+	// are v<<2|1; the GC mark uses a side bitmap.
+	intTag uint32 = 1
+)
+
+func mkInt(v uint32) uint32  { return v<<2 | intTag }
+func isInt(w uint32) bool    { return w&3 == intTag }
+func intVal(w uint32) uint32 { return w >> 2 }
+
+// lispHeap is a fixed arena of cons cells with a free list threaded
+// through cdr words and a mark bitmap, in the style of xlisp's
+// node segments.
+type lispHeap struct {
+	env   *memsim.Env
+	arena uint32 // cells: 2 words each
+	marks uint32 // one word per cell (0/1)
+	cells int
+	free  uint32 // head of free list (cell address), lispNil if empty
+
+	roots []uint32 // GC roots (list heads), managed by the interpreter
+}
+
+func newLispHeap(env *memsim.Env, cells int) *lispHeap {
+	h := &lispHeap{
+		env:   env,
+		arena: env.Static(cells * 2),
+		marks: env.Static(cells),
+		cells: cells,
+	}
+	h.buildFreeList()
+	return h
+}
+
+func (h *lispHeap) buildFreeList() {
+	h.free = lispNil
+	for i := h.cells - 1; i >= 0; i-- {
+		c := h.arena + uint32(i*8)
+		h.env.Store(c, lispNil)  // car
+		h.env.Store(c+4, h.free) // cdr threads the free list
+		h.free = c
+	}
+}
+
+func (h *lispHeap) cellIndex(c uint32) uint32 { return (c - h.arena) / 8 }
+
+// cons allocates a cell, collecting garbage when the free list is
+// empty.
+func (h *lispHeap) cons(car, cdr uint32) uint32 {
+	if h.free == lispNil {
+		h.collect()
+		if h.free == lispNil {
+			panic("lispint: heap exhausted even after GC")
+		}
+	}
+	c := h.free
+	h.free = h.env.Load(c + 4)
+	h.env.Store(c, car)
+	h.env.Store(c+4, cdr)
+	return c
+}
+
+func (h *lispHeap) car(c uint32) uint32 { return h.env.Load(c) }
+func (h *lispHeap) cdr(c uint32) uint32 { return h.env.Load(c + 4) }
+
+// collect is a classic mark-sweep pass: mark from roots, then sweep
+// unmarked cells back onto the free list.
+func (h *lispHeap) collect() {
+	// Mark phase (iterative via cdr, recursive via car depth is
+	// bounded because cars hold ints or short lists here).
+	var mark func(w uint32)
+	mark = func(w uint32) {
+		for w != lispNil && !isInt(w) {
+			idx := h.cellIndex(w)
+			if h.env.Load(h.marks+idx*4) != 0 {
+				return
+			}
+			h.env.Store(h.marks+idx*4, 1)
+			mark(h.car(w))
+			w = h.cdr(w)
+		}
+	}
+	for _, r := range h.roots {
+		mark(r)
+	}
+	// Sweep phase.
+	h.free = lispNil
+	for i := 0; i < h.cells; i++ {
+		mAddr := h.marks + uint32(i*4)
+		if h.env.Load(mAddr) != 0 {
+			h.env.Store(mAddr, 0)
+			continue
+		}
+		c := h.arena + uint32(i*8)
+		h.env.Store(c, lispNil)
+		h.env.Store(c+4, h.free)
+		h.free = c
+	}
+}
+
+func (l lispInt) Run(env *memsim.Env, scale Scale) {
+	iters := map[Scale]int{Test: 140, Train: 400, Ref: 1200}[scale]
+	r := newRNG(seedFor(l.Name(), scale))
+	cells := map[Scale]int{Test: 2048, Train: 3072, Ref: 4096}[scale]
+	h := newLispHeap(env, cells)
+
+	// buildList makes (n n-1 ... 1) as tagged ints. The partial list is
+	// kept rooted so a collection triggered mid-build cannot reclaim it.
+	buildList := func(n int) uint32 {
+		h.roots = append(h.roots, lispNil)
+		ri := len(h.roots) - 1
+		lst := lispNil
+		for i := 1; i <= n; i++ {
+			lst = h.cons(mkInt(uint32(i%8)), lst)
+			h.roots[ri] = lst
+		}
+		h.roots = h.roots[:ri]
+		return lst
+	}
+	length := func(lst uint32) uint32 {
+		n := uint32(0)
+		for lst != lispNil {
+			n++
+			lst = h.cdr(lst)
+		}
+		return n
+	}
+	reverse := func(lst uint32) uint32 {
+		out := lispNil
+		h.roots = append(h.roots, out)
+		for lst != lispNil {
+			out = h.cons(h.car(lst), out)
+			h.roots[len(h.roots)-1] = out
+			lst = h.cdr(lst)
+		}
+		h.roots = h.roots[:len(h.roots)-1]
+		return out
+	}
+	mapAdd := func(lst uint32, d uint32) uint32 {
+		out := lispNil
+		h.roots = append(h.roots, out)
+		for lst != lispNil {
+			v := h.car(lst)
+			if isInt(v) {
+				v = mkInt(intVal(v) + d)
+			}
+			out = h.cons(v, out)
+			h.roots[len(h.roots)-1] = out
+			lst = h.cdr(lst)
+		}
+		h.roots = h.roots[:len(h.roots)-1]
+		return out
+	}
+	sum := func(lst uint32) uint32 {
+		s := uint32(0)
+		for lst != lispNil {
+			if v := h.car(lst); isInt(v) {
+				s += intVal(v)
+			}
+			lst = h.cdr(lst)
+		}
+		return s
+	}
+
+	var sink uint32
+	for it := 0; it < iters; it++ {
+		n := 30 + r.intn(120)
+		lst := buildList(n)
+		h.roots = append(h.roots, lst)
+		rev := reverse(lst)
+		h.roots = append(h.roots, rev)
+		inc := mapAdd(rev, uint32(r.intn(3)))
+		h.roots = append(h.roots, inc)
+		sink += length(inc) + sum(inc) + length(lst)
+		// Drop all roots: the next cons after exhaustion collects.
+		h.roots = h.roots[:0]
+	}
+	_ = sink
+}
+
+func init() { Register(lispInt{}) }

@@ -1,0 +1,120 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// lzComp mirrors 129.compress — one of the paper's two control
+// programs with very little frequent value locality. It runs LZW
+// compression over moderately random text: the dictionary fills with
+// ever-growing, mostly distinct codes and the hash table's contents
+// churn, so no small value set dominates and addresses rarely hold
+// constant values (3.2% in the paper's Table 4).
+type lzComp struct{}
+
+func (lzComp) Name() string     { return "lzcomp" }
+func (lzComp) Analogue() string { return "129.compress" }
+func (lzComp) FVL() bool        { return false }
+func (lzComp) Description() string {
+	return "LZW compressor: churning dictionary hash with distinct growing codes (FVL control)"
+}
+
+func (l lzComp) Run(env *memsim.Env, scale Scale) {
+	passes := map[Scale]int{Test: 2, Train: 4, Ref: 9}[scale]
+	r := newRNG(seedFor(l.Name(), scale))
+
+	const inBytes = 64 << 10
+	input := env.Static(inBytes / 4)
+	const outWords = 16 << 10
+	output := env.Static(outWords)
+
+	// Dictionary: open addressing, 3 words per slot: (prefixCode<<8 |
+	// char) key, code, checksum.
+	const dictSlots = 16384
+	dict := env.Static(dictSlots * 3)
+
+	loadByte := func(i int) byte {
+		return byte(env.Load(input+uint32(i/4)*4) >> (uint32(i%4) * 8))
+	}
+	storeByte := func(i int, b byte) {
+		addr := input + uint32(i/4)*4
+		w := env.Load(addr)
+		shift := uint32(i%4) * 8
+		env.Store(addr, (w&^(0xff<<shift))|uint32(b)<<shift)
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		// Generate input: Markov-ish text with skewed byte frequencies
+		// (compressible but high-entropy values once packed).
+		prev := byte('a')
+		for i := 0; i < inBytes; i++ {
+			var b byte
+			switch r.intn(8) {
+			case 0, 1, 2:
+				b = prev // runs
+			case 3, 4:
+				b = byte('a' + r.intn(26))
+			case 5:
+				b = ' '
+			default:
+				b = byte(r.intn(256))
+			}
+			storeByte(i, b)
+			prev = b
+		}
+		// Clear dictionary.
+		for i := uint32(0); i < dictSlots*3; i++ {
+			env.Store(dict+i*4, 0)
+		}
+
+		nextCode := uint32(257)
+		outPos := 0
+		emit := func(code uint32) {
+			if outPos < outWords {
+				env.Store(output+uint32(outPos)*4, code)
+				outPos++
+			}
+		}
+
+		// LZW: current prefix code, extend with next char.
+		cur := uint32(loadByte(0)) + 1 // codes 1..256 are single bytes
+		for i := 1; i < inBytes; i++ {
+			ch := loadByte(i)
+			key := cur<<8 | uint32(ch)
+			slot := (key * 2654435761) % dictSlots
+			found := uint32(0)
+			for probe := 0; probe < 32; probe++ {
+				addr := dict + (slot%dictSlots)*12
+				k := env.Load(addr)
+				if k == key {
+					found = env.Load(addr + 4)
+					break
+				}
+				if k == 0 {
+					// Insert: a brand-new code every time — the value
+					// stream is a counter, hostile to a small FVT.
+					env.Store(addr, key)
+					env.Store(addr+4, nextCode)
+					env.Store(addr+8, key^nextCode)
+					nextCode++
+					break
+				}
+				slot++
+			}
+			if found != 0 {
+				cur = found
+			} else {
+				emit(cur)
+				cur = uint32(ch) + 1
+				if nextCode >= 60000 {
+					// Dictionary full: reset, like compress's CLEAR.
+					for j := uint32(0); j < dictSlots*3; j++ {
+						env.Store(dict+j*4, 0)
+					}
+					nextCode = 257
+				}
+			}
+		}
+		emit(cur)
+	}
+}
+
+func init() { Register(lzComp{}) }

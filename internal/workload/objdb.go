@@ -1,0 +1,145 @@
+package workload
+
+import "fvcache/internal/memsim"
+
+// objDB mirrors 147.vortex: an in-memory object database. Objects are
+// heap-allocated records with type tags, status enums and pointer
+// fields, indexed by a chained hash table; transactions insert, look
+// up, update and delete objects. Frequent values are zero (nil
+// pointers and cleared fields), small tags/enums, and hot index
+// pointers — vortex's profile in the paper's Table 1.
+type objDB struct{}
+
+func (objDB) Name() string     { return "objdb" }
+func (objDB) Analogue() string { return "147.vortex" }
+func (objDB) FVL() bool        { return true }
+func (objDB) Description() string {
+	return "object database: chained hash index over tagged records with insert/lookup/update/delete transactions"
+}
+
+// Record layout (8 words): id, type, status, next (hash chain),
+// payload[4].
+const (
+	recID     = 0
+	recType   = 4
+	recStatus = 8
+	recNext   = 12
+	recPay    = 16
+	recWords  = 8
+)
+
+// Status enums (small frequent values).
+const (
+	stFree    uint32 = 0
+	stActive  uint32 = 1
+	stUpdated uint32 = 2
+	stDeleted uint32 = 3
+)
+
+func (o objDB) Run(env *memsim.Env, scale Scale) {
+	txns := map[Scale]int{Test: 8000, Train: 24000, Ref: 80000}[scale]
+	r := newRNG(seedFor(o.Name(), scale))
+
+	const buckets = 1024
+	index := env.Static(buckets) // chain heads (pointers, many nil)
+	for i := uint32(0); i < buckets; i++ {
+		env.Store(index+i*4, 0)
+	}
+
+	bucketOf := func(id uint32) uint32 { return (id * 2654435761) % buckets }
+
+	insert := func(id, typ uint32) uint32 {
+		rec := env.Alloc(recWords)
+		env.Store(rec+recID, id)
+		env.Store(rec+recType, typ)
+		env.Store(rec+recStatus, stActive)
+		b := index + bucketOf(id)*4
+		env.Store(rec+recNext, env.Load(b))
+		env.Store(b, rec)
+		// Payload: two zero words, the type again, a small counter.
+		env.Store(rec+recPay, 0)
+		env.Store(rec+recPay+4, 0)
+		env.Store(rec+recPay+8, typ)
+		env.Store(rec+recPay+12, 1)
+		return rec
+	}
+
+	lookup := func(id uint32) uint32 {
+		p := env.Load(index + bucketOf(id)*4)
+		for p != 0 {
+			if env.Load(p+recID) == id {
+				return p
+			}
+			p = env.Load(p + recNext)
+		}
+		return 0
+	}
+
+	remove := func(id uint32) bool {
+		b := index + bucketOf(id)*4
+		p := env.Load(b)
+		var prev uint32
+		for p != 0 {
+			if env.Load(p+recID) == id {
+				next := env.Load(p + recNext)
+				if prev == 0 {
+					env.Store(b, next)
+				} else {
+					env.Store(prev+recNext, next)
+				}
+				env.Store(p+recStatus, stDeleted)
+				env.Free(p)
+				return true
+			}
+			prev, p = p, env.Load(p+recNext)
+		}
+		return false
+	}
+
+	// The database holds a bounded working set: past the cap, every
+	// insert is paired with a delete, so chains stay short and record
+	// slots are recycled (vortex's steady-state behaviour).
+	const maxLive = 1024
+	nextID := uint32(1)
+	live := make([]uint32, 0, maxLive) // ids, interpreter-side bookkeeping
+	for t := 0; t < txns; t++ {
+		switch op := r.intn(10); {
+		case (op < 4 || len(live) == 0) && len(live) < maxLive: // insert
+			id := nextID
+			nextID++
+			insert(id, uint32(1+r.intn(5)))
+			live = append(live, id)
+		case op < 8 && len(live) > 0: // lookup + touch payload
+			id := live[r.intn(len(live))]
+			if rec := lookup(id); rec != 0 {
+				// Read the whole record, as a query returning the
+				// object would.
+				_ = env.Load(rec + recType)
+				_ = env.Load(rec + recPay)
+				_ = env.Load(rec + recPay + 4)
+				_ = env.Load(rec + recPay + 8)
+				cnt := env.Load(rec + recPay + 12)
+				env.Store(rec+recPay+12, cnt+1)
+				env.Store(rec+recStatus, stUpdated)
+			}
+		default: // delete
+			i := r.intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			remove(id)
+		}
+		// Periodic scan transaction: walk a bucket chain, like vortex's
+		// iteration over object sets.
+		if t%16 == 0 {
+			p := env.Load(index + uint32(r.intn(buckets))*4)
+			for p != 0 {
+				_ = env.Load(p + recType)
+				_ = env.Load(p + recStatus)
+				p = env.Load(p + recNext)
+			}
+		}
+	}
+}
+
+func init() { Register(objDB{}) }

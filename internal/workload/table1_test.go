@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+)
+
+// The paper's Table 1 ties each benchmark to characteristic frequent
+// values. These regression tests pin our analogues to the same value
+// identities — the calibration EXPERIMENTS.md depends on. If a
+// workload change breaks one of these, the paper-shape results likely
+// shifted too.
+func topSet(t *testing.T, name string, k int) map[uint32]bool {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.NewValueHistogram()
+	env := memsim.NewEnv(h)
+	w.Run(env, Test)
+	set := map[uint32]bool{}
+	for _, vc := range h.TopK(k) {
+		set[vc.Value] = true
+	}
+	return set
+}
+
+func TestTable1GoboardValues(t *testing.T) {
+	top := topSet(t, "goboard", 7)
+	// 099.go's table: 0, 1, 2 (cells) and ffffffff (border sentinel).
+	for _, v := range []uint32{goEmpty, goBlack, goWhite, goBorder} {
+		if !top[v] {
+			t.Errorf("goboard top-7 missing %#x", v)
+		}
+	}
+}
+
+func TestTable1StrprocValues(t *testing.T) {
+	top := topSet(t, "strproc", 7)
+	// 134.perl's table is packed 'x'/space character words.
+	want := []uint32{0x20202020, 0x78787878}
+	for _, v := range want {
+		if !top[v] {
+			t.Errorf("strproc top-7 missing packed-char word %#x", v)
+		}
+	}
+}
+
+func TestTable1LispintValues(t *testing.T) {
+	top := topSet(t, "lispint", 7)
+	// 130.li: NIL (0) and the GC mark bit / tagged small ints.
+	if !top[lispNil] {
+		t.Error("lispint top-7 missing NIL (0)")
+	}
+	if !top[1] {
+		t.Error("lispint top-7 missing 1 (mark bit)")
+	}
+}
+
+func TestTable1CpusimValues(t *testing.T) {
+	top := topSet(t, "cpusim", 10)
+	// 124.m88ksim: 0, 1, and recurring instruction encodings.
+	if !top[0] || !top[1] {
+		t.Error("cpusim top-10 missing 0/1")
+	}
+	instr := false
+	for v := range top {
+		if v>>24 >= opLoadI && v>>24 <= opMul && v > 0xffff {
+			instr = true
+		}
+	}
+	if !instr {
+		t.Errorf("cpusim top-10 has no instruction encodings: %v", top)
+	}
+}
+
+func TestTable1ObjdbValues(t *testing.T) {
+	top := topSet(t, "objdb", 7)
+	// 147.vortex: zero plus small type/status tags.
+	for _, v := range []uint32{0, stActive, stUpdated} {
+		if !top[v] {
+			t.Errorf("objdb top-7 missing %#x", v)
+		}
+	}
+}
+
+func TestTable1CcompValues(t *testing.T) {
+	top := topSet(t, "ccomp", 7)
+	// 126.gcc: zero (NULL children/attrs) and small node kind tags.
+	if !top[0] {
+		t.Error("ccomp top-7 missing 0 (NULL)")
+	}
+	tags := 0
+	for _, k := range []uint32{kNum, kVar, kAdd, kSub, kMul, kNeg} {
+		if top[k] {
+			tags++
+		}
+	}
+	if tags < 2 {
+		t.Errorf("ccomp top-7 holds only %d node tags", tags)
+	}
+}
+
+// The controls must not have zero-dominated access streams.
+func TestTable1ControlsLackDominantValue(t *testing.T) {
+	for _, name := range []string{"lzcomp", "imgdct"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := trace.NewValueHistogram()
+		env := memsim.NewEnv(h)
+		w.Run(env, Test)
+		if cov := h.CoverageOfTopK(1); cov > 0.15 {
+			t.Errorf("%s top-1 coverage %.2f too high for a control", name, cov)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package workload provides the synthetic benchmark suite that stands
+// in for SPECint95/SPECfp95 in this reproduction (see DESIGN.md for the
+// substitution argument). Each workload is a self-contained program
+// written against the instrumented memsim.Env: its data structures live
+// in simulated memory and every load/store is traced, while scalar
+// temporaries stay in Go variables (modelling register-allocated
+// locals).
+//
+// The eight integer workloads mirror the eight SPECint95 programs the
+// paper studies — six with strong frequent value locality and two
+// controls without — and ten floating-point kernels mirror the
+// SPECfp95 suite of the paper's Figure 2.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"fvcache/internal/memsim"
+)
+
+// Scale selects an input size, mirroring SPEC's test/train/ref inputs.
+type Scale int
+
+const (
+	// Test is the smallest input.
+	Test Scale = iota
+	// Train is the intermediate input.
+	Train
+	// Ref is the reference input used for all headline results.
+	Ref
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Test:
+		return "test"
+	case Train:
+		return "train"
+	case Ref:
+		return "ref"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// ParseScale converts a name to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "test":
+		return Test, nil
+	case "train":
+		return Train, nil
+	case "ref":
+		return Ref, nil
+	}
+	return 0, fmt.Errorf("workload: unknown scale %q (want test, train or ref)", s)
+}
+
+// Workload is a runnable synthetic benchmark.
+type Workload interface {
+	// Name is the registry key, e.g. "goboard".
+	Name() string
+	// Analogue names the SPEC95 program this workload mirrors.
+	Analogue() string
+	// Description summarizes what the workload does.
+	Description() string
+	// FVL reports whether the SPEC analogue exhibits frequent value
+	// locality (false for the two control workloads).
+	FVL() bool
+	// Run executes the workload at the given scale against env.
+	Run(env *memsim.Env, scale Scale)
+}
+
+var registry = map[string]Workload{}
+
+// Register adds w to the registry; it panics on duplicate names (the
+// registry is populated from init functions).
+func Register(w Workload) {
+	if _, dup := registry[w.Name()]; dup {
+		panic("workload: duplicate registration of " + w.Name())
+	}
+	registry[w.Name()] = w
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// All returns every registered workload sorted by name.
+func All() []Workload {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Integer returns the integer-suite workloads (the SPECint95 mirrors),
+// sorted by name.
+func Integer() []Workload { return filter(func(w Workload) bool { return !isFP(w.Name()) }) }
+
+// FP returns the floating-point-suite workloads, sorted by name.
+func FP() []Workload { return filter(isFPW) }
+
+// FVLSuite returns the six integer workloads whose analogues exhibit
+// frequent value locality — the set the paper evaluates the FVC on.
+func FVLSuite() []Workload {
+	return filter(func(w Workload) bool { return w.FVL() && !isFP(w.Name()) })
+}
+
+func filter(keep func(Workload) bool) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if keep(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+var fpNames = map[string]bool{
+	"stencil2d": true, "meshgen": true, "mgrid3d": true, "linsolve": true,
+	"lattice4d": true, "hydro2d": true, "spectral3d": true,
+	"airadvect": true, "quadint": true, "particlewave": true,
+}
+
+func isFP(name string) bool { return fpNames[name] }
+func isFPW(w Workload) bool { return isFP(w.Name()) }
+
+// rng is a xorshift64* PRNG: deterministic, seedable, no external
+// state. All workload randomness flows through it.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// u32 returns a random 32-bit value.
+func (r *rng) u32() uint32 { return uint32(r.next() >> 32) }
+
+// f32 returns a float32 in [0,1).
+func (r *rng) f32() float32 { return float32(r.next()>>40) / float32(1<<24) }
+
+// seedFor derives a per-workload, per-scale seed so different inputs
+// exercise genuinely different data while staying deterministic.
+func seedFor(name string, scale Scale) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range name {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h ^ (uint64(scale+1) * 0x9e3779b97f4a7c15)
+}

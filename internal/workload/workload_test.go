@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"testing"
+
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry holds %d workloads, want 18", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name() >= all[i].Name() {
+			t.Errorf("All() not sorted: %q >= %q", all[i-1].Name(), all[i].Name())
+		}
+	}
+	if len(Integer()) != 8 {
+		t.Errorf("Integer suite has %d workloads, want 8", len(Integer()))
+	}
+	if len(FP()) != 10 {
+		t.Errorf("FP suite has %d workloads, want 10", len(FP()))
+	}
+	fvl := FVLSuite()
+	if len(fvl) != 6 {
+		t.Fatalf("FVL suite has %d workloads, want 6", len(fvl))
+	}
+	for _, w := range fvl {
+		if !w.FVL() || isFP(w.Name()) {
+			t.Errorf("FVLSuite contains %q (fvl=%v fp=%v)", w.Name(), w.FVL(), isFP(w.Name()))
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	w, err := Get("goboard")
+	if err != nil || w.Name() != "goboard" {
+		t.Errorf("Get(goboard) = %v, %v", w, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get of unknown workload must error")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	analogues := map[string]string{
+		"goboard": "099.go", "cpusim": "124.m88ksim", "ccomp": "126.gcc",
+		"lispint": "130.li", "strproc": "134.perl", "objdb": "147.vortex",
+		"lzcomp": "129.compress", "imgdct": "132.ijpeg",
+	}
+	for name, want := range analogues {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if w.Analogue() != want {
+			t.Errorf("%s.Analogue() = %q, want %q", name, w.Analogue(), want)
+		}
+		if w.Description() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	for _, name := range []string{"lzcomp", "imgdct"} {
+		w, _ := Get(name)
+		if w.FVL() {
+			t.Errorf("%s must be an FVL control (FVL()==false)", name)
+		}
+	}
+}
+
+func TestScaleParseAndString(t *testing.T) {
+	for _, s := range []Scale{Test, Train, Ref} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale of unknown scale must error")
+	}
+	if Scale(9).String() != "scale(9)" {
+		t.Errorf("unknown scale String = %q", Scale(9).String())
+	}
+}
+
+func runOnce(t *testing.T, w Workload, s Scale) (*trace.Counter, *trace.ValueHistogram) {
+	t.Helper()
+	var c trace.Counter
+	h := trace.NewValueHistogram()
+	env := memsim.NewEnv(trace.MultiSink(&c, h))
+	w.Run(env, s)
+	if env.FrameDepth() != 0 {
+		t.Errorf("%s leaked %d stack frames", w.Name(), env.FrameDepth())
+	}
+	return &c, h
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			c1, h1 := runOnce(t, w, Test)
+			c2, h2 := runOnce(t, w, Test)
+			if c1.Accesses() != c2.Accesses() {
+				t.Fatalf("access counts differ across runs: %d vs %d", c1.Accesses(), c2.Accesses())
+			}
+			t1, t2 := h1.TopK(5), h2.TopK(5)
+			for i := range t1 {
+				if t1[i] != t2[i] {
+					t.Errorf("top value %d differs: %v vs %v", i, t1[i], t2[i])
+				}
+			}
+		})
+	}
+}
+
+func TestScaleMonotonicity(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			cTest, _ := runOnce(t, w, Test)
+			cTrain, _ := runOnce(t, w, Train)
+			if cTest.Accesses() >= cTrain.Accesses() {
+				t.Errorf("test (%d) must be smaller than train (%d)",
+					cTest.Accesses(), cTrain.Accesses())
+			}
+		})
+	}
+}
+
+func TestFVLCharacteristics(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			_, h := runOnce(t, w, Test)
+			cov := h.CoverageOfTopK(10)
+			if w.FVL() && cov < 0.30 {
+				t.Errorf("%s is an FVL workload but top-10 coverage is only %.2f", w.Name(), cov)
+			}
+			if !w.FVL() && cov > 0.20 {
+				t.Errorf("%s is a control but top-10 coverage is %.2f", w.Name(), cov)
+			}
+		})
+	}
+}
+
+func TestAccessVolumes(t *testing.T) {
+	// Every workload must generate a meaningful trace at Test scale
+	// (enough to exercise caches) without being gigantic.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			c, _ := runOnce(t, w, Test)
+			if c.Accesses() < 20_000 {
+				t.Errorf("%s generates only %d accesses at test scale", w.Name(), c.Accesses())
+			}
+			if c.Accesses() > 5_000_000 {
+				t.Errorf("%s generates %d accesses at test scale (too heavy)", w.Name(), c.Accesses())
+			}
+		})
+	}
+}
+
+func TestGoBoardCellValues(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	goBoard{}.Run(env, Test)
+	// The board is the first static allocation: 21x21 words.
+	const dim = 21
+	for i := 0; i < dim*dim; i++ {
+		v := env.Mem.LoadWord(memsim.StaticBase + uint32(i*4))
+		switch v {
+		case goEmpty, goBlack, goWhite, goBorder:
+		default:
+			t.Fatalf("board cell %d holds unexpected value %#x", i, v)
+		}
+	}
+}
+
+func TestCPUSimExecutesSieve(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	cpuSim{}.Run(env, Test)
+	// Static layout: imem (len(prog) words), regs (16), rom.
+	prog := sieveProgram()
+	regs := memsim.StaticBase + uint32(len(prog)*4)
+	rom := regs + 16*4
+	n := 1500 // Test scale sieve size
+	// The final checksum in r6 is the number of composites below n
+	// plus the sum of the read-only image; verify against a direct
+	// computation (the rw segment itself is freed and scrubbed).
+	composite := make([]bool, n)
+	for i := 2; i*i < n; i++ {
+		if !composite[i] {
+			for j := i * i; j < n; j += i {
+				composite[j] = true
+			}
+		}
+	}
+	want := uint32(0)
+	for i := 0; i < n; i++ {
+		if composite[i] {
+			want++
+		}
+	}
+	for i := 0; i < n*romFactor; i++ {
+		want += env.Mem.LoadWord(rom + uint32(i*4))
+	}
+	if got := env.Mem.LoadWord(regs + 6*4); got != want {
+		t.Errorf("checksum r6 = %d, want %d", got, want)
+	}
+	// The rw segment must have been freed every pass (no leaks).
+	if env.HeapLive() != 0 {
+		t.Errorf("cpusim leaked %d heap blocks", env.HeapLive())
+	}
+}
+
+func TestLispHeapGCReclaims(t *testing.T) {
+	env := memsim.NewEnv(nil)
+	h := newLispHeap(env, 64)
+	// Fill the heap with garbage (unrooted cells), then cons with a
+	// root: GC must reclaim and succeed.
+	for i := 0; i < 63; i++ {
+		h.cons(mkInt(1), lispNil)
+	}
+	lst := h.cons(mkInt(2), lispNil)
+	h.roots = []uint32{lst}
+	for i := 0; i < 200; i++ { // far more than capacity: GC must cycle
+		h.cons(mkInt(3), lispNil)
+	}
+	if got := h.car(lst); got != mkInt(2) {
+		t.Errorf("rooted cell corrupted: car = %#x", got)
+	}
+}
+
+func TestLispTagScheme(t *testing.T) {
+	if !isInt(mkInt(5)) || intVal(mkInt(5)) != 5 {
+		t.Error("int tagging roundtrip broken")
+	}
+	if isInt(lispNil) {
+		t.Error("NIL must not look like an int")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed must be remapped to a nonzero state")
+	}
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		if f := r.f32(); f < 0 || f >= 1 {
+			t.Fatalf("f32 out of range: %v", f)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Error("intn(0) must return 0")
+	}
+}
+
+func TestSeedForDiffersByScaleAndName(t *testing.T) {
+	if seedFor("a", Test) == seedFor("a", Ref) {
+		t.Error("seeds must differ by scale")
+	}
+	if seedFor("a", Test) == seedFor("b", Test) {
+		t.Error("seeds must differ by name")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	Register(goBoard{})
+}
+
+func TestICos(t *testing.T) {
+	// Period-32 symmetry: icos(m) == icos(m+32), icos(16-m) == -icos(m).
+	for m := 0; m < 32; m++ {
+		if icos(m) != icos(m+32) {
+			t.Errorf("icos period broken at %d", m)
+		}
+	}
+	if icos(0) != 64 || icos(8) != 0 || icos(16) != -64 {
+		t.Errorf("icos anchors: %d %d %d", icos(0), icos(8), icos(16))
+	}
+}
