@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test check fuzz vet fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the full robustness gate (see ROADMAP.md "Tier-1 verify"):
+# vet, build, the race-enabled test suite, and a short fuzz smoke run
+# over the hardened trace reader.
+check: vet build
+	$(GO) test -race ./...
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
+
+fuzz:
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=60s
+
+fmt:
+	gofmt -w .

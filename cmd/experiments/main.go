@@ -6,23 +6,33 @@
 //	experiments                  # everything, reference inputs
 //	experiments -only fig13      # one artifact
 //	experiments -scale train     # smaller inputs
-//	experiments -out results/    # one file per artifact
+//	experiments -out results/    # one file per artifact, resumable
+//
+// The sweep is fault tolerant: a failing artifact is reported in the
+// final summary (with its recovered stack trace, if it panicked) while
+// the remaining artifacts still complete, and the binary exits
+// non-zero. In -out mode a checkpoint manifest lets an interrupted
+// sweep resume where it left off.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
-	"time"
 
 	"fvcache/internal/experiments"
+	"fvcache/internal/harness"
 	"fvcache/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
 		only      = flag.String("only", "", "comma-separated artifact ids (default: all)")
@@ -30,6 +40,8 @@ func main() {
 		outDir    = flag.String("out", "", "write one file per artifact into this directory")
 		markdown  = flag.Bool("md", false, "render tables as Markdown")
 		list      = flag.Bool("list", false, "list artifacts and exit")
+		resume    = flag.Bool("resume", true, "with -out: skip artifacts the checkpoint manifest records as done")
+		timeout   = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	)
 	flag.Parse()
 
@@ -37,12 +49,12 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
-		return
+		return harness.ExitOK
 	}
 
 	scale, err := workload.ParseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	var todo []experiments.Experiment
 	if *only == "" {
@@ -51,44 +63,56 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			e, err := experiments.Get(strings.TrimSpace(id))
 			if err != nil {
-				fatal(err)
+				return usage(err)
 			}
 			todo = append(todo, e)
 		}
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return harness.ExitFailure
 		}
 	}
+
+	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	defer cancel()
 
 	opt := experiments.Options{Scale: scale, Workers: *workers, Markdown: *markdown}
+	tasks := make([]harness.Task, 0, len(todo))
 	for _, e := range todo {
-		start := time.Now()
-		var out io.Writer = os.Stdout
-		var f *os.File
-		if *outDir != "" {
-			var err error
-			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
-			if err != nil {
-				fatal(err)
-			}
-			out = f
-		}
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Title)
-		fmt.Fprintf(out, "== %s: %s == (scale=%s)\n\n", e.ID, e.Title, scale)
-		if err := e.Run(opt, out); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
-		fmt.Fprintln(out)
-		if f != nil {
-			f.Close()
-		}
-		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Truncate(time.Millisecond))
+		e := e
+		tasks = append(tasks, harness.Task{
+			ID:    e.ID,
+			Title: e.Title,
+			Run: func(ctx context.Context, out io.Writer) error {
+				o := opt
+				o.Ctx = ctx
+				fmt.Fprintf(out, "== %s: %s == (scale=%s)\n\n", e.ID, e.Title, scale)
+				if err := e.Run(o, out); err != nil {
+					return err
+				}
+				_, err := fmt.Fprintln(out)
+				return err
+			},
+		})
 	}
+
+	summary := harness.RunSweep(ctx, tasks, harness.SweepOptions{
+		OutDir: *outDir,
+		Key:    fmt.Sprintf("scale=%s md=%v", scale, *markdown),
+		Resume: *resume,
+		Stdout: os.Stdout,
+		Log:    os.Stderr,
+	})
+	summary.Print(os.Stderr)
+	if !summary.OK() {
+		return harness.ExitFailure
+	}
+	return harness.ExitOK
 }
 
-func fatal(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return harness.ExitUsage
 }

@@ -8,10 +8,13 @@
 //
 // With -fvc-entries 0 and -victim 0 it simulates a plain main cache.
 // The frequent value table is filled by a profiling pre-pass over the
-// same workload and input.
+// same workload and input. With -audit N the simulator re-checks the
+// hierarchy's structural invariants every N accesses and aborts with a
+// diagnostic if one is violated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +23,17 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/energy"
 	"fvcache/internal/fvc"
+	"fvcache/internal/harness"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		wlName     = flag.String("workload", "goboard", "workload name (see -list)")
 		scaleName  = flag.String("scale", "ref", "input scale: test, train or ref")
@@ -36,9 +44,11 @@ func main() {
 		fvcBits    = flag.Int("fvc-bits", 3, "FVC code bits (1..3: top 1/3/7 values)")
 		victim     = flag.Int("victim", 0, "victim cache entries (0 = none)")
 		verify     = flag.Bool("verify", false, "enable value-verification asserts")
+		audit      = flag.Uint64("audit", 0, "audit hierarchy invariants every N accesses (0 = off)")
 		list       = flag.Bool("list", false, "list workloads and exit")
 		fvtMode    = flag.String("fvt", "profiled", "FVT selection: profiled (pre-pass) or online (Space-Saving sketch)")
 		showEnergy = flag.Bool("energy", false, "print an energy estimate (0.8um model)")
+		timeout    = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	)
 	flag.Parse()
 
@@ -48,16 +58,16 @@ func main() {
 			t.AddRow(w.Name(), w.Analogue(), fmt.Sprint(w.FVL()), w.Description())
 		}
 		t.Render(os.Stdout)
-		return
+		return harness.ExitOK
 	}
 
 	w, err := workload.Get(*wlName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	scale, err := workload.ParseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	cfg := core.Config{
 		Main:          cache.Params{SizeBytes: *size, LineBytes: *line, Assoc: *assoc},
@@ -78,19 +88,32 @@ func main() {
 			}
 			fmt.Println()
 		default:
-			fatal(fmt.Errorf("unknown -fvt mode %q (want profiled or online)", *fvtMode))
+			return usage(fmt.Errorf("unknown -fvt mode %q (want profiled or online)", *fvtMode))
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return usage(err)
 	}
 
-	res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{
-		VerifyValues: *verify,
-		SampleEvery:  100_000,
+	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	defer cancel()
+
+	var res sim.MeasureResult
+	err = harness.Run(ctx, func(ctx context.Context) error {
+		var merr error
+		res, merr = sim.Measure(w, scale, cfg, sim.MeasureOptions{
+			VerifyValues: *verify,
+			SampleEvery:  100_000,
+			AuditEvery:   *audit,
+		})
+		return merr
 	})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "fvcsim:", err)
+		if stack := harness.StackOf(err); stack != nil {
+			fmt.Fprintf(os.Stderr, "%s", stack)
+		}
+		return harness.ExitFailure
 	}
 	st := res.Stats
 
@@ -120,9 +143,10 @@ func main() {
 		t.AddRow("energy", fmt.Sprintf("%.2f uJ (off-chip %.2f uJ)", est.TotalNJ()/1000, est.OffChipNJ/1000))
 	}
 	t.Render(os.Stdout)
+	return harness.ExitOK
 }
 
-func fatal(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "fvcsim:", err)
-	os.Exit(1)
+	return harness.ExitUsage
 }

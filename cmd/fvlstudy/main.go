@@ -6,51 +6,91 @@
 //	fvlstudy                 # full study on reference inputs
 //	fvlstudy -scale test     # quick pass on small inputs
 //	fvlstudy -only tab4,fig1 # selected artifacts
+//
+// A failing artifact is reported in the final summary while the rest
+// of the study still completes; the binary then exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"fvcache/internal/experiments"
+	"fvcache/internal/harness"
 	"fvcache/internal/workload"
 )
 
 var studyIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "tab4"}
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
 		only      = flag.String("only", "", "comma-separated artifact ids (default: all of section 2)")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		timeout   = flag.Duration("timeout", 0, "abort the study after this duration (0 = none)")
 	)
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return usage(err)
 	}
 	ids := studyIDs
 	if *only != "" {
 		ids = strings.Split(*only, ",")
 	}
-	opt := experiments.Options{Scale: scale, Workers: *workers}
+	var todo []experiments.Experiment
 	for _, id := range ids {
 		e, err := experiments.Get(strings.TrimSpace(id))
 		if err != nil {
-			fatal(err)
+			return usage(err)
 		}
-		fmt.Printf("== %s: %s ==\n\n", e.ID, e.Title)
-		if err := e.Run(opt, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
-		fmt.Println()
+		todo = append(todo, e)
 	}
+
+	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	defer cancel()
+
+	opt := experiments.Options{Scale: scale, Workers: *workers}
+	tasks := make([]harness.Task, 0, len(todo))
+	for _, e := range todo {
+		e := e
+		tasks = append(tasks, harness.Task{
+			ID:    e.ID,
+			Title: e.Title,
+			Run: func(ctx context.Context, out io.Writer) error {
+				o := opt
+				o.Ctx = ctx
+				fmt.Fprintf(out, "== %s: %s ==\n\n", e.ID, e.Title)
+				if err := e.Run(o, out); err != nil {
+					return err
+				}
+				_, err := fmt.Fprintln(out)
+				return err
+			},
+		})
+	}
+
+	summary := harness.RunSweep(ctx, tasks, harness.SweepOptions{
+		Stdout: os.Stdout,
+		Log:    os.Stderr,
+	})
+	summary.Print(os.Stderr)
+	if !summary.OK() {
+		return harness.ExitFailure
+	}
+	return harness.ExitOK
 }
 
-func fatal(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "fvlstudy:", err)
-	os.Exit(1)
+	return harness.ExitUsage
 }

@@ -7,15 +7,20 @@
 //	tracegen -workload ccomp -scale test -o ccomp.fvt     # record
 //	tracegen -stats ccomp.fvt                             # inspect
 //	tracegen -replay ccomp.fvt -size 16384 -line 32       # simulate
+//
+// A corrupt trace file is reported with the byte offset and event
+// index of the damage instead of crashing the process.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"fvcache/internal/cache"
 	"fvcache/internal/core"
+	"fvcache/internal/harness"
 	"fvcache/internal/memsim"
 	"fvcache/internal/report"
 	"fvcache/internal/trace"
@@ -23,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		wlName    = flag.String("workload", "", "workload to record")
 		scaleName = flag.String("scale", "test", "input scale: test, train or ref")
@@ -32,26 +41,33 @@ func main() {
 		size      = flag.Int("size", 16<<10, "replay: main cache size in bytes")
 		line      = flag.Int("line", 32, "replay: line size in bytes")
 		assoc     = flag.Int("assoc", 1, "replay: associativity")
+		timeout   = flag.Duration("timeout", 0, "abort the command after this duration (0 = none)")
 	)
 	flag.Parse()
 
+	var cmd func() error
 	switch {
 	case *statsPath != "":
-		if err := statsCmd(*statsPath); err != nil {
-			fatal(err)
-		}
+		cmd = func() error { return statsCmd(*statsPath) }
 	case *replay != "":
-		if err := replayCmd(*replay, *size, *line, *assoc); err != nil {
-			fatal(err)
-		}
+		cmd = func() error { return replayCmd(*replay, *size, *line, *assoc) }
 	case *wlName != "":
-		if err := recordCmd(*wlName, *scaleName, *outPath); err != nil {
-			fatal(err)
-		}
+		cmd = func() error { return recordCmd(*wlName, *scaleName, *outPath) }
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return harness.ExitUsage
 	}
+
+	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	defer cancel()
+	if err := harness.Run(ctx, func(context.Context) error { return cmd() }); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		if stack := harness.StackOf(err); stack != nil {
+			fmt.Fprintf(os.Stderr, "%s", stack)
+		}
+		return harness.ExitFailure
+	}
+	return harness.ExitOK
 }
 
 func recordCmd(wlName, scaleName, outPath string) error {
@@ -144,9 +160,4 @@ func replayCmd(path string, size, line, assoc int) error {
 	fmt.Printf("%s over %s: accesses=%d misses=%d missrate=%.4f%% traffic=%dB\n",
 		path, sys.Config().Main, st.Accesses(), st.Misses, st.MissRate()*100, st.TrafficBytes())
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// auditWorkload drives s with a mixed random workload so caches and
+// FVC hold real state by the time the audit runs.
+func auditWorkload(s *System, n int) {
+	rng := rand.New(rand.NewSource(7))
+	vals := append([]uint32{}, paperValues...)
+	vals = append(vals, 0xdeadbeef, 123456)
+	mem := map[uint32]uint32{}
+	for i := 0; i < n; i++ {
+		addr := uint32(rng.Intn(64)) * 4
+		if rng.Intn(2) == 0 {
+			v := vals[rng.Intn(len(vals))]
+			s.Access(trace.Store, addr, v)
+			mem[addr] = v
+		} else {
+			s.Access(trace.Load, addr, mem[addr])
+		}
+	}
+}
+
+func TestAuditCleanSystemPasses(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"dmc", Config{Main: smallDMC(), VerifyValues: true}},
+		{"fvc", Config{
+			Main:           smallDMC(),
+			FVC:            &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+			FrequentValues: paperValues,
+			VerifyValues:   true,
+		}},
+		{"victim", Config{Main: smallDMC(), VictimEntries: 2, VerifyValues: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MustNew(tc.cfg)
+			auditWorkload(s, 2000)
+			if err := s.AuditInvariants(); err != nil {
+				t.Errorf("clean system fails audit: %v", err)
+			}
+		})
+	}
+}
+
+// fvcWithEntry returns a system whose FVC holds the (all-zero) line at
+// 0x1000, along with that line's FVC line address.
+func fvcWithEntry(t *testing.T, vals []uint32) (*System, uint32) {
+	t.Helper()
+	s := MustNew(Config{
+		Main:           smallDMC(),
+		FVC:            &fvc.Params{Entries: 4, LineBytes: 16, Bits: 3},
+		FrequentValues: vals,
+	})
+	s.Access(trace.Load, 0x1000, 0) // fetch the line
+	s.Access(trace.Load, 0x1040, 0) // conflict: evict it, footprint -> FVC
+	la := s.FVC().LineAddr(0x1000)
+	if !s.FVC().Lookup(0x1000).TagMatch {
+		t.Fatal("setup: FVC does not hold line 0x1000")
+	}
+	if err := s.AuditInvariants(); err != nil {
+		t.Fatalf("setup: fresh system fails audit: %v", err)
+	}
+	return s, la
+}
+
+func TestAuditDetectsUnassignedCode(t *testing.T) {
+	// A 3-value table assigns codes 0-2; code 5 is neither assigned nor
+	// the escape (7), i.e. a bit flip landed in the dead code space.
+	s, la := fvcWithEntry(t, paperValues[:3])
+	if !s.FVC().CorruptCode(la, 1, 5) {
+		t.Fatal("CorruptCode found no entry")
+	}
+	err := s.AuditInvariants()
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("audit = %v, want *AuditError", err)
+	}
+	if !strings.Contains(err.Error(), "fvc-code-validity") {
+		t.Errorf("audit error does not name fvc-code-validity:\n%v", err)
+	}
+}
+
+func TestAuditDetectsWrongCode(t *testing.T) {
+	// Code 1 is assigned (decodes to 0xffffffff) but the replica word
+	// is 0: a flip to another valid code is caught by value consistency.
+	s, la := fvcWithEntry(t, paperValues)
+	if !s.FVC().CorruptCode(la, 0, 1) {
+		t.Fatal("CorruptCode found no entry")
+	}
+	err := s.AuditInvariants()
+	if err == nil || !strings.Contains(err.Error(), "fvc-value-consistency") {
+		t.Errorf("audit = %v, want fvc-value-consistency violation", err)
+	}
+}
+
+func TestAuditDetectsCorruptReplica(t *testing.T) {
+	s, _ := fvcWithEntry(t, paperValues)
+	s.CorruptReplicaWord(0x1008, 0xdead)
+	err := s.AuditInvariants()
+	if err == nil || !strings.Contains(err.Error(), "fvc-value-consistency") {
+		t.Errorf("audit = %v, want fvc-value-consistency violation", err)
+	}
+}
+
+func TestAuditDetectsExclusivityViolation(t *testing.T) {
+	s, _ := fvcWithEntry(t, paperValues)
+	// Force the line into the main cache behind the protocol's back.
+	s.Main().Insert(0x1000, false)
+	if !s.CachedInBoth(0x1000) {
+		t.Fatal("setup: line not readable from both structures")
+	}
+	err := s.AuditInvariants()
+	if err == nil || !strings.Contains(err.Error(), "dmc-fvc-exclusivity") {
+		t.Errorf("audit = %v, want dmc-fvc-exclusivity violation", err)
+	}
+}
+
+func TestAuditErrorListsEveryViolation(t *testing.T) {
+	s, la := fvcWithEntry(t, paperValues)
+	s.FVC().CorruptCode(la, 0, 1)
+	s.FVC().CorruptCode(la, 2, 3)
+	err := s.AuditInvariants()
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("audit = %v, want *AuditError", err)
+	}
+	if len(ae.Violations) != 2 {
+		t.Errorf("violations = %d, want 2:\n%v", len(ae.Violations), err)
+	}
+	if !strings.Contains(err.Error(), "2 violation(s)") {
+		t.Errorf("error does not state the violation count:\n%v", err)
+	}
+}
+
+func TestVerifyValuesPanicsTyped(t *testing.T) {
+	// The access-path asserts throw *VerificationError so the harness
+	// can recover them into ordinary errors.
+	t.Run("load-event", func(t *testing.T) {
+		s := MustNew(Config{Main: smallDMC(), VerifyValues: true})
+		s.Access(trace.Store, 0x1000, 42)
+		defer func() {
+			ve, ok := recover().(*VerificationError)
+			if !ok {
+				t.Fatalf("recover = %v, want *VerificationError", ve)
+			}
+			if ve.Where != "load-event" || ve.Addr != 0x1000 {
+				t.Errorf("VerificationError = %+v", ve)
+			}
+		}()
+		s.Access(trace.Load, 0x1000, 43) // event value disagrees with replica
+	})
+	t.Run("fvc-decode", func(t *testing.T) {
+		s, la := fvcWithEntry(t, paperValues)
+		s.cfg.VerifyValues = true
+		s.FVC().CorruptCode(la, 0, 1) // decodes to 0xffffffff, replica holds 0
+		defer func() {
+			ve, ok := recover().(*VerificationError)
+			if !ok {
+				t.Fatalf("recover = %v, want *VerificationError", ve)
+			}
+			if ve.Where != "fvc-decode" || ve.Got != 0xffffffff {
+				t.Errorf("VerificationError = %+v", ve)
+			}
+		}()
+		s.Access(trace.Load, 0x1000, 0)
+	})
+}
+
+func TestAuditStatsConservation(t *testing.T) {
+	s := MustNew(Config{Main: smallDMC()})
+	auditWorkload(s, 500)
+	s.stats.Misses++ // lose a hit/miss classification
+	err := s.AuditInvariants()
+	if err == nil || !strings.Contains(err.Error(), "stats-conservation") {
+		t.Errorf("audit = %v, want stats-conservation violation", err)
+	}
+}

@@ -286,6 +286,9 @@ func (s *System) Stats() Stats { return s.stats }
 // Config returns the configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Main returns the main cache (for the invariant audit and tests).
+func (s *System) Main() *cache.Cache { return s.main }
+
 // FVC returns the attached frequent value cache, or nil.
 func (s *System) FVC() *fvc.FVC { return s.fv }
 
@@ -317,8 +320,7 @@ func (s *System) Access(op trace.Op, addr, value uint32) HitSource {
 		s.stats.Loads++
 		if s.cfg.VerifyValues {
 			if got := s.mem.LoadWord(addr); got != value {
-				panic(fmt.Sprintf("core: load event value %#x disagrees with replica %#x at %#x",
-					value, got, addr))
+				panic(&VerificationError{Where: "load-event", Addr: addr, Want: value, Got: got})
 			}
 		}
 	}
@@ -378,8 +380,7 @@ func (s *System) accessWithFVC(store bool, addr, value uint32) HitSource {
 		if !store && p.WordFrequent {
 			if s.cfg.VerifyValues {
 				if got := s.mem.LoadWord(addr); got != p.Value {
-					panic(fmt.Sprintf("core: FVC decoded %#x but memory holds %#x at %#x",
-						p.Value, got, addr))
+					panic(&VerificationError{Where: "fvc-decode", Addr: addr, Want: got, Got: p.Value})
 				}
 			}
 			return FVCHit

@@ -13,12 +13,12 @@ import (
 )
 
 // missPct measures the miss rate (in %) of cfg on w.
-func missPct(w workload.Workload, scale workload.Scale, cfg core.Config) float64 {
+func missPct(w workload.Workload, scale workload.Scale, cfg core.Config) (float64, error) {
 	res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{})
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("measuring %s: %w", w.Name(), err)
 	}
-	return res.Stats.MissRate() * 100
+	return res.Stats.MissRate() * 100, nil
 }
 
 // withFVC attaches an FVC of the given geometry to a main cache,
@@ -36,7 +36,10 @@ func withFVC(w workload.Workload, scale workload.Scale, main cache.Params, entri
 func runFig10(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
 	entries := []int{64, 128, 256, 512, 1024, 2048, 4096}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 
 	type job struct {
 		wi, ei int // ei == -1 is the baseline
@@ -48,7 +51,7 @@ func runFig10(opt Options, out io.Writer) error {
 			jobs = append(jobs, job{wi, ei})
 		}
 	}
-	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
 		j := jobs[i]
 		w := suite[j.wi]
 		if j.ei < 0 {
@@ -56,6 +59,9 @@ func runFig10(opt Options, out io.Writer) error {
 		}
 		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, entries[j.ei], 3))
 	})
+	if err != nil {
+		return err
+	}
 
 	header := []string{"benchmark", "DMC miss%"}
 	for _, e := range entries {
@@ -83,15 +89,18 @@ func runFig10(opt Options, out io.Writer) error {
 
 func runFig11(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Figure 11: frequent value content of a 512-entry FVC (16KB DMC, 8wpl, 7 values)",
 		"benchmark", "% frequent codes in valid lines", "FVC occupancy", "effective compression vs DMC")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		cfg := withFVC(w, opt.Scale, main, 512, 3)
 		res, err := sim.Measure(w, opt.Scale, cfg, sim.MeasureOptions{SampleEvery: occInterval(opt.Scale) / 4})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		// A 32-byte DMC line compresses to 3 bytes of codes; scaled by
 		// the frequent fraction this is the paper's 32/3 × frac factor.
@@ -101,8 +110,11 @@ func runFig11(opt Options, out io.Writer) error {
 			report.Pct(res.FVCFreqFrac),
 			report.Pct(res.FVCOccupancy),
 			report.F2(factor) + "x",
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("paper: most programs hold >40%% frequent values, giving ~4.27x less storage than a DMC for the cached values")
 	render(opt, out, t)
@@ -115,7 +127,10 @@ func runFig12(opt Options, out io.Writer) error {
 	sizesKB := []int{8, 16, 32, 64}
 	lines := []int{16, 32, 64}
 	bitsList := []int{1, 2, 3} // top 1, 3, 7 values
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 
 	type cfgKey struct{ szKB, line int }
 	var cfgs []cfgKey
@@ -137,7 +152,7 @@ func runFig12(opt Options, out io.Writer) error {
 			}
 		}
 	}
-	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
 		j := jobs[i]
 		w := suite[j.wi]
 		main := cache.Params{SizeBytes: cfgs[j.ci].szKB << 10, LineBytes: cfgs[j.ci].line, Assoc: 1}
@@ -146,6 +161,9 @@ func runFig12(opt Options, out io.Writer) error {
 		}
 		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, bitsList[j.bi]))
 	})
+	if err != nil {
+		return err
+	}
 
 	k := 0
 	for _, w := range suite {
@@ -195,24 +213,30 @@ func runFig13(opt Options, out io.Writer) error {
 					line, fvc.MaxValues(bits)),
 				"benchmark",
 				"4KB+FVC", "8KB", "8KB+FVC", "16KB", "16KB+FVC", "32KB", "32KB+FVC", "64KB")
-			type pair struct{ aug, dbl float64 }
-			rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+			rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 				w, err := workload.Get(suite[i])
 				if err != nil {
-					panic(err)
+					return nil, err
 				}
 				row := []string{label(w)}
 				for _, szKB := range sizesKB {
 					small := cache.Params{SizeBytes: szKB << 10, LineBytes: line, Assoc: 1}
 					double := cache.Params{SizeBytes: (szKB * 2) << 10, LineBytes: line, Assoc: 1}
-					p := pair{
-						aug: missPct(w, opt.Scale, withFVC(w, opt.Scale, small, 512, bits)),
-						dbl: missPct(w, opt.Scale, core.Config{Main: double}),
+					aug, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, small, 512, bits))
+					if err != nil {
+						return nil, err
 					}
-					row = append(row, report.F3(p.aug), report.F3(p.dbl))
+					dbl, err := missPct(w, opt.Scale, core.Config{Main: double})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, report.F3(aug), report.F3(dbl))
 				}
-				return row
+				return row, nil
 			})
+			if err != nil {
+				return err
+			}
 			t.Rows = rows
 			if line == 32 && bits == 3 {
 				for _, name := range suite {
@@ -232,7 +256,10 @@ func runFig13(opt Options, out io.Writer) error {
 // --- Figure 14: set-associative main caches ---
 
 func runFig14(opt Options, out io.Writer) error {
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	assocs := []int{1, 2, 4}
 	type job struct {
 		wi, ai int
@@ -244,7 +271,7 @@ func runFig14(opt Options, out io.Writer) error {
 			jobs = append(jobs, job{wi, ai, false}, job{wi, ai, true})
 		}
 	}
-	res := sim.ParallelMap(len(jobs), opt.Workers, func(i int) float64 {
+	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
 		j := jobs[i]
 		w := suite[j.wi]
 		main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: assocs[j.ai]}
@@ -253,6 +280,9 @@ func runFig14(opt Options, out io.Writer) error {
 		}
 		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
 	})
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Figure 14: % miss-rate reduction from a 512-entry FVC vs main-cache associativity (16KB, 8wpl, 7 values)",
 		"benchmark", "DM miss%", "DM reduction", "2-way miss%", "2-way reduction", "4-way miss%", "4-way reduction")
 	k := 0
@@ -275,23 +305,40 @@ func runFig14(opt Options, out io.Writer) error {
 
 func runFig15(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	type row struct {
 		base, vcEq, fvcEq, vcTime, fvcTime float64
 	}
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) row {
+	rows, err := pmap(opt, len(suite), func(i int) (row, error) {
 		w := suite[i]
-		return row{
-			base: missPct(w, opt.Scale, core.Config{Main: main}),
+		var r row
+		for _, m := range []struct {
+			dst *float64
+			cfg core.Config
+		}{
+			{&r.base, core.Config{Main: main}},
 			// Equal area: 16-entry VC vs 128-entry FVC (paper's sizing
 			// including tags).
-			vcEq:  missPct(w, opt.Scale, core.Config{Main: main, VictimEntries: 16}),
-			fvcEq: missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 128, 3)),
+			{&r.vcEq, core.Config{Main: main, VictimEntries: 16}},
+			{&r.fvcEq, withFVC(w, opt.Scale, main, 128, 3)},
 			// Equal access time: 4-entry VC (9ns) vs 512-entry FVC (6ns).
-			vcTime:  missPct(w, opt.Scale, core.Config{Main: main, VictimEntries: 4}),
-			fvcTime: missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3)),
+			{&r.vcTime, core.Config{Main: main, VictimEntries: 4}},
+			{&r.fvcTime, withFVC(w, opt.Scale, main, 512, 3)},
+		} {
+			v, err := missPct(w, opt.Scale, m.cfg)
+			if err != nil {
+				return row{}, err
+			}
+			*m.dst = v
 		}
+		return r, nil
 	})
+	if err != nil {
+		return err
+	}
 	ta := report.NewTable("Figure 15a: equal area — 16-entry VC vs 128-entry FVC (4KB DMC, 8wpl)",
 		"benchmark", "DMC miss%", "VC reduction", "FVC reduction")
 	tb := report.NewTable("Figure 15b: equal access time — 4-entry VC vs 512-entry FVC (4KB DMC, 8wpl)",

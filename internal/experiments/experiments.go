@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
+	"fvcache/internal/harness"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/workload"
@@ -25,10 +27,31 @@ type Options struct {
 	// Markdown renders tables as GitHub-flavored Markdown instead of
 	// aligned text.
 	Markdown bool
+	// Ctx cancels in-flight simulation fan-out (nil means Background).
+	// The cmd binaries wire their -timeout / SIGINT context here.
+	Ctx context.Context
 }
 
 // DefaultOptions runs on reference inputs with full parallelism.
 func DefaultOptions() Options { return Options{Scale: workload.Ref} }
+
+// context returns the run's cancellation context.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// pmap fans fn(0..n-1) across opt.Workers goroutines through the
+// harness: a panicking task becomes an error with its stack, the first
+// failure cancels the remaining tasks, and opt.Ctx cancellation is
+// observed between tasks. Every experiment's fan-out goes through
+// here so no Run can take down a sweep.
+func pmap[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return harness.Map(opt.context(), n, harness.MapOptions{Workers: opt.Workers},
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}
 
 // Experiment is one reproducible paper artifact.
 type Experiment struct {
@@ -122,33 +145,29 @@ func topAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
 	return vals[:k]
 }
 
-// fvlNames lists the FVL six in a stable order mirroring the paper's
-// benchmark order.
-func fvlSuite() []workload.Workload {
-	order := []string{"goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb"}
-	out := make([]workload.Workload, 0, len(order))
-	for _, n := range order {
+// suite resolves a list of workload names, failing (not panicking) on
+// an unknown name so the error reaches the sweep summary.
+func suite(names ...string) ([]workload.Workload, error) {
+	out := make([]workload.Workload, 0, len(names))
+	for _, n := range names {
 		w, err := workload.Get(n)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		out = append(out, w)
 	}
-	return out
+	return out, nil
+}
+
+// fvlSuite lists the FVL six in a stable order mirroring the paper's
+// benchmark order.
+func fvlSuite() ([]workload.Workload, error) {
+	return suite("goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb")
 }
 
 // intSuite lists all eight integer workloads in paper order.
-func intSuite() []workload.Workload {
-	order := []string{"goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb", "lzcomp", "imgdct"}
-	out := make([]workload.Workload, 0, len(order))
-	for _, n := range order {
-		w, err := workload.Get(n)
-		if err != nil {
-			panic(err)
-		}
-		out = append(out, w)
-	}
-	return out
+func intSuite() ([]workload.Workload, error) {
+	return suite("goboard", "cpusim", "ccomp", "lispint", "strproc", "objdb", "lzcomp", "imgdct")
 }
 
 // render writes a table in the format the options request.

@@ -27,10 +27,13 @@ import (
 // discussion).
 func runXClass(opt Options, out io.Writer) error {
 	p := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Extension: three-C miss decomposition (16KB DMC, 8wpl)",
 		"benchmark", "miss rate", "compulsory", "capacity", "conflict")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		cl := cache.NewClassifier(p)
 		env := memsim.NewEnv(trace.SinkFunc(func(e trace.Event) {
@@ -50,8 +53,11 @@ func runXClass(opt Options, out io.Writer) error {
 			label(w),
 			report.Pct(misses / float64(cl.Accesses())),
 			pct(cache.Compulsory), pct(cache.Capacity), pct(cache.Conflict),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("benchmarks whose FVC gains survive associativity (Figure 14) are the capacity/compulsory-dominated ones")
 	render(opt, out, t)
@@ -62,24 +68,36 @@ func runXClass(opt Options, out io.Writer) error {
 // choices: write-miss allocation and always-insert footprints.
 func runXAblation(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Extension: FVC design-choice ablations (16KB DMC + 512e/7v FVC, % miss reduction)",
 		"benchmark", "full design", "no write-miss alloc", "skip empty footprints")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base := missPct(w, opt.Scale, core.Config{Main: main})
+		base, err := missPct(w, opt.Scale, core.Config{Main: main})
+		if err != nil {
+			return nil, err
+		}
 		full := withFVC(w, opt.Scale, main, 512, 3)
 		noAlloc := full
 		noAlloc.NoWriteMissAllocate = true
 		skipEmpty := full
 		skipEmpty.SkipEmptyFootprints = true
-		return []string{
-			label(w),
-			report.F2(reduction(base, missPct(w, opt.Scale, full))) + "%",
-			report.F2(reduction(base, missPct(w, opt.Scale, noAlloc))) + "%",
-			report.F2(reduction(base, missPct(w, opt.Scale, skipEmpty))) + "%",
+		row := []string{label(w)}
+		for _, cfg := range []core.Config{full, noAlloc, skipEmpty} {
+			m, err := missPct(w, opt.Scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F2(reduction(base, m))+"%")
 		}
+		return row, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("write-miss allocation is the dominant design choice for write-heavy value-skewed workloads")
 	render(opt, out, t)
@@ -90,13 +108,22 @@ func runXAblation(opt Options, out io.Writer) error {
 // identification with a Space-Saving sketch.
 func runXOnline(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Extension: profiled vs online frequent-value identification (512e/7v FVC, % miss reduction)",
 		"benchmark", "profiled FVT", "online FVT", "FVT updates")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base := missPct(w, opt.Scale, core.Config{Main: main})
-		profiled := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+		base, err := missPct(w, opt.Scale, core.Config{Main: main})
+		if err != nil {
+			return nil, err
+		}
+		profiled, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+		if err != nil {
+			return nil, err
+		}
 		onlineCfg := core.Config{
 			Main:           main,
 			FVC:            &fvc.Params{Entries: 512, LineBytes: main.LineBytes, Bits: 3},
@@ -104,7 +131,7 @@ func runXOnline(opt Options, out io.Writer) error {
 		}
 		res, err := sim.Measure(w, opt.Scale, onlineCfg, sim.MeasureOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		online := res.Stats.MissRate() * 100
 		return []string{
@@ -112,8 +139,11 @@ func runXOnline(opt Options, out io.Writer) error {
 			report.F2(reduction(base, profiled)) + "%",
 			report.F2(reduction(base, online)) + "%",
 			fmt.Sprintf("%d", res.Stats.FVTUpdates),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("online identification needs no profiling pass; Table 3 predicts it converges because the top values settle early")
 	render(opt, out, t)
@@ -126,20 +156,23 @@ func runXOnline(opt Options, out io.Writer) error {
 func runXEnergy(opt Options, out io.Writer) error {
 	m := energy.Default08um()
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Extension: energy estimate (16KB DMC vs +512e/7v FVC, 0.8um model)",
 		"benchmark", "DMC traffic KB", "FVC traffic KB", "DMC energy uJ", "FVC energy uJ", "saving")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main}
 		baseRes, err := sim.Measure(w, opt.Scale, baseCfg, sim.MeasureOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
 		augRes, err := sim.Measure(w, opt.Scale, augCfg, sim.MeasureOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		be := m.Estimate(baseCfg, baseRes.Stats)
 		ae := m.Estimate(augCfg, augRes.Stats)
@@ -150,8 +183,11 @@ func runXEnergy(opt Options, out io.Writer) error {
 			report.F2(be.TotalNJ() / 1000),
 			report.F2(ae.TotalNJ() / 1000),
 			report.F2(energy.SavingsPct(be, ae)) + "%",
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("the paper: reductions in traffic directly result in corresponding reductions in power consumption")
 	render(opt, out, t)

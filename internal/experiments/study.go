@@ -58,11 +58,11 @@ func runStudy(w workload.Workload, scale workload.Scale) *studyRun {
 
 // --- Figure 1 & 2: frequently encountered values ---
 
-func frequentValuesTable(title string, suite []workload.Workload, opt Options) *report.Table {
+func frequentValuesTable(title string, suite []workload.Workload, opt Options) (*report.Table, error) {
 	t := report.NewTable(title,
 		"benchmark", "occ top1", "occ top3", "occ top7", "occ top10",
 		"acc top1", "acc top3", "acc top7", "acc top10")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		s := runStudy(w, opt.Scale)
 		row := []string{label(w)}
@@ -72,16 +72,24 @@ func frequentValuesTable(title string, suite []workload.Workload, opt Options) *
 		for _, k := range []int{1, 3, 7, 10} {
 			row = append(row, report.Pct(s.hist.CoverageOfTopK(k)))
 		}
-		return row
+		return row, nil
 	})
-	for _, r := range rows {
-		t.Rows = append(t.Rows, r)
+	if err != nil {
+		return nil, err
 	}
-	return t
+	t.Rows = append(t.Rows, rows...)
+	return t, nil
 }
 
 func runFig1(opt Options, out io.Writer) error {
-	t := frequentValuesTable("Figure 1: frequently encountered values (integer suite)", intSuite(), opt)
+	ws, err := intSuite()
+	if err != nil {
+		return err
+	}
+	t, err := frequentValuesTable("Figure 1: frequently encountered values (integer suite)", ws, opt)
+	if err != nil {
+		return err
+	}
 	t.AddNote("paper: in the six FVL benchmarks ten values occupy >50%% of locations and ~50%% of accesses;")
 	t.AddNote("paper: 129.compress and 132.ijpeg (our lzcomp, imgdct) show very little frequent value locality")
 	render(opt, out, t)
@@ -89,7 +97,10 @@ func runFig1(opt Options, out io.Writer) error {
 }
 
 func runFig2(opt Options, out io.Writer) error {
-	t := frequentValuesTable("Figure 2: frequently encountered values (floating-point suite)", workload.FP(), opt)
+	t, err := frequentValuesTable("Figure 2: frequently encountered values (floating-point suite)", workload.FP(), opt)
+	if err != nil {
+		return err
+	}
 	t.AddNote("paper: SPECfp95 benchmarks also exhibit a high degree of frequent value locality")
 	render(opt, out, t)
 	return nil
@@ -191,21 +202,24 @@ func runFig3(opt Options, out io.Writer) error {
 
 func runFig4(opt Options, out io.Writer) error {
 	cfg := core.Config{Main: cache.Params{SizeBytes: 16 << 10, LineBytes: 16, Assoc: 1}}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Figure 4: misses involving top-10 values (16KB DMC, 16B lines)",
 		"benchmark", "miss rate", "% misses w/ top-10 occurring", "% misses w/ top-10 accessed")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		s := runStudy(w, opt.Scale)
 		topOcc := s.occ.TopOccurring(10)
 		topAcc := freqval.TopAccessed(s.hist, 10)
 		total, attrOcc, err := sim.MissAttribution(w, opt.Scale, cfg, topOcc)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		_, attrAcc, err := sim.MissAttribution(w, opt.Scale, cfg, topAcc)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		missRate := float64(total) / float64(s.hist.Total())
 		return []string{
@@ -213,8 +227,11 @@ func runFig4(opt Options, out io.Writer) error {
 			report.Pct(missRate),
 			report.Pct(float64(attrOcc) / float64(total)),
 			report.Pct(float64(attrAcc) / float64(total)),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("paper: on average just under 50%% of misses involve top-10 occurring values and just over 50%% involve top-10 accessed values")
 	render(opt, out, t)
@@ -267,12 +284,18 @@ func runFig5(opt Options, out io.Writer) error {
 // --- Table 1: the frequent values themselves ---
 
 func runTab1(opt Options, out io.Writer) error {
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	type cols struct{ acc, occ []uint32 }
-	per := sim.ParallelMap(len(suite), opt.Workers, func(i int) cols {
+	per, err := pmap(opt, len(suite), func(i int) (cols, error) {
 		s := runStudy(suite[i], opt.Scale)
-		return cols{acc: freqval.TopAccessed(s.hist, 10), occ: s.occ.TopOccurring(10)}
+		return cols{acc: freqval.TopAccessed(s.hist, 10), occ: s.occ.TopOccurring(10)}, nil
 	})
+	if err != nil {
+		return err
+	}
 	header := []string{"rank"}
 	for _, w := range suite {
 		header = append(header, w.Name()+" acc", w.Name()+" occ")
@@ -300,10 +323,13 @@ func hexAt(vals []uint32, i int) string {
 // --- Table 2: input sensitivity ---
 
 func runTab2(opt Options, out io.Writer) error {
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Table 2: frequently accessed value overlap across inputs (X/Y = X of top-Y shared with ref)",
 		"benchmark", "test 7", "test 10", "train 7", "train 10")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		ref := topAccessed(w, workload.Ref, 10)
 		test := topAccessed(w, workload.Test, 10)
@@ -314,8 +340,11 @@ func runTab2(opt Options, out io.Writer) error {
 			fmt.Sprintf("%d/10", freqval.Overlap(test, ref, 10)),
 			fmt.Sprintf("%d/7", freqval.Overlap(train, ref, 7)),
 			fmt.Sprintf("%d/10", freqval.Overlap(train, ref, 10)),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("paper: roughly 50%% overlap across inputs; small values are input-insensitive, addresses are not")
 	render(opt, out, t)
@@ -325,10 +354,13 @@ func runTab2(opt Options, out io.Writer) error {
 // --- Table 3: how quickly the frequent values are found ---
 
 func runTab3(opt Options, out io.Writer) error {
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Table 3: % of execution after which top-k accessed values stop changing",
 		"benchmark", "accesses", "top1 order", "top3 order", "top7 order", "top3 identity", "top7 identity")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		st := freqval.NewStabilityTracker(occInterval(opt.Scale)/8, 1, 3, 7)
 		env := memsim.NewEnv(st)
@@ -342,8 +374,11 @@ func runTab3(opt Options, out io.Writer) error {
 			report.Pct(st.FoundAfter(2)),
 			report.Pct(st.IdentityFoundAfter(1)),
 			report.Pct(st.IdentityFoundAfter(2)),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("paper: values are found very quickly in most cases (0-0.5%%); 124.m88ksim's ordering settles late (63-70%%) but identities settle by 18-39%%")
 	render(opt, out, t)
@@ -360,17 +395,23 @@ var tab4Paper = map[string]string{
 }
 
 func runTab4(opt Options, out io.Writer) error {
-	suite := intSuite()
+	suite, err := intSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Table 4: referenced addresses with constant values (per allocation instance)",
 		"benchmark", "measured", "paper")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		ct := freqval.NewConstAddrTracker()
 		env := memsim.NewEnv(ct)
 		w.Run(env, opt.Scale)
 		ct.Finalize()
-		return []string{label(w), report.Pct(ct.ConstantFraction()), tab4Paper[w.Name()]}
+		return []string{label(w), report.Pct(ct.ConstantFraction()), tab4Paper[w.Name()]}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("shape to match: the six FVL benchmarks high, the two controls near zero, lispint lowest of the six")
 	render(opt, out, t)

@@ -10,7 +10,6 @@ import (
 	"fvcache/internal/fvc"
 	"fvcache/internal/memsim"
 	"fvcache/internal/report"
-	"fvcache/internal/sim"
 	"fvcache/internal/trace"
 )
 
@@ -21,20 +20,29 @@ import (
 // philosophy fares on the same value streams.
 func runXCompress(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 
 	t := report.NewTable("Extension: FV-compressed data cache vs DMC+FVC (16KB, 8wpl)",
 		"benchmark", "DMC miss%", "DMC+FVC miss%", "FVcomp miss%", "lines compressed", "FPC bits/word")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base := missPct(w, opt.Scale, core.Config{Main: main})
-		aug := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+		base, err := missPct(w, opt.Scale, core.Config{Main: main})
+		if err != nil {
+			return nil, err
+		}
+		aug, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+		if err != nil {
+			return nil, err
+		}
 
 		// FV-compressed cache of the same physical size, using the
 		// same profiled top-7 values.
 		tbl, err := fvc.NewTable(3, topAccessed(w, opt.Scale, 7))
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cc := compress.MustNew(compress.Params{SizeBytes: main.SizeBytes, LineBytes: main.LineBytes}, tbl)
 		var ph fpc.Histogram
@@ -48,8 +56,11 @@ func runXCompress(opt Options, out io.Writer) error {
 			report.F3(cc.Stats().MissRate() * 100),
 			report.Pct(cc.CompressedFraction()),
 			report.F2(ph.AvgBits()),
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("FVcomp = frequent-value compressed cache (two compressed lines per frame), the paper's reference [11]")
 	t.AddNote("FPC bits/word = average pattern-compressed size of the accessed values (32 = incompressible)")

@@ -17,21 +17,24 @@ import (
 func runXL2(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
 	l2 := cache.Params{SizeBytes: 128 << 10, LineBytes: 32, Assoc: 4}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Extension: FVC behind a 128KB 4-way L2 (16KB L1, 8wpl)",
 		"benchmark", "L1 miss% (no FVC)", "L1 miss% (+FVC)", "off-chip KB (no FVC)", "off-chip KB (+FVC)", "traffic saving")
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main, L2: &l2}
 		baseRes, err := sim.Measure(w, opt.Scale, baseCfg, sim.MeasureOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
 		augCfg.L2 = &l2
 		augRes, err := sim.Measure(w, opt.Scale, augCfg, sim.MeasureOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		b, a := baseRes.Stats, augRes.Stats
 		return []string{
@@ -41,8 +44,11 @@ func runXL2(opt Options, out io.Writer) error {
 			fmt.Sprintf("%d", b.TrafficBytes()>>10),
 			fmt.Sprintf("%d", a.TrafficBytes()>>10),
 			report.F2(reduction(float64(b.TrafficWords), float64(a.TrafficWords))) + "%",
-		}
+		}, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("an L2 absorbs refetches the FVC would otherwise catch, but FVC fill/writeback savings still cut off-chip traffic")
 	render(opt, out, t)
@@ -53,16 +59,22 @@ func runXL2(opt Options, out io.Writer) error {
 // direct mapped; follow-up designs used small set-associative FVCs.
 func runXAssocFVC(opt Options, out io.Writer) error {
 	main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	suite := fvlSuite()
+	suite, err := fvlSuite()
+	if err != nil {
+		return err
+	}
 	assocs := []int{1, 2, 4}
 	header := []string{"benchmark", "DMC miss%"}
 	for _, a := range assocs {
 		header = append(header, fmt.Sprintf("%d-way FVC red.", a))
 	}
 	t := report.NewTable("Extension: FVC associativity (16KB DMC + 512-entry/7v FVC)", header...)
-	rows := sim.ParallelMap(len(suite), opt.Workers, func(i int) []string {
+	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base := missPct(w, opt.Scale, core.Config{Main: main})
+		base, err := missPct(w, opt.Scale, core.Config{Main: main})
+		if err != nil {
+			return nil, err
+		}
 		row := []string{label(w), report.F3(base)}
 		for _, a := range assocs {
 			cfg := core.Config{
@@ -70,10 +82,17 @@ func runXAssocFVC(opt Options, out io.Writer) error {
 				FVC:            &fvc.Params{Entries: 512, LineBytes: main.LineBytes, Bits: 3, Assoc: a},
 				FrequentValues: topAccessed(w, opt.Scale, 7),
 			}
-			row = append(row, report.F2(reduction(base, missPct(w, opt.Scale, cfg)))+"%")
+			m, err := missPct(w, opt.Scale, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F2(reduction(base, m))+"%")
 		}
-		return row
+		return row, nil
 	})
+	if err != nil {
+		return err
+	}
 	t.Rows = rows
 	t.AddNote("the paper's FVC is direct mapped; associativity helps when FVC entries conflict (many hot evicted lines per set)")
 	render(opt, out, t)

@@ -1,0 +1,213 @@
+// Package faultinject deterministically corrupts simulator state and
+// trace streams so tests can prove the detection machinery works: every
+// fault class injected here must be caught by core.(*System).AuditInvariants,
+// by the VerifyValues access-path asserts, or by the hardened
+// trace.Reader. The injector is seeded, so a failing detection test
+// reproduces exactly.
+//
+// Nothing in this package runs on the simulation path; it exists to
+// validate the robustness layer (see DESIGN.md, "Robustness & failure
+// model").
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// Class enumerates the fault classes the injector can produce.
+type Class string
+
+const (
+	// FVCCodeFlip rewrites one frequent-value code in a valid FVC entry
+	// to a different code (a bit flip in the FVC data array). Detected
+	// by the invariant audit: either the new code is unassigned
+	// (code-validity scan) or it decodes to a value that disagrees with
+	// the architectural replica (value-consistency scan).
+	FVCCodeFlip Class = "fvc-code-flip"
+	// CachedWordClobber overwrites the architectural replica word
+	// behind an FVC-resident frequent code (a corrupted data word in a
+	// cached line). Detected by the audit's value-consistency scan, and
+	// by the VerifyValues load assert on the next access.
+	CachedWordClobber Class = "cached-word-clobber"
+	// TraceInvalidOp rewrites a record's op byte to an undefined opcode.
+	TraceInvalidOp Class = "trace-invalid-op"
+	// TraceTruncate cuts the stream mid-record.
+	TraceTruncate Class = "trace-truncate"
+	// TraceOverlongVarint appends a record whose varint exceeds the
+	// codec's 5-byte cap.
+	TraceOverlongVarint Class = "trace-overlong-varint"
+	// TraceBitFlip flips one random bit in the stream body. The reader
+	// must never panic on the result; it either reports corruption or
+	// decodes a stream that differs from the original.
+	TraceBitFlip Class = "trace-bit-flip"
+)
+
+// Fault records one injected corruption.
+type Fault struct {
+	Class  Class
+	Detail string
+}
+
+// String renders the fault.
+func (f Fault) String() string { return string(f.Class) + ": " + f.Detail }
+
+// Injector produces deterministic faults from a seed and records every
+// injection for the test report.
+type Injector struct {
+	rng    *rand.Rand
+	faults []Fault
+}
+
+// New returns an Injector seeded with seed.
+func New(seed int64) *Injector { return &Injector{rng: rand.New(rand.NewSource(seed))} }
+
+// Faults returns every fault injected so far, in order.
+func (in *Injector) Faults() []Fault { return append([]Fault(nil), in.faults...) }
+
+func (in *Injector) record(c Class, format string, args ...any) Fault {
+	f := Fault{Class: c, Detail: fmt.Sprintf(format, args...)}
+	in.faults = append(in.faults, f)
+	return f
+}
+
+// codeSite is one corruptible (entry, word) location in the FVC.
+type codeSite struct {
+	lineAddr uint32
+	word     int
+	code     uint8
+}
+
+// FlipFVCCode corrupts one frequent-value code in s's FVC, choosing
+// the site and the replacement code from the injector's rng. The
+// replacement is never the original code and never the escape, so the
+// invariant audit is guaranteed to flag it (an unassigned code fails
+// the validity scan; a different assigned code decodes to a different
+// table value than the replica holds, because table values are
+// distinct). Returns false when the FVC holds no frequent code to
+// corrupt.
+func (in *Injector) FlipFVCCode(s *core.System) (Fault, bool) {
+	sites := in.sites(s)
+	if len(sites) == 0 {
+		return Fault{}, false
+	}
+	site := sites[in.rng.Intn(len(sites))]
+	f := s.FVC()
+	escape := f.Escape()
+	space := 1 << f.Table().Bits()
+	// Pick any code other than the original and the escape.
+	var newCode uint8
+	for {
+		newCode = uint8(in.rng.Intn(space))
+		if newCode != site.code && newCode != escape {
+			break
+		}
+	}
+	if !f.CorruptCode(site.lineAddr, site.word, newCode) {
+		return Fault{}, false
+	}
+	return in.record(FVCCodeFlip, "entry %#x word %d: code %d -> %d",
+		site.lineAddr, site.word, site.code, newCode), true
+}
+
+// ClobberCachedWord overwrites the replica word behind one
+// FVC-resident frequent code with a value that differs from what the
+// code decodes to. Returns false when the FVC holds no frequent code.
+func (in *Injector) ClobberCachedWord(s *core.System) (Fault, bool) {
+	sites := in.sites(s)
+	if len(sites) == 0 {
+		return Fault{}, false
+	}
+	site := sites[in.rng.Intn(len(sites))]
+	lineBytes := uint32(s.Config().Main.LineBytes)
+	addr := site.lineAddr*lineBytes + uint32(site.word)*trace.WordBytes
+	old := s.MemWord(addr)
+	s.CorruptReplicaWord(addr, old^0x1) // any different value
+	return in.record(CachedWordClobber, "addr %#x: %#x -> %#x", addr, old, old^0x1), true
+}
+
+// sites lists every FVC word currently holding a frequent code.
+func (in *Injector) sites(s *core.System) []codeSite {
+	f := s.FVC()
+	if f == nil {
+		return nil
+	}
+	escape := f.Escape()
+	var sites []codeSite
+	f.VisitValid(func(e fvc.Entry) {
+		for w, c := range e.Codes {
+			if c != escape {
+				sites = append(sites, codeSite{lineAddr: e.Tag, word: w, code: c})
+			}
+		}
+	})
+	return sites
+}
+
+// recordOffsets returns the byte offset of every record in a valid
+// encoded trace (header excluded), using the reader's own accounting.
+func recordOffsets(data []byte) ([]int64, error) {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var offs []int64
+	for {
+		off := r.Offset()
+		if _, err := r.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return offs, nil
+			}
+			return nil, err
+		}
+		offs = append(offs, off)
+	}
+}
+
+// CorruptTrace returns a corrupted copy of a valid encoded trace for
+// the given class (one of the Trace* classes). Returns false when the
+// trace holds no record to corrupt or class is not a trace class.
+func (in *Injector) CorruptTrace(class Class, data []byte) ([]byte, bool) {
+	offs, err := recordOffsets(data)
+	if err != nil || len(offs) == 0 {
+		return nil, false
+	}
+	out := append([]byte(nil), data...)
+	switch class {
+	case TraceInvalidOp:
+		off := offs[in.rng.Intn(len(offs))]
+		out[off] = 0xff // far above any defined op
+		in.record(class, "op byte at offset %d -> 0xff", off)
+	case TraceTruncate:
+		// Cut strictly inside the last record so the damage is a
+		// mid-record truncation, not a clean EOF.
+		last := offs[len(offs)-1]
+		cut := last + 1 + in.rng.Int63n(int64(len(out))-last-1)
+		out = out[:cut]
+		in.record(class, "stream cut at byte %d of %d", cut, len(data))
+	case TraceOverlongVarint:
+		// Append a record whose address-delta varint runs 6+ bytes.
+		out = append(out, byte(trace.Load))
+		for i := 0; i < 7; i++ {
+			out = append(out, 0x80)
+		}
+		out = append(out, 0x01)
+		in.record(class, "appended record with 8-byte varint")
+	case TraceBitFlip:
+		// Flip one bit in the body (past the 4-byte magic).
+		pos := 4 + in.rng.Intn(len(out)-4)
+		bit := uint(in.rng.Intn(8))
+		out[pos] ^= 1 << bit
+		in.record(class, "bit %d at byte %d flipped", bit, pos)
+	default:
+		return nil, false
+	}
+	return out, true
+}

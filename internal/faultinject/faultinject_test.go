@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/harness"
+	"fvcache/internal/trace"
+)
+
+var testValues = []uint32{0, 0xffffffff, 1, 2, 4, 8, 10}
+
+// newSystem builds an FVC hierarchy and drives it until the FVC holds
+// frequent codes (the substrate every structural fault corrupts).
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.MustNew(core.Config{
+		Main:           cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		FVC:            &fvc.Params{Entries: 8, LineBytes: 16, Bits: 3},
+		FrequentValues: testValues,
+	})
+	// Touch conflicting lines so evictions push footprints into the FVC.
+	for i := uint32(0); i < 64; i++ {
+		s.Access(trace.Load, (i%8)*0x40+(i%4)*4, 0)
+	}
+	if err := s.AuditInvariants(); err != nil {
+		t.Fatalf("pre-injection system fails audit: %v", err)
+	}
+	return s
+}
+
+// validTrace encodes a small trace for the trace-corruption classes.
+func validTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 16; i++ {
+		w.Emit(trace.Event{Op: trace.Load, Addr: 0x1000 + i*4, Value: i})
+		w.Emit(trace.Event{Op: trace.Store, Addr: 0x2000 + i*4, Value: 0xffffffff})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAll replays data, returning the decoded events and the first
+// error. It must never panic, whatever data holds.
+func decodeAll(data []byte) ([]trace.Event, error) {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Event
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// TestDetectionMatrix is the fault/checker matrix: every fault class
+// the injector produces must be caught by at least one checker, over
+// many seeds.
+func TestDetectionMatrix(t *testing.T) {
+	structural := []struct {
+		class  Class
+		inject func(*Injector, *core.System) (Fault, bool)
+	}{
+		{FVCCodeFlip, (*Injector).FlipFVCCode},
+		{CachedWordClobber, (*Injector).ClobberCachedWord},
+	}
+	for _, tc := range structural {
+		t.Run(string(tc.class), func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				in := New(seed)
+				s := newSystem(t)
+				f, ok := tc.inject(in, s)
+				if !ok {
+					t.Fatalf("seed %d: no injection site", seed)
+				}
+				if err := s.AuditInvariants(); err == nil {
+					t.Errorf("seed %d: audit missed %v", seed, f)
+				}
+			}
+		})
+	}
+
+	traceClasses := []Class{TraceInvalidOp, TraceTruncate, TraceOverlongVarint}
+	for _, class := range traceClasses {
+		t.Run(string(class), func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				in := New(seed)
+				corrupted, ok := in.CorruptTrace(class, validTrace(t))
+				if !ok {
+					t.Fatalf("seed %d: no corruption produced", seed)
+				}
+				_, err := decodeAll(corrupted)
+				var ce *trace.CorruptError
+				if !errors.As(err, &ce) {
+					t.Errorf("seed %d: reader missed %v (err = %v)", seed, in.Faults(), err)
+				}
+			}
+		})
+	}
+}
+
+// TestBitFlipNeverPanics: a single flipped bit may keep the stream
+// decodable, but the reader must either report corruption or decode a
+// stream that differs from the original — and never panic.
+func TestBitFlipNeverPanics(t *testing.T) {
+	orig := validTrace(t)
+	want, err := decodeAll(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for seed := int64(0); seed < 200; seed++ {
+		in := New(seed)
+		corrupted, ok := in.CorruptTrace(TraceBitFlip, orig)
+		if !ok {
+			t.Fatal("no bit flip produced")
+		}
+		got, err := decodeAll(corrupted) // must not panic
+		if err != nil {
+			detected++
+			continue
+		}
+		same := len(got) == len(want)
+		for i := 0; same && i < len(got); i++ {
+			same = got[i] == want[i]
+		}
+		if same {
+			t.Errorf("seed %d: flipped stream decoded identically (%v)", seed, in.Faults())
+		} else {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("no bit flip was ever detected")
+	}
+}
+
+// TestVerifyValuesCatchesClobber: the access-path assert (recovered by
+// the harness into an ordinary error) detects a clobbered cached word
+// on the very next load of that address.
+func TestVerifyValuesCatchesClobber(t *testing.T) {
+	s := core.MustNew(core.Config{
+		Main:         cache.Params{SizeBytes: 64, LineBytes: 16, Assoc: 1},
+		VerifyValues: true,
+	})
+	s.Access(trace.Store, 0x1000, 42)
+	s.CorruptReplicaWord(0x1000, 43)
+	err := harness.Recover(func() error {
+		s.Access(trace.Load, 0x1000, 42) // program's view: still 42
+		return nil
+	})
+	var ve *core.VerificationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want recovered *core.VerificationError", err)
+	}
+	if ve.Addr != 0x1000 {
+		t.Errorf("VerificationError = %+v, want Addr 0x1000", ve)
+	}
+	if harness.StackOf(err) == nil {
+		t.Error("recovered error carries no stack trace")
+	}
+}
+
+// TestNegativeControl: with zero faults injected, every checker stays
+// silent — the detectors react to faults, not to healthy state.
+func TestNegativeControl(t *testing.T) {
+	in := New(1)
+	s := newSystem(t)
+	if err := s.AuditInvariants(); err != nil {
+		t.Errorf("audit on healthy system: %v", err)
+	}
+	data := validTrace(t)
+	events, err := decodeAll(data)
+	if err != nil {
+		t.Errorf("decode of healthy trace: %v", err)
+	}
+	if len(events) != 32 {
+		t.Errorf("decoded %d events, want 32", len(events))
+	}
+	if n := len(in.Faults()); n != 0 {
+		t.Errorf("injector recorded %d faults without injecting", n)
+	}
+}
+
+// TestInjectorDeterminism: the same seed produces the same faults.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() []Fault {
+		in := New(99)
+		s := newSystem(t)
+		in.FlipFVCCode(s)
+		in.ClobberCachedWord(s)
+		in.CorruptTrace(TraceBitFlip, validTrace(t))
+		return in.Faults()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fault counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("fault %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

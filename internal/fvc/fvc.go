@@ -374,6 +374,21 @@ func (f *FVC) FrequentFraction() float64 {
 	return float64(freq) / float64(total)
 }
 
+// CorruptCode overwrites the code of the given word in the valid
+// entry holding lineAddr, reporting whether such an entry exists.
+// Fault-injection support (internal/faultinject): it models a bit
+// flip in the FVC data array, which the invariant audit or the
+// VerifyValues asserts must subsequently detect. Never called on the
+// simulation path.
+func (f *FVC) CorruptCode(lineAddr uint32, word int, code uint8) bool {
+	e := f.find(lineAddr)
+	if e == nil || word < 0 || word >= len(e.Codes) {
+		return false
+	}
+	e.Codes[word] = code
+	return true
+}
+
 // VisitValid calls fn with every valid entry (snapshot copies).
 func (f *FVC) VisitValid(fn func(Entry)) {
 	for i := range f.entries {

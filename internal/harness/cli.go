@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Exit codes shared by every cmd/ binary.
+const (
+	// ExitOK: everything completed.
+	ExitOK = 0
+	// ExitFailure: at least one task or the run itself failed.
+	ExitFailure = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+)
+
+// SignalContext returns a context cancelled by SIGINT/SIGTERM and,
+// when timeout > 0, by the deadline — the shared -timeout flag wiring
+// for the cmd/ binaries. The first signal cancels the context so
+// sweeps can shut down gracefully (finish the current artifact, print
+// the partial failure summary); a second signal falls through to the
+// Go runtime's default handling and kills the process.
+func SignalContext(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := parent
+	cancelTimeout := func() {}
+	if timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	cancel := func() {
+		stop()
+		cancelTimeout()
+	}
+	return ctx, cancel
+}
+
+// Run executes fn behind the harness panic boundary: a panic comes
+// back as a *PanicError instead of crashing the binary. Single-task
+// analogue of RunSweep for cmd/ binaries that produce one artifact.
+func Run(ctx context.Context, fn func(ctx context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Recover(func() error { return fn(ctx) })
+}

@@ -1,0 +1,89 @@
+// Package harness is the fault-tolerant run layer every entry point
+// routes through. It provides:
+//
+//   - Map: a context-aware parallel map with per-task panic recovery,
+//     optional per-task timeout, bounded retry with backoff for
+//     transient failures, and first-error cancellation. sim.ParallelMap
+//     is a thin panic-propagating wrapper over it.
+//   - RunSweep: a sequential sweep runner with per-artifact panic
+//     isolation and graceful degradation — one failing artifact is
+//     reported (with its recovered stack trace) in a final failure
+//     summary while the rest complete — plus a checkpoint manifest so
+//     an interrupted sweep resumes without redoing finished artifacts.
+//   - SignalContext: shared SIGINT/timeout plumbing for the cmd/
+//     binaries.
+//
+// The design principle: simulation code may assert (panic) freely when
+// an invariant breaks; the harness converts those asserts into errors
+// at the task boundary so one corrupt artifact cannot take down a
+// whole experiment sweep.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic, carrying the panicking goroutine's
+// stack so the failure summary can point at the faulty code.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted stack of the panicking goroutine.
+	Stack []byte
+}
+
+// Error formats the panic value (without the stack; see e.Stack).
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover runs fn, converting a panic into a *PanicError. It is the
+// single panic boundary the rest of the harness builds on.
+func Recover(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// transientError marks an error as transient (worth retrying).
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so that IsTransient reports true; Map retries
+// transient failures up to MapOptions.Retries times.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or any error it wraps) was marked
+// with Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// StackOf returns the recovered stack trace inside err's chain, or nil
+// when err does not carry one.
+func StackOf(err error) []byte {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe.Stack
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MapOptions tunes Map.
+type MapOptions struct {
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// TaskTimeout, when positive, bounds each task attempt. A timed-out
+	// attempt fails with a deadline error; its goroutine is abandoned
+	// (Go cannot preempt it) but its eventual result is discarded, so a
+	// wedged task cannot stall the whole map.
+	TaskTimeout time.Duration
+	// Retries is the number of additional attempts granted to a task
+	// whose error is retryable (see RetryIf). 0 disables retry.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt. Zero retries immediately.
+	RetryBackoff time.Duration
+	// RetryIf decides whether a failed attempt is retried; nil means
+	// IsTransient (panics and plain errors are never retried by
+	// default: a deterministic simulator fails deterministically).
+	RetryIf func(error) bool
+}
+
+// TaskError reports which task of a Map failed, after how many
+// attempts.
+type TaskError struct {
+	Index    int
+	Attempts int
+	Err      error
+}
+
+// Error formats the failure.
+func (e *TaskError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("task %d (after %d attempts): %v", e.Index, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("task %d: %v", e.Index, e.Err)
+}
+
+// Unwrap returns the underlying task failure.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Map evaluates fn(ctx, 0..n-1) across up to opt.Workers goroutines and
+// returns the results in order.
+//
+// Fault tolerance, in contrast to a bare errgroup:
+//
+//   - A panicking fn is recovered into a *PanicError (with stack); it
+//     can neither hang the internal WaitGroup nor kill sibling workers.
+//   - The first failure cancels the derived context: tasks not yet
+//     started are skipped, and running tasks observe ctx.Done().
+//   - Transient failures retry up to opt.Retries times with doubling
+//     backoff.
+//   - With opt.TaskTimeout set, a wedged task is abandoned after the
+//     deadline instead of blocking the map forever.
+//
+// On failure the returned slice still holds every result completed
+// before cancellation (zero values elsewhere), enabling graceful
+// degradation, and the error is a *TaskError for the first failure.
+func Map[T any](ctx context.Context, n int, opt MapOptions, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	retryIf := opt.RetryIf
+	if retryIf == nil {
+		retryIf = IsTransient
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     int
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				v, attempts, err := runTask(ctx, i, opt, retryIf, fn)
+				if err != nil {
+					fail(&TaskError{Index: i, Attempts: attempts, Err: err})
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
+}
+
+// runTask runs one task with recovery, timeout and retry.
+func runTask[T any](ctx context.Context, i int, opt MapOptions, retryIf func(error) bool, fn func(ctx context.Context, i int) (T, error)) (v T, attempts int, err error) {
+	backoff := opt.RetryBackoff
+	for {
+		attempts++
+		v, err = attempt(ctx, i, opt.TaskTimeout, fn)
+		if err == nil || attempts > opt.Retries || !retryIf(err) || ctx.Err() != nil {
+			return v, attempts, err
+		}
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return v, attempts, err
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// attempt runs fn once, recovering panics and enforcing the timeout.
+func attempt[T any](ctx context.Context, i int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	var zero T
+	if timeout <= 0 {
+		var v T
+		err := Recover(func() error {
+			var ferr error
+			v, ferr = fn(ctx, i)
+			return ferr
+		})
+		if err != nil {
+			return zero, err
+		}
+		return v, nil
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	defer tcancel()
+	type result struct {
+		v   T
+		err error
+	}
+	done := make(chan result, 1) // buffered: an abandoned task must not block
+	go func() {
+		var v T
+		err := Recover(func() error {
+			var ferr error
+			v, ferr = fn(tctx, i)
+			return ferr
+		})
+		done <- result{v, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return zero, r.err
+		}
+		return r.v, nil
+	case <-tctx.Done():
+		if ctx.Err() != nil {
+			return zero, ctx.Err() // parent cancelled, not a task fault
+		}
+		return zero, fmt.Errorf("task %d exceeded timeout %v: %w", i, timeout, context.DeadlineExceeded)
+	}
+}

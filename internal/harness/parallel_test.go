@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	out, err := Map(context.Background(), 100, MapOptions{Workers: 8},
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, MapOptions{},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+}
+
+// TestMapPanicDoesNotHang is the satellite regression: a panicking fn
+// must not leave the internal WaitGroup hanging or kill the process;
+// the first panic is re-surfaced as an error carrying its stack.
+func TestMapPanicDoesNotHang(t *testing.T) {
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(context.Background(), 20, MapOptions{Workers: 4},
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					panic(fmt.Sprintf("boom at %d", i))
+				}
+				return i, nil
+			})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map hung on a panicking task")
+	}
+	if err == nil {
+		t.Fatal("expected error from panicking task")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Index != 3 {
+		t.Fatalf("err = %v, want TaskError for index 3", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want wrapped PanicError", err)
+	}
+	if !strings.Contains(string(pe.Stack), "parallel_test.go") {
+		t.Error("panic stack does not point at the panicking test function")
+	}
+	if len(out) != 20 {
+		t.Errorf("partial results slice has length %d, want 20", len(out))
+	}
+}
+
+// TestMapFirstErrorCancels: after a failure, undispatched tasks are
+// skipped.
+func TestMapFirstErrorCancels(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 100, MapOptions{Workers: 1},
+		func(_ context.Context, i int) (int, error) {
+			calls.Add(1)
+			if i == 2 {
+				return 0, errors.New("fail")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("tasks run after first error: %d calls, want 3 (0,1,2)", got)
+	}
+}
+
+func TestMapContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(ctx, 10, MapOptions{Workers: 2},
+		func(_ context.Context, i int) (int, error) { calls.Add(1); return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d tasks ran under a cancelled context", calls.Load())
+	}
+}
+
+func TestMapRetryTransient(t *testing.T) {
+	var tries atomic.Int64
+	out, err := Map(context.Background(), 1, MapOptions{Retries: 3, RetryBackoff: time.Millisecond},
+		func(_ context.Context, i int) (string, error) {
+			if tries.Add(1) < 3 {
+				return "", Transient(errors.New("flaky backend"))
+			}
+			return "ok", nil
+		})
+	if err != nil {
+		t.Fatalf("transient failure not retried to success: %v", err)
+	}
+	if out[0] != "ok" || tries.Load() != 3 {
+		t.Errorf("out=%v tries=%d", out, tries.Load())
+	}
+}
+
+func TestMapNoRetryOnPermanentError(t *testing.T) {
+	var tries atomic.Int64
+	_, err := Map(context.Background(), 1, MapOptions{Retries: 3},
+		func(_ context.Context, i int) (int, error) {
+			tries.Add(1)
+			return 0, errors.New("deterministic failure")
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if tries.Load() != 1 {
+		t.Errorf("permanent error retried %d times", tries.Load()-1)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Attempts != 1 {
+		t.Errorf("err = %v, want single-attempt TaskError", err)
+	}
+}
+
+func TestMapRetryBudgetExhausted(t *testing.T) {
+	var tries atomic.Int64
+	_, err := Map(context.Background(), 1, MapOptions{Retries: 2},
+		func(_ context.Context, i int) (int, error) {
+			tries.Add(1)
+			return 0, Transient(errors.New("always down"))
+		})
+	if err == nil || tries.Load() != 3 {
+		t.Fatalf("err=%v tries=%d, want failure after 3 attempts", err, tries.Load())
+	}
+}
+
+func TestMapTaskTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := Map(context.Background(), 1, MapOptions{TaskTimeout: 50 * time.Millisecond},
+		func(ctx context.Context, i int) (int, error) {
+			select {
+			case <-time.After(10 * time.Second):
+				return 0, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v to fire", elapsed)
+	}
+}
+
+// TestMapTimeoutAbandonsWedgedTask: a task that ignores its context is
+// abandoned at the deadline rather than stalling the map.
+func TestMapTimeoutAbandonsWedgedTask(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	_, err := Map(context.Background(), 1, MapOptions{TaskTimeout: 50 * time.Millisecond},
+		func(_ context.Context, i int) (int, error) {
+			<-release // simulates a wedged simulation ignoring ctx
+			return 0, nil
+		})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Map blocked %v on a wedged task", elapsed)
+	}
+}
+
+func TestTransientMarker(t *testing.T) {
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error must not be transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", Transient(errors.New("inner")))) {
+		t.Error("wrapped transient error must stay transient")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	if err := Recover(func() error { return nil }); err != nil {
+		t.Errorf("clean fn: %v", err)
+	}
+	sentinel := errors.New("sentinel")
+	err := Recover(func() error { panic(sentinel) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("error panic values must unwrap for errors.Is")
+	}
+	if StackOf(err) == nil {
+		t.Error("StackOf must find the recovered stack")
+	}
+}

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Task is one artifact of a sweep.
+type Task struct {
+	// ID names the artifact (file stem in -out mode, manifest key).
+	ID string
+	// Title describes it in progress and summary lines.
+	Title string
+	// Run produces the artifact. Panics are recovered by the runner.
+	Run func(ctx context.Context, out io.Writer) error
+}
+
+// SweepOptions configures RunSweep.
+type SweepOptions struct {
+	// OutDir, when non-empty, writes one <ID>.txt file per task into
+	// the directory and maintains a checkpoint manifest there.
+	OutDir string
+	// Key fingerprints the sweep parameters (scale, format, ...); a
+	// checkpoint recorded under a different key is discarded.
+	Key string
+	// Resume skips tasks the checkpoint manifest records as done.
+	// Meaningful only with OutDir.
+	Resume bool
+	// Stdout receives task output when OutDir is empty (default
+	// os.Stdout).
+	Stdout io.Writer
+	// Log receives progress lines (default os.Stderr; io.Discard to
+	// silence).
+	Log io.Writer
+}
+
+// TaskStatus classifies a task's outcome.
+type TaskStatus int
+
+const (
+	// TaskDone completed successfully.
+	TaskDone TaskStatus = iota
+	// TaskFailed returned an error or panicked.
+	TaskFailed
+	// TaskSkipped was already done per the checkpoint manifest.
+	TaskSkipped
+	// TaskCanceled was not run because the sweep context was cancelled
+	// (SIGINT or timeout) before its turn.
+	TaskCanceled
+)
+
+// String names the status.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskDone:
+		return "done"
+	case TaskFailed:
+		return "FAILED"
+	case TaskSkipped:
+		return "skipped"
+	case TaskCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// TaskResult is one task's outcome.
+type TaskResult struct {
+	ID       string
+	Title    string
+	Status   TaskStatus
+	Err      error // non-nil iff Status == TaskFailed
+	Duration time.Duration
+}
+
+// Summary aggregates a sweep's outcomes.
+type Summary struct {
+	Results []TaskResult
+}
+
+// Failed returns the failing results.
+func (s *Summary) Failed() []TaskResult {
+	var out []TaskResult
+	for _, r := range s.Results {
+		if r.Status == TaskFailed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns how many results have the given status.
+func (s *Summary) Count(status TaskStatus) int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Status == status {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether every task completed (done or skipped).
+func (s *Summary) OK() bool {
+	return s.Count(TaskFailed) == 0 && s.Count(TaskCanceled) == 0
+}
+
+// Print writes the sweep summary: one line per task, then the full
+// failure details — each failed artifact with its error and, for
+// recovered panics, the stack trace.
+func (s *Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "\nsweep summary: %d done, %d skipped, %d failed, %d canceled\n",
+		s.Count(TaskDone), s.Count(TaskSkipped), s.Count(TaskFailed), s.Count(TaskCanceled))
+	for _, r := range s.Results {
+		if r.Status == TaskFailed {
+			fmt.Fprintf(w, "  %-8s %-10s %s\n", r.ID, r.Status, r.Err)
+		} else {
+			fmt.Fprintf(w, "  %-8s %-10s\n", r.ID, r.Status)
+		}
+	}
+	for _, r := range s.Failed() {
+		fmt.Fprintf(w, "\n--- %s: %s ---\n%v\n", r.ID, r.Title, r.Err)
+		if stack := StackOf(r.Err); stack != nil {
+			fmt.Fprintf(w, "%s", stack)
+		}
+	}
+}
+
+// RunSweep executes tasks in order with per-task panic isolation: a
+// failing task is recorded in the summary and the sweep moves on, so
+// one corrupt artifact degrades the run instead of killing it. With
+// OutDir set, each task writes to <ID>.txt.partial, renamed to
+// <ID>.txt on success, and a checkpoint manifest is updated after
+// every completion; rerunning with Resume skips completed artifacts.
+// Context cancellation (SIGINT, -timeout) stops the sweep at the next
+// task boundary, marking the remainder canceled — the summary still
+// covers everything.
+func RunSweep(ctx context.Context, tasks []Task, opt SweepOptions) Summary {
+	if opt.Stdout == nil {
+		opt.Stdout = os.Stdout
+	}
+	if opt.Log == nil {
+		opt.Log = os.Stderr
+	}
+	var manifest *Manifest
+	if opt.OutDir != "" {
+		manifest = LoadManifest(opt.OutDir, opt.Key)
+	}
+
+	sum := Summary{Results: make([]TaskResult, 0, len(tasks))}
+	for _, t := range tasks {
+		if ctx.Err() != nil {
+			sum.Results = append(sum.Results, TaskResult{ID: t.ID, Title: t.Title, Status: TaskCanceled})
+			continue
+		}
+		if manifest != nil && opt.Resume && manifest.IsDone(opt.OutDir, t.ID) {
+			fmt.Fprintf(opt.Log, "skipping %s (checkpointed in %s)\n", t.ID, ManifestName)
+			sum.Results = append(sum.Results, TaskResult{ID: t.ID, Title: t.Title, Status: TaskSkipped})
+			continue
+		}
+		fmt.Fprintf(opt.Log, "running %s (%s)...\n", t.ID, t.Title)
+		start := time.Now()
+		err := runOne(ctx, t, opt, manifest)
+		res := TaskResult{ID: t.ID, Title: t.Title, Status: TaskDone, Duration: time.Since(start)}
+		if err != nil {
+			res.Status = TaskFailed
+			res.Err = err
+			fmt.Fprintf(opt.Log, "  FAILED in %s: %v\n", res.Duration.Truncate(time.Millisecond), err)
+		} else {
+			fmt.Fprintf(opt.Log, "  done in %s\n", res.Duration.Truncate(time.Millisecond))
+		}
+		sum.Results = append(sum.Results, res)
+	}
+	return sum
+}
+
+// runOne executes a single task behind the panic boundary, handling
+// output-file and checkpoint plumbing.
+func runOne(ctx context.Context, t Task, opt SweepOptions, manifest *Manifest) error {
+	var out io.Writer = opt.Stdout
+	var f *os.File
+	final := t.ID + ".txt"
+	if opt.OutDir != "" {
+		var err error
+		f, err = os.Create(filepath.Join(opt.OutDir, final+".partial"))
+		if err != nil {
+			return err
+		}
+		out = f
+	}
+	start := time.Now()
+	err := Recover(func() error { return t.Run(ctx, out) })
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			// Keep the partial file for post-mortems but never let it
+			// masquerade as a finished artifact.
+			return err
+		}
+		if err := os.Rename(f.Name(), filepath.Join(opt.OutDir, final)); err != nil {
+			return err
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if manifest != nil {
+		manifest.MarkDone(t.ID, final, time.Since(start))
+		if err := manifest.Save(opt.OutDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,11 +7,13 @@
 package sim
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"errors"
+	"fmt"
 
 	"fvcache/internal/core"
 	"fvcache/internal/freqval"
+	"fvcache/internal/harness"
 	"fvcache/internal/memsim"
 	"fvcache/internal/trace"
 	"fvcache/internal/workload"
@@ -39,6 +41,10 @@ type MeasureOptions struct {
 	// warm when measurement begins). 0 measures everything, matching
 	// the paper's whole-execution accounting.
 	WarmupAccesses uint64
+	// AuditEvery runs core.(*System).AuditInvariants every this many
+	// accesses (0 disables auditing). An audit failure aborts the
+	// measurement with the *core.AuditError describing every violation.
+	AuditEvery uint64
 }
 
 // MeasureResult is the outcome of one measurement run.
@@ -63,7 +69,8 @@ func Measure(w workload.Workload, scale workload.Scale, cfg core.Config, opt Mea
 	var fracSum, occSum float64
 	var samples int
 	var warmupStats core.Stats
-	needHook := opt.WarmupAccesses > 0 || (opt.SampleEvery > 0 && sys.FVC() != nil)
+	needHook := opt.WarmupAccesses > 0 || opt.AuditEvery > 0 ||
+		(opt.SampleEvery > 0 && sys.FVC() != nil)
 	if needHook {
 		var n uint64
 		sink = trace.SinkFunc(func(e trace.Event) {
@@ -80,10 +87,28 @@ func Measure(w workload.Workload, scale workload.Scale, cfg core.Config, opt Mea
 				occSum += float64(sys.FVC().ValidEntries()) / float64(sys.FVC().Params().Entries)
 				samples++
 			}
+			if opt.AuditEvery > 0 && n%opt.AuditEvery == 0 {
+				if aerr := sys.AuditInvariants(); aerr != nil {
+					// Workloads cannot be cancelled mid-Run; the panic
+					// aborts the run and Measure's recover boundary turns
+					// it back into this error.
+					panic(aerr)
+				}
+			}
 		})
 	}
+	// Simulation code asserts via panic (VerifyValues, the periodic
+	// audit, protocol invariants); the recover boundary converts those
+	// into errors so one corrupt run cannot take down a whole sweep.
 	env := memsim.NewEnv(sink)
-	w.Run(env, scale)
+	if rerr := harness.Recover(func() error { w.Run(env, scale); return nil }); rerr != nil {
+		return MeasureResult{}, fmt.Errorf("sim: measurement aborted: %w", rerr)
+	}
+	if opt.AuditEvery > 0 {
+		if aerr := sys.AuditInvariants(); aerr != nil {
+			return MeasureResult{}, fmt.Errorf("sim: final audit: %w", aerr)
+		}
+	}
 	res := MeasureResult{Stats: sys.Stats().Minus(warmupStats)}
 	if samples > 0 {
 		res.FVCFreqFrac = fracSum / float64(samples)
@@ -116,42 +141,29 @@ func MissAttribution(w workload.Workload, scale workload.Scale, cfg core.Config,
 		}
 	})
 	env := memsim.NewEnv(sink)
-	w.Run(env, scale)
+	if rerr := harness.Recover(func() error { w.Run(env, scale); return nil }); rerr != nil {
+		return 0, 0, fmt.Errorf("sim: miss attribution aborted: %w", rerr)
+	}
 	return total, attributed, nil
 }
 
 // ParallelMap evaluates fn(0..n-1) across up to workers goroutines
 // (GOMAXPROCS when workers <= 0) and returns the results in order.
+//
+// It delegates to harness.Map, so a panicking fn can no longer hang
+// the internal WaitGroup: the panic is recovered, remaining work is
+// cancelled, and the first panic is re-surfaced on the caller's
+// goroutine with the original stack appended. New code should call
+// harness.Map directly and handle the error.
 func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	out, err := harness.Map(context.Background(), n, harness.MapOptions{Workers: workers},
+		func(_ context.Context, i int) (T, error) { return fn(i), nil })
+	if err != nil {
+		var pe *harness.PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("sim: parallel task panicked: %v\n\noriginal stack:\n%s", pe.Value, pe.Stack))
+		}
+		panic(err) // unreachable: fn returns no error and ctx is never cancelled
 	}
-	if workers > n {
-		workers = n
-	}
-	out := make([]T, n)
-	if n == 0 {
-		return out
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				out[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }

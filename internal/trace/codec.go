@@ -66,10 +66,52 @@ func (w *Writer) Count() uint64 { return w.count }
 // occurred during encoding.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes a trace stream produced by Writer.
+// Varint caps. Values are 32 bits (5 varint bytes); address deltas are
+// zig-zag encoded differences of two uint32s, so they fit 33 bits (5
+// varint bytes). Anything longer is corruption, not data — capping here
+// keeps a corrupt stream from being misread as enormous garbage values
+// and rejects it deterministically instead.
+const (
+	maxVarintBytes  = 5
+	maxValueUvarint = 1<<32 - 1 // values are uint32
+	maxDeltaUvarint = 1<<33 - 1 // zig-zag of a delta in (-2^32, 2^32)
+)
+
+// CorruptError reports a malformed trace stream: a mid-record
+// truncation, an invalid op byte, or an over-long/out-of-range varint.
+// Offset is the byte offset of the failed record's first byte and
+// Event the index of the record (both counted from the start of the
+// stream, header included), so a corrupt trace file can be located
+// with a hex editor instead of guessed at from a bare
+// io.ErrUnexpectedEOF.
+type CorruptError struct {
+	// Offset is the byte offset at which the failed record starts.
+	Offset int64
+	// Event is the zero-based index of the failed record.
+	Event uint64
+	// Cause classifies the corruption (io.ErrUnexpectedEOF for
+	// truncation, a descriptive error otherwise).
+	Cause error
+}
+
+// Error formats the corruption with its location.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt stream at byte %d (event %d): %v", e.Offset, e.Event, e.Cause)
+}
+
+// Unwrap exposes the cause so errors.Is(err, io.ErrUnexpectedEOF)
+// keeps working for truncation checks.
+func (e *CorruptError) Unwrap() error { return e.Cause }
+
+// Reader decodes a trace stream produced by Writer. It is hardened
+// against malformed input: truncated or corrupted streams yield a
+// *CorruptError locating the damage; no input can make it panic (see
+// FuzzReader).
 type Reader struct {
 	r        *bufio.Reader
 	prevAddr uint32
+	off      int64  // bytes consumed so far, header included
+	events   uint64 // records decoded so far
 }
 
 // NewReader validates the header and returns a Reader.
@@ -82,36 +124,83 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if got != magic {
 		return nil, ErrBadMagic
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, off: int64(len(magic))}, nil
 }
 
-// Next returns the next event, or io.EOF at the clean end of stream.
+// Offset returns the number of bytes consumed so far (header included).
+func (r *Reader) Offset() int64 { return r.off }
+
+// Events returns the number of records decoded so far.
+func (r *Reader) Events() uint64 { return r.events }
+
+// corrupt wraps cause with the current record's location.
+func (r *Reader) corrupt(recordOff int64, cause error) error {
+	if errors.Is(cause, io.EOF) {
+		cause = io.ErrUnexpectedEOF
+	}
+	return &CorruptError{Offset: recordOff, Event: r.events, Cause: cause}
+}
+
+// readByte reads one byte, tracking the stream offset.
+func (r *Reader) readByte() (byte, error) {
+	b, err := r.r.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// readUvarint decodes a varint capped at maxVarintBytes bytes and max,
+// rejecting over-long encodings and out-of-range results.
+func (r *Reader) readUvarint(max uint64) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := r.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if i == maxVarintBytes-1 && b >= 1<<(40-7*maxVarintBytes) {
+			return 0, fmt.Errorf("varint overflows %d bytes", maxVarintBytes)
+		}
+		if i >= maxVarintBytes {
+			return 0, fmt.Errorf("varint longer than %d bytes", maxVarintBytes)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	if v > max {
+		return 0, fmt.Errorf("varint %d out of range (max %d)", v, max)
+	}
+	return v, nil
+}
+
+// Next returns the next event, io.EOF at the clean end of stream, or a
+// *CorruptError on malformed input.
 func (r *Reader) Next() (Event, error) {
-	op, err := r.r.ReadByte()
+	recordOff := r.off
+	op, err := r.readByte()
 	if err != nil {
 		return Event{}, err // io.EOF at a record boundary is a clean end
 	}
 	if Op(op) >= numOps {
-		return Event{}, fmt.Errorf("trace: invalid op byte %#x", op)
+		return Event{}, r.corrupt(recordOff, fmt.Errorf("invalid op byte %#x", op))
 	}
-	du, err := binary.ReadUvarint(r.r)
+	du, err := r.readUvarint(maxDeltaUvarint)
 	if err != nil {
-		return Event{}, truncated(err)
+		return Event{}, r.corrupt(recordOff, err)
 	}
-	val, err := binary.ReadUvarint(r.r)
+	val, err := r.readUvarint(maxValueUvarint)
 	if err != nil {
-		return Event{}, truncated(err)
+		return Event{}, r.corrupt(recordOff, err)
 	}
 	addr := uint32(int64(r.prevAddr) + unzigzag(du))
 	r.prevAddr = addr
+	r.events++
 	return Event{Op: Op(op), Addr: addr, Value: uint32(val)}, nil
-}
-
-func truncated(err error) error {
-	if errors.Is(err, io.EOF) {
-		return io.ErrUnexpectedEOF
-	}
-	return err
 }
 
 // Drain replays the entire remaining stream into dst and returns the

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encode serializes events into FVT1 bytes.
+func encode(t testing.TB, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAll reads every event until EOF or error.
+func decodeAll(data []byte) ([]Event, error) {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// FuzzReader feeds arbitrary bytes to the hardened reader. The
+// invariants: Next never panics on any input, a decodable stream
+// round-trips exactly through Writer, and errors (other than a clean
+// io.EOF) locate the damage via *CorruptError.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FVT1"))
+	f.Add([]byte("FVT2junk"))
+	valid := encode(f, []Event{
+		{Op: Store, Addr: 0x7fff0000, Value: 0xffffffff},
+		{Op: Load, Addr: 0x7fff0004, Value: 42},
+		{Op: HeapAlloc, Addr: 0x10000000, Value: 64},
+		{Op: StackFree, Addr: 0x7fff0000, Value: 4096},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                                                                  // mid-record truncation
+	f.Add(append(valid[:4:4], 0xff))                                                             // invalid op byte
+	f.Add(append(valid[:4:4], 0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)) // over-long varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := decodeAll(data) // must not panic, whatever data holds
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) && !errors.Is(err, ErrBadMagic) && len(data) >= 4 && bytes.Equal(data[:4], magic[:]) {
+				t.Fatalf("decode error is neither CorruptError nor bad magic: %v", err)
+			}
+			return
+		}
+		// Clean decode: the stream must round-trip bit-exactly through
+		// the writer (the encoding is canonical).
+		re := encode(t, events)
+		got, err := decodeAll(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded stream failed: %v", err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("round-trip lost events: %d -> %d", len(events), len(got))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("round-trip event %d: %v != %v", i, got[i], events[i])
+			}
+		}
+	})
+}
+
+// TestReaderCorruptErrorLocation asserts the hardened reader reports
+// the byte offset and event index of the damage instead of a bare
+// unexpected-EOF.
+func TestReaderCorruptErrorLocation(t *testing.T) {
+	data := encode(t, []Event{
+		{Op: Load, Addr: 0x1000, Value: 7},
+		{Op: Store, Addr: 0x1004, Value: 8},
+	})
+	// Chop off the final byte: event 1 becomes mid-record truncated.
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("event 0 should decode: %v", err)
+	}
+	_, err = r.Next()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation must unwrap to io.ErrUnexpectedEOF, got %v", err)
+	}
+	if ce.Event != 1 {
+		t.Errorf("Event = %d, want 1", ce.Event)
+	}
+	if ce.Offset <= 4 || ce.Offset >= int64(len(data)) {
+		t.Errorf("Offset = %d, want inside the stream body (len %d)", ce.Offset, len(data))
+	}
+}
+
+func TestReaderOverlongVarint(t *testing.T) {
+	data := append([]byte{}, magic[:]...)
+	data = append(data, byte(Load))
+	for i := 0; i < 9; i++ {
+		data = append(data, 0x80)
+	}
+	data = append(data, 0x01)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("over-long varint: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestReaderValueOutOfRange(t *testing.T) {
+	// A syntactically valid 5-byte varint encoding 2^33-1: legal as an
+	// address delta, out of range as a 32-bit value.
+	big := []byte{0xff, 0xff, 0xff, 0xff, 0x1f}
+	data := append([]byte{}, magic[:]...)
+	data = append(data, byte(Load), 0x00) // op + zero address delta
+	data = append(data, big...)           // value varint: 2^33-1 > uint32
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("value varint beyond uint32 must be rejected")
+	}
+}
+
+func TestReaderOffsetAndEventsAccounting(t *testing.T) {
+	events := []Event{
+		{Op: Load, Addr: 0x1000, Value: 1},
+		{Op: Store, Addr: 0x1004, Value: 2},
+		{Op: HeapFree, Addr: 0x2000, Value: 0},
+	}
+	data := encode(t, events)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Drain(Discard)
+	if err != nil || n != 3 {
+		t.Fatalf("Drain = %d, %v", n, err)
+	}
+	if r.Events() != 3 {
+		t.Errorf("Events() = %d, want 3", r.Events())
+	}
+	if r.Offset() != int64(len(data)) {
+		t.Errorf("Offset() = %d, want %d (whole stream consumed)", r.Offset(), len(data))
+	}
+}
