@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz vet fmt
+.PHONY: all build test check fuzz vet fmt bench
 
 all: build
 
@@ -14,11 +14,18 @@ vet:
 	$(GO) vet ./...
 
 # check is the full robustness gate (see ROADMAP.md "Tier-1 verify"):
-# vet, build, the race-enabled test suite, and a short fuzz smoke run
-# over the hardened trace reader.
+# vet, build, the race-enabled test suite, a short fuzz smoke run over
+# the hardened trace reader, and a single-iteration pass over every
+# benchmark so the benchmark corpus cannot rot.
 check: vet build
 	$(GO) test -race ./...
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# bench measures the record/replay sweep engine against live
+# execution and writes the BENCH_sweep.json artifact.
+bench:
+	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=60s

@@ -100,8 +100,15 @@ func run() int {
 
 	var res sim.MeasureResult
 	err = harness.Run(ctx, func(ctx context.Context) error {
+		// Record once and measure from the replay: with -fvt profiled
+		// the profiling pre-pass already populated the recording cache,
+		// so the workload executes exactly once per invocation.
+		rec, rerr := sim.Recordings.Get(w, scale)
+		if rerr != nil {
+			return rerr
+		}
 		var merr error
-		res, merr = sim.Measure(w, scale, cfg, sim.MeasureOptions{
+		res, merr = sim.MeasureRecorded(rec, cfg, sim.MeasureOptions{
 			VerifyValues: *verify,
 			SampleEvery:  100_000,
 			AuditEvery:   *audit,

@@ -21,8 +21,8 @@ import (
 	"fvcache/internal/cache"
 	"fvcache/internal/core"
 	"fvcache/internal/harness"
-	"fvcache/internal/memsim"
 	"fvcache/internal/report"
+	"fvcache/internal/sim"
 	"fvcache/internal/trace"
 	"fvcache/internal/workload"
 )
@@ -79,18 +79,19 @@ func recordCmd(wlName, scaleName, outPath string) error {
 	if err != nil {
 		return err
 	}
+	// Record in memory first (a workload panic then aborts before the
+	// output file is touched), then spill the recording in one pass.
+	rec, err := sim.Record(w, scale)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	tw, err := trace.NewWriter(f)
+	n, err := rec.WriteTo(f)
 	if err != nil {
-		return err
-	}
-	env := memsim.NewEnv(tw)
-	w.Run(env, scale)
-	if err := tw.Flush(); err != nil {
 		return err
 	}
 	info, err := f.Stat()
@@ -98,7 +99,7 @@ func recordCmd(wlName, scaleName, outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %d events (%d accesses) to %s (%d bytes, %.2f bytes/event)\n",
-		tw.Count(), env.Accesses(), outPath, info.Size(), float64(info.Size())/float64(tw.Count()))
+		n, rec.Accesses(), outPath, info.Size(), float64(info.Size())/float64(n))
 	return nil
 }
 

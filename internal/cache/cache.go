@@ -85,6 +85,7 @@ type Line struct {
 type Cache struct {
 	p     Params
 	sets  [][]Line
+	lines []Line // the flat backing array the sets are carved from
 	clock uint64
 
 	setMask   uint32
@@ -99,12 +100,14 @@ func New(p Params) *Cache {
 	}
 	sets := make([][]Line, p.NumSets())
 	backing := make([]Line, p.NumLines())
+	rest := backing
 	for i := range sets {
-		sets[i], backing = backing[:p.Assoc:p.Assoc], backing[p.Assoc:]
+		sets[i], rest = rest[:p.Assoc:p.Assoc], rest[p.Assoc:]
 	}
 	return &Cache{
 		p:         p,
 		sets:      sets,
+		lines:     backing,
 		setMask:   uint32(p.NumSets() - 1),
 		lineShift: uint32(log2(p.LineBytes)),
 	}
@@ -128,11 +131,9 @@ func (c *Cache) LineAddr(addr uint32) uint32 { return addr >> c.lineShift }
 // BaseAddr returns the first byte address of the line with tag t.
 func (c *Cache) BaseAddr(tag uint32) uint32 { return tag << c.lineShift }
 
-// setIndex maps a line address to its set.
+// setIndex maps a line address to its set (setMask is 0 for a single
+// set, and x&0 == 0, so fully-associative geometries need no branch).
 func (c *Cache) setIndex(lineAddr uint32) uint32 {
-	if c.setMask == 0 {
-		return 0
-	}
 	return lineAddr & c.setMask
 }
 
@@ -152,9 +153,29 @@ func (c *Cache) Lookup(addr uint32) bool {
 
 // Touch looks up the line containing addr and, on a hit, refreshes its
 // LRU stamp and applies dirty for stores. It returns whether it hit.
+//
+// The direct-mapped probe is kept small enough to inline into the
+// per-access simulation loop (one candidate way, and no LRU clock to
+// maintain since the victim is always that way); wider sets take the
+// outlined associative path.
 func (c *Cache) Touch(addr uint32, store bool) bool {
-	tag := c.LineAddr(addr)
-	set := c.sets[c.setIndex(tag)]
+	tag := addr >> c.lineShift
+	set := c.sets[tag&c.setMask]
+	if len(set) == 1 {
+		ln := &set[0]
+		if ln.Valid && ln.Tag == tag {
+			if store {
+				ln.Dirty = true
+			}
+			return true
+		}
+		return false
+	}
+	return c.touchAssoc(set, tag, store)
+}
+
+//go:noinline
+func (c *Cache) touchAssoc(set []Line, tag uint32, store bool) bool {
 	for i := range set {
 		ln := &set[i]
 		if ln.Valid && ln.Tag == tag {
@@ -165,6 +186,41 @@ func (c *Cache) Touch(addr uint32, store bool) bool {
 			}
 			return true
 		}
+	}
+	return false
+}
+
+// DMView is a flattened probe handle for a direct-mapped cache. Its
+// Touch is small enough for the compiler to inline into the simulator's
+// per-access loop, where the generic Touch (which must handle arbitrary
+// associativity) is not. The view aliases the cache's line storage, so
+// it stays coherent across Insert/Invalidate/Flush; it is invalidated
+// only if the cache were rebuilt (caches never are).
+type DMView struct {
+	lines []Line
+	shift uint32
+	mask  uint32
+}
+
+// DM returns a direct-mapped fast-probe view, or ok == false when the
+// cache is not direct mapped.
+func (c *Cache) DM() (DMView, bool) {
+	if c.p.Assoc != 1 {
+		return DMView{}, false
+	}
+	return DMView{lines: c.lines, shift: c.lineShift, mask: c.setMask}, true
+}
+
+// Touch is Cache.Touch for the direct-mapped geometry: one candidate
+// way, no LRU clock to maintain.
+func (v DMView) Touch(addr uint32, store bool) bool {
+	tag := addr >> v.shift
+	ln := &v.lines[tag&v.mask]
+	if ln.Valid && ln.Tag == tag {
+		if store {
+			ln.Dirty = true
+		}
+		return true
 	}
 	return false
 }

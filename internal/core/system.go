@@ -229,6 +229,17 @@ type System struct {
 
 	stats Stats
 	wpl   int
+
+	// dm is the main cache's inlinable direct-mapped probe view; dmOK
+	// selects it over the generic Touch on the per-access fast path.
+	dm   cache.DMView
+	dmOK bool
+
+	// footprint and fpCodes are the reusable scratch buffers
+	// handleMainVictim encodes evicted lines through; owning them here
+	// keeps the per-eviction path allocation free.
+	footprint []uint32
+	fpCodes   []uint8
 }
 
 // New builds a System from cfg.
@@ -237,11 +248,14 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:  cfg,
-		main: cache.New(cfg.Main),
-		mem:  memsim.NewMemory(),
-		wpl:  cfg.Main.WordsPerLine(),
+		cfg:       cfg,
+		main:      cache.New(cfg.Main),
+		mem:       memsim.NewMemory(),
+		wpl:       cfg.Main.WordsPerLine(),
+		footprint: make([]uint32, cfg.Main.WordsPerLine()),
+		fpCodes:   make([]uint8, cfg.Main.WordsPerLine()),
 	}
+	s.dm, s.dmOK = s.main.DM()
 	if cfg.FVC != nil {
 		vals := cfg.FrequentValues
 		if max := fvc.MaxValues(cfg.FVC.Bits); len(vals) > max {
@@ -310,6 +324,62 @@ func (s *System) Emit(e trace.Event) {
 	s.Access(e.Op, e.Addr, e.Value)
 }
 
+// ReplayColumns drives the hierarchy from columnar event buffers (the
+// shape trace.Recording stores), skipping non-access events. It is
+// semantically identical to calling Access per access event, but the
+// common replay shape — direct-mapped main cache, no online sketch, no
+// value verification — runs a specialized loop: the inlinable
+// direct-mapped probe and the loop-invariant configuration tests stay
+// in registers, and the load/store/hit tallies accumulate in locals
+// that merge into Stats once at the end.
+func (s *System) ReplayColumns(ops []trace.Op, addrs, values []uint32) {
+	if len(addrs) != len(ops) || len(values) != len(ops) {
+		panic("core: ReplayColumns column length mismatch")
+	}
+	if !s.dmOK || s.sketch != nil || s.cfg.VerifyValues {
+		for i, op := range ops {
+			if op.IsAccess() {
+				s.Access(op, addrs[i], values[i])
+			}
+		}
+		return
+	}
+	dm := s.dm
+	mem := s.mem
+	var loads, stores, mainHits, misses uint64
+	for i, op := range ops {
+		if !op.IsAccess() {
+			continue
+		}
+		store := op == trace.Store
+		addr, value := addrs[i], values[i]
+		if dm.Touch(addr, store) {
+			mainHits++
+		} else {
+			switch s.access(store, addr, value) {
+			case MainHit:
+				mainHits++
+			case FVCHit:
+				s.stats.FVCHits++
+			case VictimHit:
+				s.stats.VictimHits++
+			default:
+				misses++
+			}
+		}
+		if store {
+			mem.StoreWord(addr, value)
+			stores++
+		} else {
+			loads++
+		}
+	}
+	s.stats.Loads += loads
+	s.stats.Stores += stores
+	s.stats.MainHits += mainHits
+	s.stats.Misses += misses
+}
+
 // Access simulates one word access and returns the structure that
 // satisfied it (or Miss).
 func (s *System) Access(op trace.Op, addr, value uint32) HitSource {
@@ -359,8 +429,13 @@ func (s *System) Access(op trace.Op, addr, value uint32) HitSource {
 
 func (s *System) access(store bool, addr, value uint32) HitSource {
 	// Main cache and FVC/VC are probed in parallel; the exclusive
-	// contract guarantees at most one hits.
-	if s.main.Touch(addr, store) {
+	// contract guarantees at most one hits. The direct-mapped view's
+	// Touch inlines here, which the generic Touch cannot.
+	if s.dmOK {
+		if s.dm.Touch(addr, store) {
+			return MainHit
+		}
+	} else if s.main.Touch(addr, store) {
 		return MainHit
 	}
 	if s.fv != nil {
@@ -393,14 +468,14 @@ func (s *System) accessWithFVC(store bool, addr, value uint32) HitSource {
 		// The FVC's frequent words are the latest values; the replica
 		// already reflects them, so the overlay is traffic accounting
 		// plus dirtiness transfer.
-		entry := s.fv.Invalidate(addr)
+		entry := s.fv.InvalidateFast(addr)
 		s.fetchIntoWithDirty(addr, store, entry.Valid && entry.Dirty)
 		return Miss
 	}
 	// Miss in both structures.
 	if store && !s.cfg.NoWriteMissAllocate {
 		if s.fv.Table().Contains(value) {
-			displaced := s.fv.InstallWriteMiss(addr, value)
+			displaced := s.fv.InstallWriteMissFast(addr, value)
 			s.writebackFVCEntry(displaced)
 			s.stats.WriteMissAllocs++
 			// The store is satisfied by the FVC without a line fetch:
@@ -504,18 +579,13 @@ func (s *System) handleMainVictim(v cache.Victim) {
 		return
 	}
 	base := s.main.BaseAddr(v.Tag)
-	words := make([]uint32, s.wpl)
-	any := false
-	for i := range words {
-		words[i] = s.mem.LoadWord(base + uint32(i*trace.WordBytes))
-		if s.fv.Table().Contains(words[i]) {
-			any = true
-		}
-	}
+	words := s.footprint
+	s.mem.LoadLine(base, words)
+	any := s.fv.EncodeWords(words, s.fpCodes)
 	if s.cfg.SkipEmptyFootprints && !any {
 		return
 	}
-	displaced := s.fv.InstallFootprint(s.fv.LineAddr(base), words)
+	displaced := s.fv.InstallCodes(s.fv.LineAddr(base), s.fpCodes)
 	s.writebackFVCEntry(displaced)
 }
 
@@ -523,11 +593,11 @@ func (s *System) handleMainVictim(v cache.Victim) {
 // dirty FVC entry (only its frequent words hold data). With an L2, the
 // words merge into the L2's copy of the line; without one they go off
 // chip.
-func (s *System) writebackFVCEntry(e fvc.Entry) {
+func (s *System) writebackFVCEntry(e fvc.Displaced) {
 	if !e.Valid || !e.Dirty {
 		return
 	}
-	words := uint64(e.FrequentWords(s.fv.Escape()))
+	words := uint64(e.FreqWords)
 	s.stats.FVCWritebackWords += words
 	if s.l2 == nil {
 		s.stats.TrafficWords += words

@@ -12,11 +12,12 @@ import (
 	"fvcache/internal/workload"
 )
 
-// missPct measures the miss rate (in %) of cfg on w.
+// missPct measures the miss rate (in %) of cfg on w, replaying the
+// workload's shared recording.
 func missPct(w workload.Workload, scale workload.Scale, cfg core.Config) (float64, error) {
-	res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{})
+	res, err := measureRec(w, scale, cfg, sim.MeasureOptions{})
 	if err != nil {
-		return 0, fmt.Errorf("measuring %s: %w", w.Name(), err)
+		return 0, err
 	}
 	return res.Stats.MissRate() * 100, nil
 }
@@ -98,7 +99,7 @@ func runFig11(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		cfg := withFVC(w, opt.Scale, main, 512, 3)
-		res, err := sim.Measure(w, opt.Scale, cfg, sim.MeasureOptions{SampleEvery: occInterval(opt.Scale) / 4})
+		res, err := measureRec(w, opt.Scale, cfg, sim.MeasureOptions{SampleEvery: occInterval(opt.Scale) / 4})
 		if err != nil {
 			return nil, err
 		}

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"sync"
 
+	"fvcache/internal/core"
 	"fvcache/internal/harness"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
+	"fvcache/internal/trace"
 	"fvcache/internal/workload"
 )
 
@@ -143,6 +145,30 @@ func topAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
 		k = len(vals)
 	}
 	return vals[:k]
+}
+
+// recording returns the shared recording of w at scale from the
+// process-wide cache: every sweep records each (workload, scale) once
+// and fans the replays across harness workers.
+func recording(w workload.Workload, scale workload.Scale) (*trace.Recording, error) {
+	rec, err := sim.Recordings.Get(w, scale)
+	if err != nil {
+		return nil, fmt.Errorf("recording %s: %w", w.Name(), err)
+	}
+	return rec, nil
+}
+
+// measureRec is sim.Measure driven from the shared recording of w.
+func measureRec(w workload.Workload, scale workload.Scale, cfg core.Config, mo sim.MeasureOptions) (sim.MeasureResult, error) {
+	rec, err := recording(w, scale)
+	if err != nil {
+		return sim.MeasureResult{}, err
+	}
+	res, err := sim.MeasureRecorded(rec, cfg, mo)
+	if err != nil {
+		return sim.MeasureResult{}, fmt.Errorf("measuring %s: %w", w.Name(), err)
+	}
+	return res, nil
 }
 
 // suite resolves a list of workload names, failing (not panicking) on

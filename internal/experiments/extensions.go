@@ -8,7 +8,6 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/energy"
 	"fvcache/internal/fvc"
-	"fvcache/internal/memsim"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/trace"
@@ -36,12 +35,15 @@ func runXClass(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		cl := cache.NewClassifier(p)
-		env := memsim.NewEnv(trace.SinkFunc(func(e trace.Event) {
+		rec, err := recording(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(trace.SinkFunc(func(e trace.Event) {
 			if e.Op.IsAccess() {
 				cl.Access(e.Addr, e.Op == trace.Store)
 			}
 		}))
-		w.Run(env, opt.Scale)
 		misses := float64(cl.Misses())
 		pct := func(k cache.MissKind) string {
 			if misses == 0 {
@@ -129,7 +131,7 @@ func runXOnline(opt Options, out io.Writer) error {
 			FVC:            &fvc.Params{Entries: 512, LineBytes: main.LineBytes, Bits: 3},
 			OnlineFVTEvery: 100_000,
 		}
-		res, err := sim.Measure(w, opt.Scale, onlineCfg, sim.MeasureOptions{})
+		res, err := measureRec(w, opt.Scale, onlineCfg, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -165,12 +167,12 @@ func runXEnergy(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main}
-		baseRes, err := sim.Measure(w, opt.Scale, baseCfg, sim.MeasureOptions{})
+		baseRes, err := measureRec(w, opt.Scale, baseCfg, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
-		augRes, err := sim.Measure(w, opt.Scale, augCfg, sim.MeasureOptions{})
+		augRes, err := measureRec(w, opt.Scale, augCfg, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}

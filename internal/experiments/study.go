@@ -14,16 +14,6 @@ import (
 	"fvcache/internal/workload"
 )
 
-// sinkHolder lets us build the Env before the sinks that need its
-// memory reference.
-type sinkHolder struct{ s trace.Sink }
-
-func (h *sinkHolder) Emit(e trace.Event) {
-	if h.s != nil {
-		h.s.Emit(e)
-	}
-}
-
 // occInterval picks the occurrence-sampling interval (the analogue of
 // the paper's every-10M-instruction snapshots) per scale.
 func occInterval(scale workload.Scale) uint64 {
@@ -43,17 +33,23 @@ type studyRun struct {
 	occ  *freqval.OccurrenceSampler
 }
 
-func runStudy(w workload.Workload, scale workload.Scale) *studyRun {
-	holder := &sinkHolder{}
-	env := memsim.NewEnv(holder)
+func runStudy(w workload.Workload, scale workload.Scale) (*studyRun, error) {
+	rec, err := recording(w, scale)
+	if err != nil {
+		return nil, err
+	}
+	// The occurrence sampler reads the memory image, which a live run
+	// got from Env.Mem; on replay a Replayer reconstructs it. It sits
+	// first in the sink chain so the sampler observes memory after each
+	// event took effect, exactly as it did live.
+	r := memsim.NewReplayer()
 	s := &studyRun{
 		hist: trace.NewValueHistogram(),
-		occ:  freqval.NewOccurrenceSampler(env.Mem, occInterval(scale)),
+		occ:  freqval.NewOccurrenceSampler(r.Mem, occInterval(scale)),
 	}
-	holder.s = trace.MultiSink(s.hist, s.occ)
-	w.Run(env, scale)
+	rec.Replay(trace.MultiSink(r, s.hist, s.occ))
 	s.occ.Finalize()
-	return s
+	return s, nil
 }
 
 // --- Figure 1 & 2: frequently encountered values ---
@@ -64,7 +60,10 @@ func frequentValuesTable(title string, suite []workload.Workload, opt Options) (
 		"acc top1", "acc top3", "acc top7", "acc top10")
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		s := runStudy(w, opt.Scale)
+		s, err := runStudy(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{label(w)}
 		for _, k := range []int{1, 3, 7, 10} {
 			row = append(row, report.Pct(s.occ.AvgCoverage(s.occ.TopOccurring(k))))
@@ -114,7 +113,10 @@ func runFig3(opt Options, out io.Writer) error {
 		return err
 	}
 	// Pass 1: characterization run fixing the final top value sets.
-	s := runStudy(w, opt.Scale)
+	s, err := runStudy(w, opt.Scale)
+	if err != nil {
+		return err
+	}
 	topOcc := s.occ.TopOccurring(10)
 	topAcc := freqval.TopAccessed(s.hist, 10)
 	totalAcc := s.hist.Total()
@@ -181,8 +183,11 @@ func runFig3(opt Options, out io.Writer) error {
 			cps = append(cps, cp)
 		}
 	})
-	env := memsim.NewEnv(sink)
-	w.Run(env, opt.Scale)
+	rec, err := recording(w, opt.Scale)
+	if err != nil {
+		return err
+	}
+	rec.Replay(sink)
 
 	ta := report.NewTable("Figure 3b: accesses involving top accessed values over time (ccomp/126.gcc)",
 		"accesses", "top1", "top3", "top7", "top10", "unique values")
@@ -210,14 +215,21 @@ func runFig4(opt Options, out io.Writer) error {
 		"benchmark", "miss rate", "% misses w/ top-10 occurring", "% misses w/ top-10 accessed")
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		s := runStudy(w, opt.Scale)
-		topOcc := s.occ.TopOccurring(10)
-		topAcc := freqval.TopAccessed(s.hist, 10)
-		total, attrOcc, err := sim.MissAttribution(w, opt.Scale, cfg, topOcc)
+		s, err := runStudy(w, opt.Scale)
 		if err != nil {
 			return nil, err
 		}
-		_, attrAcc, err := sim.MissAttribution(w, opt.Scale, cfg, topAcc)
+		topOcc := s.occ.TopOccurring(10)
+		topAcc := freqval.TopAccessed(s.hist, 10)
+		rec, err := recording(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		total, attrOcc, err := sim.MissAttributionRecorded(rec, cfg, topOcc)
+		if err != nil {
+			return nil, err
+		}
+		_, attrAcc, err := sim.MissAttributionRecorded(rec, cfg, topAcc)
 		if err != nil {
 			return nil, err
 		}
@@ -246,26 +258,31 @@ func runFig5(opt Options, out io.Writer) error {
 		return err
 	}
 	// Pass 1: total access count and top-7 occurring values.
-	s := runStudy(w, opt.Scale)
+	s, err := runStudy(w, opt.Scale)
+	if err != nil {
+		return err
+	}
 	top7 := s.occ.TopOccurring(7)
 	half := s.hist.Total() / 2
 
-	// Pass 2: stop-at-midpoint scan.
-	holder := &sinkHolder{}
-	env := memsim.NewEnv(holder)
-	occ := freqval.NewOccurrenceSampler(env.Mem, occInterval(opt.Scale))
+	// Pass 2: stop-at-midpoint scan over the replayed memory image.
+	rec, err := recording(w, opt.Scale)
+	if err != nil {
+		return err
+	}
+	r := memsim.NewReplayer()
+	occ := freqval.NewOccurrenceSampler(r.Mem, occInterval(opt.Scale))
 	var n uint64
 	var blocks []float64
-	holder.s = trace.SinkFunc(func(e trace.Event) {
+	rec.Replay(trace.MultiSink(r, trace.SinkFunc(func(e trace.Event) {
 		occ.Emit(e)
 		if e.Op.IsAccess() {
 			n++
 			if n == half {
-				blocks = freqval.ScanSpatial(env.Mem, occ.LiveAddrs(), top7, freqval.DefaultSpatialOptions())
+				blocks = freqval.ScanSpatial(r.Mem, occ.LiveAddrs(), top7, freqval.DefaultSpatialOptions())
 			}
 		}
-	})
-	w.Run(env, opt.Scale)
+	})))
 
 	mean, dev := freqval.SpatialSpread(blocks)
 	t := report.NewTable("Figure 5: frequent values per 8-word line, 800-word blocks (ccomp/126.gcc at 50% of execution)",
@@ -290,7 +307,10 @@ func runTab1(opt Options, out io.Writer) error {
 	}
 	type cols struct{ acc, occ []uint32 }
 	per, err := pmap(opt, len(suite), func(i int) (cols, error) {
-		s := runStudy(suite[i], opt.Scale)
+		s, err := runStudy(suite[i], opt.Scale)
+		if err != nil {
+			return cols{}, err
+		}
 		return cols{acc: freqval.TopAccessed(s.hist, 10), occ: s.occ.TopOccurring(10)}, nil
 	})
 	if err != nil {
@@ -363,8 +383,11 @@ func runTab3(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		st := freqval.NewStabilityTracker(occInterval(opt.Scale)/8, 1, 3, 7)
-		env := memsim.NewEnv(st)
-		w.Run(env, opt.Scale)
+		rec, err := recording(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(st)
 		st.Finalize()
 		return []string{
 			label(w),
@@ -404,8 +427,11 @@ func runTab4(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		ct := freqval.NewConstAddrTracker()
-		env := memsim.NewEnv(ct)
-		w.Run(env, opt.Scale)
+		rec, err := recording(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(ct)
 		ct.Finalize()
 		return []string{label(w), report.Pct(ct.ConstantFraction()), tab4Paper[w.Name()]}, nil
 	})

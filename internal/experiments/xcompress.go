@@ -8,7 +8,6 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/fpc"
 	"fvcache/internal/fvc"
-	"fvcache/internal/memsim"
 	"fvcache/internal/report"
 	"fvcache/internal/trace"
 )
@@ -46,8 +45,11 @@ func runXCompress(opt Options, out io.Writer) error {
 		}
 		cc := compress.MustNew(compress.Params{SizeBytes: main.SizeBytes, LineBytes: main.LineBytes}, tbl)
 		var ph fpc.Histogram
-		env := memsim.NewEnv(trace.MultiSink(cc, &ph))
-		w.Run(env, opt.Scale)
+		rec, err := recording(w, opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(trace.MultiSink(cc, &ph))
 
 		return []string{
 			label(w),

@@ -26,13 +26,13 @@ func runXL2(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main, L2: &l2}
-		baseRes, err := sim.Measure(w, opt.Scale, baseCfg, sim.MeasureOptions{})
+		baseRes, err := measureRec(w, opt.Scale, baseCfg, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
 		augCfg.L2 = &l2
-		augRes, err := sim.Measure(w, opt.Scale, augCfg, sim.MeasureOptions{})
+		augRes, err := measureRec(w, opt.Scale, augCfg, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -241,18 +241,29 @@ func (f *FVC) WriteWord(addr, v uint32) bool {
 	return true
 }
 
-// InstallFootprint records the frequent-value footprint of a line
-// evicted from the main cache: each word's value is encoded if
-// frequent, escaped otherwise. The displaced entry (if valid) is
-// returned so the caller can account for its writeback. The new entry
-// is clean: the main cache wrote the line back to memory at the same
-// time (the paper's first insertion rule).
-func (f *FVC) InstallFootprint(lineAddr uint32, words []uint32) Entry {
-	if len(words) != f.p.WordsPerLine() {
-		panic(fmt.Sprintf("fvc: footprint of %d words, want %d", len(words), f.p.WordsPerLine()))
+// Displaced summarizes the prior contents of an entry overwritten or
+// invalidated on the simulation hot path. Writeback accounting needs
+// only the tag, the dirty bit, and the count of frequent words, so no
+// code array is copied — the Install*/Invalidate variants returning a
+// full Entry snapshot allocate one per displacement, which the
+// steady-state access path cannot afford.
+type Displaced struct {
+	Tag       uint32
+	Valid     bool
+	Dirty     bool
+	FreqWords int
+}
+
+// displaced captures e's accounting summary before it is overwritten.
+func (f *FVC) displaced(e *Entry) Displaced {
+	if !e.Valid {
+		return Displaced{}
 	}
-	e := f.victimWay(lineAddr)
-	out := snapshot(e)
+	return Displaced{Tag: e.Tag, Valid: true, Dirty: e.Dirty, FreqWords: e.FrequentWords(f.escape)}
+}
+
+// fillFootprint overwrites e with lineAddr's encoded footprint (clean).
+func (f *FVC) fillFootprint(e *Entry, lineAddr uint32, words []uint32) {
 	e.Tag = lineAddr
 	e.Valid = true
 	e.Dirty = false
@@ -265,6 +276,85 @@ func (f *FVC) InstallFootprint(lineAddr uint32, words []uint32) Entry {
 		}
 		e.Codes[i] = code
 	}
+}
+
+// fillWriteMiss overwrites e with a dirty single-word allocation.
+func (f *FVC) fillWriteMiss(e *Entry, lineAddr uint32, word int, code uint8) {
+	e.Tag = lineAddr
+	e.Valid = true
+	e.Dirty = true
+	f.clock++
+	e.lru = f.clock
+	for i := range e.Codes {
+		e.Codes[i] = f.escape
+	}
+	e.Codes[word] = code
+}
+
+// InstallFootprint records the frequent-value footprint of a line
+// evicted from the main cache: each word's value is encoded if
+// frequent, escaped otherwise. The displaced entry (if valid) is
+// returned so the caller can account for its writeback. The new entry
+// is clean: the main cache wrote the line back to memory at the same
+// time (the paper's first insertion rule).
+func (f *FVC) InstallFootprint(lineAddr uint32, words []uint32) Entry {
+	if len(words) != f.p.WordsPerLine() {
+		panic(fmt.Sprintf("fvc: footprint of %d words, want %d", len(words), f.p.WordsPerLine()))
+	}
+	e := f.victimWay(lineAddr)
+	out := snapshot(e)
+	f.fillFootprint(e, lineAddr, words)
+	return out
+}
+
+// InstallFootprintFast is InstallFootprint returning only the
+// displaced entry's accounting summary, with no allocation. It is the
+// variant the simulator's per-access path calls.
+func (f *FVC) InstallFootprintFast(lineAddr uint32, words []uint32) Displaced {
+	if len(words) != f.p.WordsPerLine() {
+		panic(fmt.Sprintf("fvc: footprint of %d words, want %d", len(words), f.p.WordsPerLine()))
+	}
+	e := f.victimWay(lineAddr)
+	out := f.displaced(e)
+	f.fillFootprint(e, lineAddr, words)
+	return out
+}
+
+// EncodeWords encodes words into codes (len(codes) == len(words)) and
+// reports whether any word is a frequent value. It lets the eviction
+// path encode a line exactly once: the caller decides (skip-empty
+// policy) from anyFrequent and then installs the codes verbatim with
+// InstallCodes, instead of scanning the table once for the decision
+// and again for the install.
+func (f *FVC) EncodeWords(words []uint32, codes []uint8) (anyFrequent bool) {
+	for i, v := range words {
+		code, ok := f.table.Encode(v)
+		if !ok {
+			code = f.escape
+		}
+		codes[i] = code
+		if ok {
+			anyFrequent = true
+		}
+	}
+	return anyFrequent
+}
+
+// InstallCodes installs a footprint pre-encoded by EncodeWords,
+// returning the displaced entry's accounting summary. The new entry is
+// clean, matching InstallFootprint.
+func (f *FVC) InstallCodes(lineAddr uint32, codes []uint8) Displaced {
+	if len(codes) != f.p.WordsPerLine() {
+		panic(fmt.Sprintf("fvc: footprint of %d codes, want %d", len(codes), f.p.WordsPerLine()))
+	}
+	e := f.victimWay(lineAddr)
+	out := f.displaced(e)
+	e.Tag = lineAddr
+	e.Valid = true
+	e.Dirty = false
+	f.clock++
+	e.lru = f.clock
+	copy(e.Codes, codes)
 	return out
 }
 
@@ -282,15 +372,21 @@ func (f *FVC) InstallWriteMiss(addr, v uint32) Entry {
 	la := f.LineAddr(addr)
 	e := f.victimWay(la)
 	out := snapshot(e)
-	e.Tag = la
-	e.Valid = true
-	e.Dirty = true
-	f.clock++
-	e.lru = f.clock
-	for i := range e.Codes {
-		e.Codes[i] = f.escape
+	f.fillWriteMiss(e, la, f.wordIndex(addr), code)
+	return out
+}
+
+// InstallWriteMissFast is InstallWriteMiss returning only the
+// displaced entry's accounting summary, with no allocation.
+func (f *FVC) InstallWriteMissFast(addr, v uint32) Displaced {
+	code, ok := f.table.Encode(v)
+	if !ok {
+		panic(fmt.Sprintf("fvc: InstallWriteMiss with infrequent value %#x", v))
 	}
-	e.Codes[f.wordIndex(addr)] = code
+	la := f.LineAddr(addr)
+	e := f.victimWay(la)
+	out := f.displaced(e)
+	f.fillWriteMiss(e, la, f.wordIndex(addr), code)
 	return out
 }
 
@@ -303,6 +399,19 @@ func (f *FVC) Invalidate(addr uint32) Entry {
 		return Entry{}
 	}
 	out := snapshot(e)
+	e.Valid = false
+	e.Dirty = false
+	return out
+}
+
+// InvalidateFast is Invalidate returning only the removed entry's
+// accounting summary, with no allocation.
+func (f *FVC) InvalidateFast(addr uint32) Displaced {
+	e := f.find(f.LineAddr(addr))
+	if e == nil {
+		return Displaced{}
+	}
+	out := f.displaced(e)
 	e.Valid = false
 	e.Dirty = false
 	return out

@@ -11,11 +11,21 @@ import "fmt"
 // Table is the frequent value table (FVT): the ordered set of values
 // the FVC can encode. With a code width of b bits, 2^b-1 values are
 // encodable and the all-ones code is reserved for "infrequent".
+//
+// Encode and Contains run once per word on the simulator's hot path
+// (every footprint insertion scans a whole line), so small tables —
+// the paper's configurations hold at most 7 values — are indexed by a
+// linear scan over the value array, which beats a map lookup at these
+// sizes and allocates nothing. Tables above smallTableMax values keep
+// the map index.
 type Table struct {
 	bits   int
 	values []uint32
-	index  map[uint32]uint8
+	index  map[uint32]uint8 // nil for tables of <= smallTableMax values
 }
+
+// smallTableMax is the largest table indexed by linear scan.
+const smallTableMax = 16
 
 // MaxValues returns the number of frequent values a b-bit code can
 // name (one code is reserved as the escape).
@@ -32,12 +42,19 @@ func NewTable(bits int, values []uint32) (*Table, error) {
 		return nil, fmt.Errorf("fvc: %d values exceed capacity %d of a %d-bit code",
 			len(values), MaxValues(bits), bits)
 	}
-	idx := make(map[uint32]uint8, len(values))
+	var idx map[uint32]uint8
+	if len(values) > smallTableMax {
+		idx = make(map[uint32]uint8, len(values))
+	}
 	for i, v := range values {
-		if _, dup := idx[v]; dup {
-			return nil, fmt.Errorf("fvc: duplicate frequent value %#x", v)
+		for _, prev := range values[:i] {
+			if prev == v {
+				return nil, fmt.Errorf("fvc: duplicate frequent value %#x", v)
+			}
 		}
-		idx[v] = uint8(i)
+		if idx != nil {
+			idx[v] = uint8(i)
+		}
 	}
 	return &Table{bits: bits, values: append([]uint32(nil), values...), index: idx}, nil
 }
@@ -67,8 +84,16 @@ func (t *Table) Values() []uint32 { return append([]uint32(nil), t.values...) }
 // Encode maps a value to its code; ok is false (and the escape code is
 // returned) when v is not a frequent value.
 func (t *Table) Encode(v uint32) (code uint8, ok bool) {
-	if c, found := t.index[v]; found {
-		return c, true
+	if t.index != nil {
+		if c, found := t.index[v]; found {
+			return c, true
+		}
+		return t.Escape(), false
+	}
+	for i, tv := range t.values {
+		if tv == v {
+			return uint8(i), true
+		}
 	}
 	return t.Escape(), false
 }
@@ -86,6 +111,14 @@ func (t *Table) Decode(code uint8) uint32 {
 
 // Contains reports whether v is in the table.
 func (t *Table) Contains(v uint32) bool {
-	_, ok := t.index[v]
-	return ok
+	if t.index != nil {
+		_, ok := t.index[v]
+		return ok
+	}
+	for _, tv := range t.values {
+		if tv == v {
+			return true
+		}
+	}
+	return false
 }

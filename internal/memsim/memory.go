@@ -19,10 +19,28 @@ const (
 
 type page [PageWords]uint32
 
+// tlbSize is the number of entries in the page-translation memo
+// (power of two, direct mapped by page id).
+const tlbSize = 8
+
+type tlbEntry struct {
+	pid uint32
+	p   *page // nil until a backed page is cached in this slot
+}
+
 // Memory is a sparse word-addressed memory. Unbacked addresses read as
 // zero, matching demand-zeroed pages on the machines the paper studied.
+//
+// Accesses cluster heavily within a few pages at a time (the same
+// locality the caches under study exploit), so Memory keeps a small
+// direct-mapped page-translation memo and consults the page map only
+// on a memo miss — which also keeps hot loads free of map-lookup
+// overhead when an access pattern ping-pongs between pages. Memory is
+// not safe for concurrent use; each simulated hierarchy owns its own
+// instance.
 type Memory struct {
 	pages map[uint32]*page
+	tlb   [tlbSize]tlbEntry
 }
 
 // NewMemory returns an empty memory.
@@ -35,24 +53,70 @@ func wordIndex(addr uint32) (pageID uint32, idx uint32) {
 }
 
 // LoadWord returns the word at the word-aligned byte address addr.
+// The memo-hit path is small enough to inline at call sites; memo
+// misses take the outlined map path.
 func (m *Memory) LoadWord(addr uint32) uint32 {
 	pid, idx := wordIndex(addr)
+	t := &m.tlb[pid&(tlbSize-1)]
+	if t.p != nil && t.pid == pid {
+		return t.p[idx]
+	}
+	return m.loadSlow(pid, idx)
+}
+
+//go:noinline
+func (m *Memory) loadSlow(pid, idx uint32) uint32 {
 	p := m.pages[pid]
 	if p == nil {
 		return 0
 	}
+	t := &m.tlb[pid&(tlbSize-1)]
+	t.pid, t.p = pid, p
 	return p[idx]
 }
 
 // StoreWord writes v to the word-aligned byte address addr.
 func (m *Memory) StoreWord(addr, v uint32) {
 	pid, idx := wordIndex(addr)
+	t := &m.tlb[pid&(tlbSize-1)]
+	if t.p != nil && t.pid == pid {
+		t.p[idx] = v
+		return
+	}
+	m.storeSlow(pid, idx, v)
+}
+
+//go:noinline
+func (m *Memory) storeSlow(pid, idx, v uint32) {
 	p := m.pages[pid]
 	if p == nil {
 		p = new(page)
 		m.pages[pid] = p
 	}
+	t := &m.tlb[pid&(tlbSize-1)]
+	t.pid, t.p = pid, p
 	p[idx] = v
+}
+
+// LoadLine fills out with the consecutive words starting at the
+// word-aligned byte address base, resolving the backing page once
+// instead of per word. base must be aligned to len(out) words (cache
+// lines are), so the run never crosses a page boundary.
+func (m *Memory) LoadLine(base uint32, out []uint32) {
+	pid, idx := wordIndex(base)
+	t := &m.tlb[pid&(tlbSize-1)]
+	p := t.p
+	if p == nil || t.pid != pid {
+		p = m.pages[pid]
+		if p == nil {
+			for i := range out {
+				out[i] = 0
+			}
+			return
+		}
+		t.pid, t.p = pid, p
+	}
+	copy(out, p[idx:int(idx)+len(out)])
 }
 
 // PageCount returns the number of pages that have been materialized.

@@ -1,0 +1,35 @@
+package memsim
+
+import "fvcache/internal/trace"
+
+// Replayer reconstructs the architectural memory image from a trace.
+// Env applies every Store to memory before emitting its event, and
+// scrubs a freed heap block to zero before emitting HeapFree (with the
+// rounded block size as the event value) — so applying exactly those
+// two event kinds reproduces, event for event, the memory state a live
+// sink would have observed.
+//
+// When a replayed trace drives memory-observing analyses (occurrence
+// samplers, spatial studies), place the Replayer first in the
+// trace.Tee: downstream sinks then see memory after the event took
+// effect, matching what they saw live.
+type Replayer struct {
+	Mem *Memory
+}
+
+// NewReplayer returns a Replayer over a fresh memory.
+func NewReplayer() *Replayer {
+	return &Replayer{Mem: NewMemory()}
+}
+
+// Emit applies e to the reconstructed memory.
+func (r *Replayer) Emit(e trace.Event) {
+	switch e.Op {
+	case trace.Store:
+		r.Mem.StoreWord(e.Addr, e.Value)
+	case trace.HeapFree:
+		for off := uint32(0); off < e.Value; off += trace.WordBytes {
+			r.Mem.StoreWord(e.Addr+off, 0)
+		}
+	}
+}

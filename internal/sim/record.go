@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"fvcache/internal/core"
+	"fvcache/internal/harness"
+	"fvcache/internal/memsim"
+	"fvcache/internal/trace"
+	"fvcache/internal/workload"
+)
+
+// Record executes w at scale once and captures its entire event stream
+// into a trace.Recording. Workloads are deterministic in (name, scale),
+// so replaying the recording into any sink is observationally identical
+// to re-running the workload — but skips the workload's own compute and
+// the per-event closure dispatch, which is what makes the sweep
+// engine's record-once/replay-many strategy sound.
+func Record(w workload.Workload, scale workload.Scale) (*trace.Recording, error) {
+	rec := trace.NewRecording()
+	env := memsim.NewEnv(rec)
+	if rerr := harness.Recover(func() error { w.Run(env, scale); return nil }); rerr != nil {
+		return nil, fmt.Errorf("sim: recording aborted: %w", rerr)
+	}
+	return rec, nil
+}
+
+type recKey struct {
+	name  string
+	scale workload.Scale
+}
+
+type recEntry struct {
+	once sync.Once
+	rec  *trace.Recording
+	err  error
+}
+
+// RecordingCache memoizes Record results by (workload name, scale).
+// Concurrent callers asking for the same recording block on a single
+// execution (singleflight); distinct workloads record in parallel.
+// Recordings are immutable once recorded, so the returned *Recording
+// may be replayed concurrently from any number of goroutines.
+type RecordingCache struct {
+	mu      sync.Mutex
+	entries map[recKey]*recEntry
+}
+
+// Get returns the cached recording of w at scale, recording it on
+// first use.
+func (c *RecordingCache) Get(w workload.Workload, scale workload.Scale) (*trace.Recording, error) {
+	k := recKey{name: w.Name(), scale: scale}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[recKey]*recEntry)
+	}
+	e := c.entries[k]
+	if e == nil {
+		e = new(recEntry)
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.rec, e.err = Record(w, scale) })
+	return e.rec, e.err
+}
+
+// Reset drops every cached recording, releasing their buffers.
+func (c *RecordingCache) Reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+}
+
+// Recordings is the process-wide recording cache the experiment sweeps
+// share.
+var Recordings RecordingCache
+
+// ReplayInto drives every access event of rec through sys with no
+// per-event closure or interface dispatch: a straight loop over the
+// recording's columns calling the concrete (*core.System).Access.
+// Non-access events carry no simulator semantics (System.Emit drops
+// them), so they are skipped.
+func ReplayInto(rec *trace.Recording, sys *core.System) {
+	ops, addrs, vals := rec.Columns()
+	sys.ReplayColumns(ops, addrs, vals)
+}
+
+// MeasureRecorded is Measure driven from a recording instead of a live
+// workload execution. The hook semantics (warmup snapshot, FVC
+// sampling, periodic audits) match Measure exactly, so for a recording
+// of w at scale the result is bit-identical to Measure(w, scale, ...).
+func MeasureRecorded(rec *trace.Recording, cfg core.Config, opt MeasureOptions) (MeasureResult, error) {
+	cfg.VerifyValues = opt.VerifyValues
+	sys, err := core.New(cfg)
+	if err != nil {
+		return MeasureResult{}, err
+	}
+	var fracSum, occSum float64
+	var samples int
+	var warmupStats core.Stats
+	needHook := opt.WarmupAccesses > 0 || opt.AuditEvery > 0 ||
+		(opt.SampleEvery > 0 && sys.FVC() != nil)
+	replay := func() error {
+		if !needHook {
+			ReplayInto(rec, sys)
+			return nil
+		}
+		ops, addrs, vals := rec.Columns()
+		var n uint64
+		for i, op := range ops {
+			if !op.IsAccess() {
+				continue
+			}
+			sys.Access(op, addrs[i], vals[i])
+			n++
+			if opt.WarmupAccesses > 0 && n == opt.WarmupAccesses {
+				warmupStats = sys.Stats()
+			}
+			if opt.SampleEvery > 0 && sys.FVC() != nil && n%opt.SampleEvery == 0 {
+				fracSum += sys.FVC().FrequentFraction()
+				occSum += float64(sys.FVC().ValidEntries()) / float64(sys.FVC().Params().Entries)
+				samples++
+			}
+			if opt.AuditEvery > 0 && n%opt.AuditEvery == 0 {
+				if aerr := sys.AuditInvariants(); aerr != nil {
+					panic(aerr)
+				}
+			}
+		}
+		return nil
+	}
+	// Same recover boundary as Measure: simulator asserts panic, and
+	// one corrupt replay must not take down a whole sweep.
+	if rerr := harness.Recover(replay); rerr != nil {
+		return MeasureResult{}, fmt.Errorf("sim: replay measurement aborted: %w", rerr)
+	}
+	if opt.AuditEvery > 0 {
+		if aerr := sys.AuditInvariants(); aerr != nil {
+			return MeasureResult{}, fmt.Errorf("sim: final audit: %w", aerr)
+		}
+	}
+	res := MeasureResult{Stats: sys.Stats().Minus(warmupStats)}
+	if samples > 0 {
+		res.FVCFreqFrac = fracSum / float64(samples)
+		res.FVCOccupancy = occSum / float64(samples)
+	}
+	return res, nil
+}
+
+// MissAttributionRecorded is MissAttribution driven from a recording.
+func MissAttributionRecorded(rec *trace.Recording, cfg core.Config, values []uint32) (total, attributed uint64, err error) {
+	sys, err := core.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	set := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	run := func() error {
+		ops, addrs, vals := rec.Columns()
+		for i, op := range ops {
+			if !op.IsAccess() {
+				continue
+			}
+			if sys.Access(op, addrs[i], vals[i]) == core.Miss {
+				total++
+				if _, ok := set[vals[i]]; ok {
+					attributed++
+				}
+			}
+		}
+		return nil
+	}
+	if rerr := harness.Recover(run); rerr != nil {
+		return 0, 0, fmt.Errorf("sim: miss attribution aborted: %w", rerr)
+	}
+	return total, attributed, nil
+}

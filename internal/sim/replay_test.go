@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/workload"
+)
+
+func testConfigs(w workload.Workload) map[string]core.Config {
+	main := cache.Params{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1}
+	return map[string]core.Config{
+		"dmc": {Main: main},
+		"dmc+fvc": {
+			Main:           main,
+			FVC:            &fvc.Params{Entries: 256, LineBytes: main.LineBytes, Bits: 3},
+			FrequentValues: ProfileTopAccessed(w, workload.Test, 7),
+		},
+	}
+}
+
+// TestReplayEquivalence is the record/replay engine's contract: for
+// every registered workload, measuring a configuration from the shared
+// recording yields bit-identical core.Stats to a live workload run.
+func TestReplayEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			rec, err := Recordings.Get(w, workload.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, cfg := range testConfigs(w) {
+				live, err := Measure(w, workload.Test, cfg, MeasureOptions{})
+				if err != nil {
+					t.Fatalf("%s live: %v", name, err)
+				}
+				rep, err := MeasureRecorded(rec, cfg, MeasureOptions{})
+				if err != nil {
+					t.Fatalf("%s replay: %v", name, err)
+				}
+				if live.Stats != rep.Stats {
+					t.Errorf("%s: replayed stats diverge\nlive:   %+v\nreplay: %+v", name, live.Stats, rep.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayEquivalenceHooks checks the hooked path too: warmup
+// exclusion, FVC content sampling and periodic audits must all observe
+// the same access boundaries live and on replay.
+func TestReplayEquivalenceHooks(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs(w)["dmc+fvc"]
+	opt := MeasureOptions{
+		WarmupAccesses: 10_000,
+		SampleEvery:    5_000,
+		AuditEvery:     50_000,
+		VerifyValues:   true,
+	}
+	live, err := Measure(w, workload.Test, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureRecorded(rec, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != rep {
+		t.Errorf("hooked measurement diverges\nlive:   %+v\nreplay: %+v", live, rep)
+	}
+}
+
+// TestReplayAccessPathZeroAllocs pins the de-allocated hot path: once
+// the hierarchy is warm (pages materialized, caches filled), replaying
+// a full recording must not allocate at all.
+func TestReplayAccessPathZeroAllocs(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs(w)["dmc+fvc"]
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReplayInto(rec, sys) // warm: backing pages and cache frames exist now
+	if allocs := testing.AllocsPerRun(3, func() { ReplayInto(rec, sys) }); allocs > 0 {
+		t.Errorf("steady-state replay allocated %.0f times per full replay, want 0", allocs)
+	}
+}
+
+// TestRecordingCacheSingleflight checks that concurrent Gets for the
+// same key share one recording and one underlying execution.
+func TestRecordingCacheSingleflight(t *testing.T) {
+	w, err := workload.Get("strproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c RecordingCache
+	const n = 8
+	got := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := c.Get(w, workload.Test)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = rec
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("Get %d returned a different recording instance", i)
+		}
+	}
+	c.Reset()
+	rec2, err := c.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2 == got[0] {
+		t.Error("Reset did not drop the cached recording")
+	}
+}

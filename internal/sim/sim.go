@@ -19,13 +19,19 @@ import (
 	"fvcache/internal/workload"
 )
 
-// ProfileTopAccessed runs w at scale and returns its k most frequently
-// accessed values (the FVT a profile-directed compiler/loader would
-// install).
+// ProfileTopAccessed returns w's k most frequently accessed values at
+// scale (the FVT a profile-directed compiler/loader would install).
+// The histogram is derived by replaying the shared recording of w, so
+// a profile pass followed by measurement runs executes the workload
+// only once. If recording fails the profile falls back to a live run.
 func ProfileTopAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
 	h := trace.NewValueHistogram()
-	env := memsim.NewEnv(h)
-	w.Run(env, scale)
+	if rec, err := Recordings.Get(w, scale); err == nil {
+		rec.Replay(h)
+	} else {
+		env := memsim.NewEnv(h)
+		w.Run(env, scale)
+	}
 	return freqval.TopAccessed(h, k)
 }
 

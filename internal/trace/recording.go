@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// Recording is a packed in-memory trace: the full event stream of one
+// workload execution, stored as flat columnar buffers (one slice per
+// Event field) so a recorded run can be replayed many times without
+// re-executing the workload. Nine bytes per event, contiguous, cache
+// friendly.
+//
+// The record-once/replay-many sweep engine is built on this type: a
+// configuration sweep records each (workload, scale) pair once and
+// fans the replays across worker goroutines. A Recording is immutable
+// after recording finishes, so concurrent replays of the same
+// Recording are safe.
+type Recording struct {
+	ops      []Op
+	addrs    []uint32
+	vals     []uint32
+	accesses uint64
+}
+
+// NewRecording returns an empty Recording ready to record into.
+func NewRecording() *Recording { return &Recording{} }
+
+// Emit implements Sink by appending e to the columnar buffers.
+func (r *Recording) Emit(e Event) { r.Append(e.Op, e.Addr, e.Value) }
+
+// Append records one event without constructing an Event value.
+func (r *Recording) Append(op Op, addr, value uint32) {
+	r.ops = append(r.ops, op)
+	r.addrs = append(r.addrs, addr)
+	r.vals = append(r.vals, value)
+	if op.IsAccess() {
+		r.accesses++
+	}
+}
+
+// Len returns the number of recorded events.
+func (r *Recording) Len() int { return len(r.ops) }
+
+// Accesses returns the number of recorded loads and stores.
+func (r *Recording) Accesses() uint64 { return r.accesses }
+
+// At returns event i.
+func (r *Recording) At(i int) Event {
+	return Event{Op: r.ops[i], Addr: r.addrs[i], Value: r.vals[i]}
+}
+
+// Columns exposes the raw columnar buffers. Callers that drive a
+// concrete consumer (the simulator's replay loop) iterate these
+// directly, paying one direct method call per event instead of a
+// Sink interface dispatch. The slices must not be mutated.
+func (r *Recording) Columns() (ops []Op, addrs, values []uint32) {
+	return r.ops, r.addrs, r.vals
+}
+
+// Reset discards all recorded events, keeping the buffers for reuse.
+func (r *Recording) Reset() {
+	r.ops = r.ops[:0]
+	r.addrs = r.addrs[:0]
+	r.vals = r.vals[:0]
+	r.accesses = 0
+}
+
+// Replay sends every recorded event to dst in order. For Sink
+// consumers (profilers, histograms); the simulator uses Columns to
+// avoid the per-event interface dispatch.
+func (r *Recording) Replay(dst Sink) {
+	for i := range r.ops {
+		dst.Emit(Event{Op: r.ops[i], Addr: r.addrs[i], Value: r.vals[i]})
+	}
+}
+
+// WriteTo spills the recording to w in the FVT1 binary trace format,
+// reusing the varint delta codec. It returns the number of events
+// written (not bytes, which the bufio layer hides). Use ReadRecording
+// to load it back.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for i := range r.ops {
+		tw.Emit(Event{Op: r.ops[i], Addr: r.addrs[i], Value: r.vals[i]})
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(tw.Count()), nil
+}
+
+// ReadRecording loads a complete FVT1 trace stream into a Recording.
+// A corrupt stream yields the *CorruptError from the hardened Reader.
+func ReadRecording(rd io.Reader) (*Recording, error) {
+	tr, err := NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRecording()
+	for {
+		e, err := tr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return r, nil
+			}
+			return nil, err
+		}
+		r.Append(e.Op, e.Addr, e.Value)
+	}
+}
