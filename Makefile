@@ -15,15 +15,20 @@ vet:
 
 # check is the full robustness gate (see ROADMAP.md "Tier-1 verify"):
 # vet, build, the race-enabled test suite, a short fuzz smoke run over
-# the hardened trace reader, and a single-iteration pass over every
-# benchmark so the benchmark corpus cannot rot.
+# the hardened trace reader, a single-iteration pass over every
+# benchmark so the benchmark corpus cannot rot, and a sanity pass over
+# the committed sweep-engine artifact (it must parse, every speedup
+# layer must be >= 1.0, and the steady-state replay loops must be
+# allocation-free).
 check: vet build
 	$(GO) test -race ./...
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
 
-# bench measures the record/replay sweep engine against live
-# execution and writes the BENCH_sweep.json artifact.
+# bench measures both sweep-engine layers (per-config replay and the
+# fused batch) against live execution and writes the BENCH_sweep.json
+# artifact.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 

@@ -385,6 +385,51 @@ func BenchmarkSweepReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepBatch runs the same sweep through the fused batch
+// engine: the shared recording replayed exactly once, driving every
+// configuration in lockstep through one core.SystemSet.
+func BenchmarkSweepBatch(b *testing.B) {
+	w := getWL(b, "imgdct")
+	cfgs := sweepGrid(topValues(b, w, 7))
+	if _, err := sim.Recordings.Get(w, benchScale); err != nil {
+		b.Fatal(err) // capture outside the timed region, like production
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := sim.Recordings.Get(w, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.MeasureRecordedBatch(rec, cfgs, sim.MeasureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSteadyReplay isolates the fused loop itself: a warm
+// SystemSet over the whole sweep grid, replaying the access columns
+// with zero steady-state allocations (pinned by AllocsPerRun in
+// internal/sim's TestBatchReplayZeroAllocs).
+func BenchmarkBatchSteadyReplay(b *testing.B) {
+	w := getWL(b, "imgdct")
+	cfgs := sweepGrid(topValues(b, w, 7))
+	rec, err := sim.Recordings.Get(w, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := core.NewSet(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops, addrs, vals := rec.AccessColumns()
+	set.ReplayColumns(ops, addrs, vals) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.ReplayColumns(ops, addrs, vals)
+	}
+}
+
 // --- Microbenchmarks of simulator hot paths ---
 
 // BenchmarkMemoryLoadWord exercises the last-page memo: sequential

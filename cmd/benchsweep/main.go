@@ -1,14 +1,21 @@
-// Command benchsweep measures the record-once/replay-many sweep engine
-// against live per-configuration execution and writes the result as a
-// JSON artifact (BENCH_sweep.json by default).
+// Command benchsweep measures the sweep engine's two optimization
+// layers against live per-configuration execution and writes the
+// result as a JSON artifact (BENCH_sweep.json by default).
 //
 // The sweep is Figure 10's shape — a 16KB direct-mapped baseline plus
 // every FVC entry count — over one workload. "Live" runs the workload
 // once per configuration, the way the experiment suite worked before
 // the recording engine; "replay" captures the trace once through the
-// shared recording cache and replays it once per configuration. The
-// artifact also reports the steady-state replay allocation count,
-// which the de-allocated access path keeps at zero.
+// shared recording cache and replays it once per configuration;
+// "batch" replays the recording exactly once, driving every
+// configuration in lockstep through the fused SystemSet engine. The
+// artifact also reports the steady-state allocation counts of both
+// replay paths, which the de-allocated access loops keep at zero.
+//
+// With -verify, benchsweep instead reads an existing artifact and
+// checks it is well-formed: every speedup layer must be >= 1.0 and the
+// steady-state allocation counts zero. make check uses this to keep
+// the committed artifact honest.
 package main
 
 import (
@@ -33,11 +40,17 @@ type report struct {
 
 	LiveNsPerSweep   int64   `json:"live_ns_per_sweep"`
 	ReplayNsPerSweep int64   `json:"replay_ns_per_sweep"`
-	Speedup          float64 `json:"speedup"`
+	BatchNsPerSweep  int64   `json:"batch_ns_per_sweep"`
+	Speedup          float64 `json:"speedup"`       // live / replay
+	BatchSpeedup     float64 `json:"batch_speedup"` // replay / batch
+	TotalSpeedup     float64 `json:"total_speedup"` // live / batch
 
 	// SteadyReplayAllocs counts heap allocations per full recording
 	// replay into a warm hierarchy (the de-allocated access path).
 	SteadyReplayAllocs float64 `json:"steady_replay_allocs"`
+	// SteadyBatchAllocs counts heap allocations per full fused replay
+	// into a warm SystemSet driving every sweep configuration.
+	SteadyBatchAllocs float64 `json:"steady_batch_allocs"`
 }
 
 func sweepGrid(values []uint32) []core.Config {
@@ -88,18 +101,32 @@ func run(out string) error {
 			}
 		}
 	}
+	batchBench := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := sim.Recordings.Get(w, scale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.MeasureRecordedBatch(rec, cfgs, sim.MeasureOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 
 	// Interleave repetitions and keep the fastest of each side: the
 	// minimum is the standard de-noising estimator for wall-clock
 	// benchmarks on shared machines (noise is strictly additive).
 	const reps = 3
-	liveNs, replayNs := int64(0), int64(0)
+	liveNs, replayNs, batchNs := int64(0), int64(0), int64(0)
 	for r := 0; r < reps; r++ {
 		if ns := testing.Benchmark(liveBench).NsPerOp(); r == 0 || ns < liveNs {
 			liveNs = ns
 		}
 		if ns := testing.Benchmark(replayBench).NsPerOp(); r == 0 || ns < replayNs {
 			replayNs = ns
+		}
+		if ns := testing.Benchmark(batchBench).NsPerOp(); r == 0 || ns < batchNs {
+			batchNs = ns
 		}
 	}
 
@@ -110,6 +137,14 @@ func run(out string) error {
 	sim.ReplayInto(rec, sys) // warm: pages and cache frames materialized
 	allocs := testing.AllocsPerRun(3, func() { sim.ReplayInto(rec, sys) })
 
+	set, err := core.NewSet(cfgs)
+	if err != nil {
+		return err
+	}
+	ops, addrs, vals := rec.AccessColumns()
+	set.ReplayColumns(ops, addrs, vals) // warm
+	batchAllocs := testing.AllocsPerRun(3, func() { set.ReplayColumns(ops, addrs, vals) })
+
 	r := report{
 		Workload:           w.Name(),
 		Scale:              "test",
@@ -117,8 +152,12 @@ func run(out string) error {
 		Accesses:           rec.Accesses(),
 		LiveNsPerSweep:     liveNs,
 		ReplayNsPerSweep:   replayNs,
+		BatchNsPerSweep:    batchNs,
 		Speedup:            float64(liveNs) / float64(replayNs),
+		BatchSpeedup:       float64(replayNs) / float64(batchNs),
+		TotalSpeedup:       float64(liveNs) / float64(batchNs),
 		SteadyReplayAllocs: allocs,
+		SteadyBatchAllocs:  batchAllocs,
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -128,17 +167,62 @@ func run(out string) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %d configs: live %.1fms  replay %.1fms  speedup %.2fx  steady replay allocs %.0f\n",
+	fmt.Printf("%-10s %d configs: live %.1fms  replay %.1fms  batch %.1fms  speedup %.2fx  batch speedup %.2fx  total %.2fx  steady allocs replay %.0f batch %.0f\n",
 		r.Workload, r.Configs,
-		float64(r.LiveNsPerSweep)/1e6, float64(r.ReplayNsPerSweep)/1e6,
-		r.Speedup, r.SteadyReplayAllocs)
+		float64(r.LiveNsPerSweep)/1e6, float64(r.ReplayNsPerSweep)/1e6, float64(r.BatchNsPerSweep)/1e6,
+		r.Speedup, r.BatchSpeedup, r.TotalSpeedup,
+		r.SteadyReplayAllocs, r.SteadyBatchAllocs)
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// verify checks an existing artifact: it must parse, each optimization
+// layer must actually be a speedup (>= 1.0), and the steady-state
+// replay loops must be allocation-free.
+func verify(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Configs < 2 || r.Accesses == 0 {
+		return fmt.Errorf("%s: implausible sweep (%d configs, %d accesses)", path, r.Configs, r.Accesses)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"speedup", r.Speedup},
+		{"batch_speedup", r.BatchSpeedup},
+		{"total_speedup", r.TotalSpeedup},
+	} {
+		if c.v < 1.0 {
+			return fmt.Errorf("%s: %s is %.2f, want >= 1.0", path, c.name, c.v)
+		}
+	}
+	if r.SteadyReplayAllocs != 0 || r.SteadyBatchAllocs != 0 {
+		return fmt.Errorf("%s: steady-state allocs nonzero (replay %.0f, batch %.0f)",
+			path, r.SteadyReplayAllocs, r.SteadyBatchAllocs)
+	}
+	fmt.Printf("%s ok: live/replay %.2fx, replay/batch %.2fx, live/batch %.2fx, zero steady-state allocs\n",
+		path, r.Speedup, r.BatchSpeedup, r.TotalSpeedup)
 	return nil
 }
 
 func main() {
 	out := flag.String("o", "BENCH_sweep.json", "output path for the JSON artifact")
+	check := flag.String("verify", "", "verify an existing artifact instead of benchmarking")
 	flag.Parse()
+	if *check != "" {
+		if err := verify(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)

@@ -225,6 +225,17 @@ func (v DMView) Touch(addr uint32, store bool) bool {
 	return false
 }
 
+// Geometry exposes the view's index function (tag = addr >> shift,
+// set = tag & mask) so batched replay can group same-geometry views
+// and compute the index once for the whole group.
+func (v DMView) Geometry() (shift, mask uint32) { return v.shift, v.mask }
+
+// LineAt returns the backing line at set index i. The pointer aliases
+// the cache's own state: batched replay uses it to sync its packed
+// probe filter with the authoritative line on misses and at chunk
+// boundaries.
+func (v DMView) LineAt(i uint32) *Line { return &v.lines[i] }
+
 // Victim describes a line evicted by Insert.
 type Victim struct {
 	Tag   uint32 // line address of the evicted line

@@ -240,17 +240,34 @@ type System struct {
 	// keeps the per-eviction path allocation free.
 	footprint []uint32
 	fpCodes   []uint8
+
+	// extMem marks a System whose architectural replica is a shared
+	// memory image owned by a SystemSet. The set's driver applies each
+	// store to the image exactly once, after every member system has
+	// processed the event, so the System itself must not advance it
+	// (and every member observes pre-store memory during its protocol
+	// step, exactly as a privately-owned replica would).
+	extMem bool
 }
 
 // New builds a System from cfg.
-func New(cfg Config) (*System, error) {
+func New(cfg Config) (*System, error) { return newSystem(cfg, nil) }
+
+// newSystem wires a System to the given shared memory image; nil means
+// the System owns a private replica (the New path).
+func newSystem(cfg Config, shared *memsim.Memory) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	mem := shared
+	if mem == nil {
+		mem = memsim.NewMemory()
 	}
 	s := &System{
 		cfg:       cfg,
 		main:      cache.New(cfg.Main),
-		mem:       memsim.NewMemory(),
+		mem:       mem,
+		extMem:    shared != nil,
 		wpl:       cfg.Main.WordsPerLine(),
 		footprint: make([]uint32, cfg.Main.WordsPerLine()),
 		fpCodes:   make([]uint8, cfg.Main.WordsPerLine()),
@@ -336,7 +353,7 @@ func (s *System) ReplayColumns(ops []trace.Op, addrs, values []uint32) {
 	if len(addrs) != len(ops) || len(values) != len(ops) {
 		panic("core: ReplayColumns column length mismatch")
 	}
-	if !s.dmOK || s.sketch != nil || s.cfg.VerifyValues {
+	if !s.dmOK || s.sketch != nil || s.cfg.VerifyValues || s.extMem {
 		for i, op := range ops {
 			if op.IsAccess() {
 				s.Access(op, addrs[i], values[i])
@@ -409,8 +426,9 @@ func (s *System) Access(op trace.Op, addr, value uint32) HitSource {
 	// Update the architectural replica after the protocol step so that
 	// FVC verification and footprints observe pre-store values
 	// consistently; the replica must reflect the store before the next
-	// access.
-	if store {
+	// access. A shared image (extMem) is advanced once by the
+	// SystemSet driver instead, after every member processed the event.
+	if store && !s.extMem {
 		s.mem.StoreWord(addr, value)
 	}
 

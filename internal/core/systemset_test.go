@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// setConfigs spans every hierarchy shape the fused loop must handle:
+// the fast direct-mapped lane, FVC and victim augmentations, and the
+// slow lanes (associative main cache, L2, online sketch).
+func setConfigs() []Config {
+	main := cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
+	fvt := []uint32{0, 1, 0xffffffff, 7, 42, 1024, 0x55aa}
+	return []Config{
+		{Main: main},
+		{Main: main, FVC: &fvc.Params{Entries: 64, LineBytes: 32, Bits: 3}, FrequentValues: fvt},
+		{Main: main, VictimEntries: 8},
+		{Main: cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 2}},
+		{Main: main, L2: &cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 4}},
+		{Main: main, FVC: &fvc.Params{Entries: 64, LineBytes: 32, Bits: 3}, OnlineFVTEvery: 5_000},
+	}
+}
+
+// synthColumns generates a deterministic value-skewed access stream
+// with non-access events sprinkled in (the fused loop must skip them
+// exactly like the per-system loop does).
+func synthColumns(n int) (ops []trace.Op, addrs, vals []uint32) {
+	rng := rand.New(rand.NewSource(42))
+	frequent := []uint32{0, 1, 0xffffffff, 7, 42, 1024, 0x55aa}
+	for i := 0; i < n; i++ {
+		r := rng.Intn(100)
+		switch {
+		case r < 2:
+			ops = append(ops, trace.HeapAlloc)
+			addrs = append(addrs, uint32(rng.Intn(1<<16))&^3)
+			vals = append(vals, 64)
+		case r < 35:
+			ops = append(ops, trace.Store)
+			addrs = append(addrs, uint32(rng.Intn(24<<10))&^3)
+			if rng.Intn(100) < 60 {
+				vals = append(vals, frequent[rng.Intn(len(frequent))])
+			} else {
+				vals = append(vals, rng.Uint32())
+			}
+		default:
+			ops = append(ops, trace.Load)
+			addrs = append(addrs, uint32(rng.Intn(24<<10))&^3)
+			vals = append(vals, 0) // loads carry the loaded value; System ignores it on replay
+		}
+	}
+	return ops, addrs, vals
+}
+
+// TestSystemSetParity is the SystemSet contract: replaying one stream
+// through a set of K configurations yields bit-identical Stats to K
+// independently replayed Systems, for every lane shape.
+func TestSystemSetParity(t *testing.T) {
+	cfgs := setConfigs()
+	ops, addrs, vals := synthColumns(200_000)
+
+	set := MustNewSet(cfgs)
+	set.ReplayColumns(ops, addrs, vals)
+
+	for i, cfg := range cfgs {
+		solo, err := New(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		solo.ReplayColumns(ops, addrs, vals)
+		if got, want := set.Systems()[i].Stats(), solo.Stats(); got != want {
+			t.Errorf("config %d: set stats diverge from solo replay\nset:  %+v\nsolo: %+v", i, got, want)
+		}
+	}
+}
+
+// TestSystemSetChunkedParity checks that chunking the columns at
+// arbitrary boundaries (how the batch engine realizes measurement
+// hooks) leaves the final Stats identical to a single fused pass.
+func TestSystemSetChunkedParity(t *testing.T) {
+	cfgs := setConfigs()
+	ops, addrs, vals := synthColumns(100_000)
+
+	whole := MustNewSet(cfgs)
+	whole.ReplayColumns(ops, addrs, vals)
+
+	chunked := MustNewSet(cfgs)
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < len(ops); {
+		next := n + 1 + rng.Intn(9_000)
+		if next > len(ops) {
+			next = len(ops)
+		}
+		chunked.ReplayColumns(ops[n:next], addrs[n:next], vals[n:next])
+		n = next
+	}
+
+	for i := range cfgs {
+		if got, want := chunked.Systems()[i].Stats(), whole.Systems()[i].Stats(); got != want {
+			t.Errorf("config %d: chunked stats diverge\nchunked: %+v\nwhole:   %+v", i, got, want)
+		}
+	}
+}
+
+// TestSystemSetAccessParity checks the per-event Access entry point
+// against the fused column loop.
+func TestSystemSetAccessParity(t *testing.T) {
+	cfgs := setConfigs()
+	ops, addrs, vals := synthColumns(50_000)
+
+	fused := MustNewSet(cfgs)
+	fused.ReplayColumns(ops, addrs, vals)
+
+	stepped := MustNewSet(cfgs)
+	for i, op := range ops {
+		stepped.Access(op, addrs[i], vals[i])
+	}
+
+	for i := range cfgs {
+		if got, want := stepped.Systems()[i].Stats(), fused.Systems()[i].Stats(); got != want {
+			t.Errorf("config %d: Access-driven stats diverge\nstepped: %+v\nfused:   %+v", i, got, want)
+		}
+	}
+}
+
+// TestSystemSetAudit runs the full invariant audit over every member
+// after a fused replay: sharing the memory image must not corrupt any
+// member's protocol state.
+func TestSystemSetAudit(t *testing.T) {
+	cfgs := setConfigs()
+	ops, addrs, vals := synthColumns(100_000)
+	set := MustNewSet(cfgs)
+	set.ReplayColumns(ops, addrs, vals)
+	for i, s := range set.Systems() {
+		if err := s.AuditInvariants(); err != nil {
+			t.Errorf("config %d: %v", i, err)
+		}
+	}
+}
+
+// TestSystemSetRejectsBadConfig checks NewSet surfaces member
+// construction errors.
+func TestSystemSetRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Main: cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}},
+		{Main: cache.Params{SizeBytes: 3000, LineBytes: 32, Assoc: 1}},
+	}
+	if _, err := NewSet(bad); err == nil {
+		t.Fatal("NewSet accepted an invalid member config")
+	}
+}
+
+func BenchmarkSystemSetReplay(b *testing.B) {
+	for _, k := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
+			cfgs := make([]Config, k)
+			for i := range cfgs {
+				cfgs[i] = Config{Main: main}
+			}
+			ops, addrs, vals := synthColumns(200_000)
+			set := MustNewSet(cfgs)
+			set.ReplayColumns(ops, addrs, vals) // warm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				set.ReplayColumns(ops, addrs, vals)
+			}
+		})
+	}
+}

@@ -12,16 +12,6 @@ import (
 	"fvcache/internal/workload"
 )
 
-// missPct measures the miss rate (in %) of cfg on w, replaying the
-// workload's shared recording.
-func missPct(w workload.Workload, scale workload.Scale, cfg core.Config) (float64, error) {
-	res, err := measureRec(w, scale, cfg, sim.MeasureOptions{})
-	if err != nil {
-		return 0, err
-	}
-	return res.Stats.MissRate() * 100, nil
-}
-
 // withFVC attaches an FVC of the given geometry to a main cache,
 // exploiting the top (2^bits - 1) profiled values of w.
 func withFVC(w workload.Workload, scale workload.Scale, main cache.Params, entries, bits int) core.Config {
@@ -42,23 +32,15 @@ func runFig10(opt Options, out io.Writer) error {
 		return err
 	}
 
-	type job struct {
-		wi, ei int // ei == -1 is the baseline
-	}
-	var jobs []job
-	for wi := range suite {
-		jobs = append(jobs, job{wi, -1})
-		for ei := range entries {
-			jobs = append(jobs, job{wi, ei})
+	// One job per workload: the baseline and every FVC size ride a
+	// single fused replay pass over the workload's recording.
+	res, err := pmap(opt, len(suite), func(i int) ([]float64, error) {
+		w := suite[i]
+		cfgs := []core.Config{{Main: main}}
+		for _, e := range entries {
+			cfgs = append(cfgs, withFVC(w, opt.Scale, main, e, 3))
 		}
-	}
-	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
-		j := jobs[i]
-		w := suite[j.wi]
-		if j.ei < 0 {
-			return missPct(w, opt.Scale, core.Config{Main: main})
-		}
-		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, entries[j.ei], 3))
+		return missPcts(w, opt.Scale, cfgs)
 	})
 	if err != nil {
 		return err
@@ -69,14 +51,11 @@ func runFig10(opt Options, out io.Writer) error {
 		header = append(header, fmt.Sprintf("%de", e))
 	}
 	t := report.NewTable("Figure 10: % miss-rate reduction vs FVC entries (16KB DMC, 8 words/line, 7 values)", header...)
-	k := 0
-	for _, w := range suite {
-		base := res[k]
-		k++
+	for wi, w := range suite {
+		base := res[wi][0]
 		row := []string{label(w), report.F3(base)}
-		for range entries {
-			row = append(row, report.F2(reduction(base, res[k]))+"%")
-			k++
+		for ei := range entries {
+			row = append(row, report.F2(reduction(base, res[wi][1+ei]))+"%")
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -141,45 +120,38 @@ func runFig12(opt Options, out io.Writer) error {
 		}
 	}
 
-	type job struct {
-		wi, ci, bi int // bi == -1 baseline
-	}
-	var jobs []job
-	for wi := range suite {
+	// One job per workload: all 12 geometries x (baseline + 3 value
+	// counts) = 48 configurations share one fused replay pass.
+	res, err := pmap(opt, len(suite), func(i int) ([]float64, error) {
+		w := suite[i]
+		var batch []core.Config
 		for ci := range cfgs {
-			jobs = append(jobs, job{wi, ci, -1})
-			for bi := range bitsList {
-				jobs = append(jobs, job{wi, ci, bi})
+			main := cache.Params{SizeBytes: cfgs[ci].szKB << 10, LineBytes: cfgs[ci].line, Assoc: 1}
+			batch = append(batch, core.Config{Main: main})
+			for _, bits := range bitsList {
+				batch = append(batch, withFVC(w, opt.Scale, main, 512, bits))
 			}
 		}
-	}
-	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
-		j := jobs[i]
-		w := suite[j.wi]
-		main := cache.Params{SizeBytes: cfgs[j.ci].szKB << 10, LineBytes: cfgs[j.ci].line, Assoc: 1}
-		if j.bi < 0 {
-			return missPct(w, opt.Scale, core.Config{Main: main})
-		}
-		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, bitsList[j.bi]))
+		return missPcts(w, opt.Scale, batch)
 	})
 	if err != nil {
 		return err
 	}
 
-	k := 0
-	for _, w := range suite {
+	for wi, w := range suite {
 		t := report.NewTable(
 			fmt.Sprintf("Figure 12 (%s): %% miss-rate reduction with a 512-entry FVC", label(w)),
 			"DMC config", "DMC miss%", "top 1 value", "top 3 values", "top 7 values")
+		k := 0
 		for ci := range cfgs {
-			base := res[k]
+			base := res[wi][k]
 			k++
 			row := []string{
 				fmt.Sprintf("%dKB/%dB", cfgs[ci].szKB, cfgs[ci].line),
 				report.F3(base),
 			}
 			for range bitsList {
-				row = append(row, report.F2(reduction(base, res[k]))+"%")
+				row = append(row, report.F2(reduction(base, res[wi][k]))+"%")
 				k++
 			}
 			t.Rows = append(t.Rows, row)
@@ -202,10 +174,55 @@ var fig13Paper = map[string][4]string{
 }
 
 func runFig13(opt Options, out io.Writer) error {
-	suite := []string{"cpusim", "strproc"}
+	names := []string{"cpusim", "strproc"}
 	lines := []int{8, 16, 32, 64}
 	sizesKB := []int{4, 8, 16, 32}
 	bitsList := []int{3, 2, 1}
+
+	ws, err := suite(names...)
+	if err != nil {
+		return err
+	}
+
+	// One job per workload: every (line, size, bits) augmented config
+	// plus every (line, size) doubled baseline — 64 configurations —
+	// rides a single fused replay pass, instead of one replay per cell
+	// (which also re-measured each doubled DMC once per value count).
+	type cell struct{ line, szKB, bits int } // bits == 0 is the doubled DMC
+	var cells []cell
+	for _, line := range lines {
+		for _, szKB := range sizesKB {
+			cells = append(cells, cell{line, szKB, 0})
+			for _, bits := range bitsList {
+				cells = append(cells, cell{line, szKB, bits})
+			}
+		}
+	}
+	res, err := pmap(opt, len(ws), func(i int) (map[cell]float64, error) {
+		w := ws[i]
+		cfgs := make([]core.Config, 0, len(cells))
+		for _, c := range cells {
+			if c.bits == 0 {
+				double := cache.Params{SizeBytes: (c.szKB * 2) << 10, LineBytes: c.line, Assoc: 1}
+				cfgs = append(cfgs, core.Config{Main: double})
+				continue
+			}
+			small := cache.Params{SizeBytes: c.szKB << 10, LineBytes: c.line, Assoc: 1}
+			cfgs = append(cfgs, withFVC(w, opt.Scale, small, 512, c.bits))
+		}
+		pcts, err := missPcts(w, opt.Scale, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[cell]float64, len(cells))
+		for ci, c := range cells {
+			m[c] = pcts[ci]
+		}
+		return m, nil
+	})
+	if err != nil {
+		return err
+	}
 
 	for _, line := range lines {
 		for _, bits := range bitsList {
@@ -214,33 +231,17 @@ func runFig13(opt Options, out io.Writer) error {
 					line, fvc.MaxValues(bits)),
 				"benchmark",
 				"4KB+FVC", "8KB", "8KB+FVC", "16KB", "16KB+FVC", "32KB", "32KB+FVC", "64KB")
-			rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
-				w, err := workload.Get(suite[i])
-				if err != nil {
-					return nil, err
-				}
+			for wi, w := range ws {
 				row := []string{label(w)}
 				for _, szKB := range sizesKB {
-					small := cache.Params{SizeBytes: szKB << 10, LineBytes: line, Assoc: 1}
-					double := cache.Params{SizeBytes: (szKB * 2) << 10, LineBytes: line, Assoc: 1}
-					aug, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, small, 512, bits))
-					if err != nil {
-						return nil, err
-					}
-					dbl, err := missPct(w, opt.Scale, core.Config{Main: double})
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, report.F3(aug), report.F3(dbl))
+					row = append(row,
+						report.F3(res[wi][cell{line, szKB, bits}]),
+						report.F3(res[wi][cell{line, szKB, 0}]))
 				}
-				return row, nil
-			})
-			if err != nil {
-				return err
+				t.Rows = append(t.Rows, row)
 			}
-			t.Rows = rows
 			if line == 32 && bits == 3 {
-				for _, name := range suite {
+				for _, name := range names {
 					p := fig13Paper[name]
 					t.AddNote("paper (%s, 32B/7v): 16KB+FVC=%s vs 32KB=%s; 32KB+FVC=%s vs 64KB=%s",
 						name, p[0], p[1], p[2], p[3])
@@ -262,36 +263,27 @@ func runFig14(opt Options, out io.Writer) error {
 		return err
 	}
 	assocs := []int{1, 2, 4}
-	type job struct {
-		wi, ai int
-		fvcOn  bool
-	}
-	var jobs []job
-	for wi := range suite {
-		for ai := range assocs {
-			jobs = append(jobs, job{wi, ai, false}, job{wi, ai, true})
+	// One job per workload: each associativity's baseline and augmented
+	// config pair replays in one fused pass (the associative lanes take
+	// the generic probe path, the direct-mapped ones stay fast).
+	res, err := pmap(opt, len(suite), func(i int) ([]float64, error) {
+		w := suite[i]
+		var cfgs []core.Config
+		for _, a := range assocs {
+			main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: a}
+			cfgs = append(cfgs, core.Config{Main: main}, withFVC(w, opt.Scale, main, 512, 3))
 		}
-	}
-	res, err := pmap(opt, len(jobs), func(i int) (float64, error) {
-		j := jobs[i]
-		w := suite[j.wi]
-		main := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: assocs[j.ai]}
-		if !j.fvcOn {
-			return missPct(w, opt.Scale, core.Config{Main: main})
-		}
-		return missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
+		return missPcts(w, opt.Scale, cfgs)
 	})
 	if err != nil {
 		return err
 	}
 	t := report.NewTable("Figure 14: % miss-rate reduction from a 512-entry FVC vs main-cache associativity (16KB, 8wpl, 7 values)",
 		"benchmark", "DM miss%", "DM reduction", "2-way miss%", "2-way reduction", "4-way miss%", "4-way reduction")
-	k := 0
-	for _, w := range suite {
+	for wi, w := range suite {
 		row := []string{label(w)}
-		for range assocs {
-			base, aug := res[k], res[k+1]
-			k += 2
+		for ai := range assocs {
+			base, aug := res[wi][2*ai], res[wi][2*ai+1]
 			row = append(row, report.F3(base), report.F2(reduction(base, aug))+"%")
 		}
 		t.Rows = append(t.Rows, row)
@@ -313,29 +305,24 @@ func runFig15(opt Options, out io.Writer) error {
 	type row struct {
 		base, vcEq, fvcEq, vcTime, fvcTime float64
 	}
+	// One job per workload: the baseline, both victim caches and both
+	// FVC sizings replay in a single fused pass.
 	rows, err := pmap(opt, len(suite), func(i int) (row, error) {
 		w := suite[i]
-		var r row
-		for _, m := range []struct {
-			dst *float64
-			cfg core.Config
-		}{
-			{&r.base, core.Config{Main: main}},
+		pcts, err := missPcts(w, opt.Scale, []core.Config{
+			{Main: main},
 			// Equal area: 16-entry VC vs 128-entry FVC (paper's sizing
 			// including tags).
-			{&r.vcEq, core.Config{Main: main, VictimEntries: 16}},
-			{&r.fvcEq, withFVC(w, opt.Scale, main, 128, 3)},
+			{Main: main, VictimEntries: 16},
+			withFVC(w, opt.Scale, main, 128, 3),
 			// Equal access time: 4-entry VC (9ns) vs 512-entry FVC (6ns).
-			{&r.vcTime, core.Config{Main: main, VictimEntries: 4}},
-			{&r.fvcTime, withFVC(w, opt.Scale, main, 512, 3)},
-		} {
-			v, err := missPct(w, opt.Scale, m.cfg)
-			if err != nil {
-				return row{}, err
-			}
-			*m.dst = v
+			{Main: main, VictimEntries: 4},
+			withFVC(w, opt.Scale, main, 512, 3),
+		})
+		if err != nil {
+			return row{}, err
 		}
-		return r, nil
+		return row{base: pcts[0], vcEq: pcts[1], fvcEq: pcts[2], vcTime: pcts[3], fvcTime: pcts[4]}, nil
 	})
 	if err != nil {
 		return err

@@ -116,35 +116,11 @@ func orderKey(id string) string {
 	return "c" + id
 }
 
-// --- shared profiling memo ---
-
-type profileKey struct {
-	name  string
-	scale workload.Scale
-}
-
-var (
-	profMu   sync.Mutex
-	profMemo = map[profileKey][]uint32{}
-)
-
 // topAccessed returns the top-k frequently accessed values for w at
-// scale, memoized across experiments (the profile pass is pure).
+// scale, via the sim-level singleflight profile cache (the profile
+// pass is pure, so every sweep shares one histogram scan per workload).
 func topAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
-	key := profileKey{w.Name(), scale}
-	profMu.Lock()
-	vals, ok := profMemo[key]
-	profMu.Unlock()
-	if !ok {
-		vals = sim.ProfileTopAccessed(w, scale, 16)
-		profMu.Lock()
-		profMemo[key] = vals
-		profMu.Unlock()
-	}
-	if k > len(vals) {
-		k = len(vals)
-	}
-	return vals[:k]
+	return sim.Profiles.TopAccessed(w, scale, k)
 }
 
 // recording returns the shared recording of w at scale from the
@@ -169,6 +145,36 @@ func measureRec(w workload.Workload, scale workload.Scale, cfg core.Config, mo s
 		return sim.MeasureResult{}, fmt.Errorf("measuring %s: %w", w.Name(), err)
 	}
 	return res, nil
+}
+
+// measureBatch replays w's shared recording once, driving every config
+// in cfgs in lockstep through the fused batch engine. Sweeps group
+// their jobs by workload and fan the whole configuration batch through
+// this single pass; parallelism comes from workloads via pmap, not
+// from redundant re-decodes of the same recording.
+func measureBatch(w workload.Workload, scale workload.Scale, cfgs []core.Config, mo sim.MeasureOptions) ([]sim.MeasureResult, error) {
+	rec, err := recording(w, scale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.MeasureRecordedBatch(rec, cfgs, mo)
+	if err != nil {
+		return nil, fmt.Errorf("measuring %s: %w", w.Name(), err)
+	}
+	return res, nil
+}
+
+// missPcts is measureBatch reduced to per-config miss rates in %.
+func missPcts(w workload.Workload, scale workload.Scale, cfgs []core.Config) ([]float64, error) {
+	res, err := measureBatch(w, scale, cfgs, sim.MeasureOptions{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res))
+	for i, r := range res {
+		out[i] = r.Stats.MissRate() * 100
+	}
+	return out, nil
 }
 
 // suite resolves a list of workload names, failing (not panicking) on

@@ -78,22 +78,18 @@ func runXAblation(opt Options, out io.Writer) error {
 		"benchmark", "full design", "no write-miss alloc", "skip empty footprints")
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base, err := missPct(w, opt.Scale, core.Config{Main: main})
-		if err != nil {
-			return nil, err
-		}
 		full := withFVC(w, opt.Scale, main, 512, 3)
 		noAlloc := full
 		noAlloc.NoWriteMissAllocate = true
 		skipEmpty := full
 		skipEmpty.SkipEmptyFootprints = true
+		pcts, err := missPcts(w, opt.Scale, []core.Config{{Main: main}, full, noAlloc, skipEmpty})
+		if err != nil {
+			return nil, err
+		}
 		row := []string{label(w)}
-		for _, cfg := range []core.Config{full, noAlloc, skipEmpty} {
-			m, err := missPct(w, opt.Scale, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, report.F2(reduction(base, m))+"%")
+		for _, m := range pcts[1:] {
+			row = append(row, report.F2(reduction(pcts[0], m))+"%")
 		}
 		return row, nil
 	})
@@ -118,29 +114,27 @@ func runXOnline(opt Options, out io.Writer) error {
 		"benchmark", "profiled FVT", "online FVT", "FVT updates")
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base, err := missPct(w, opt.Scale, core.Config{Main: main})
-		if err != nil {
-			return nil, err
-		}
-		profiled, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
-		if err != nil {
-			return nil, err
-		}
 		onlineCfg := core.Config{
 			Main:           main,
 			FVC:            &fvc.Params{Entries: 512, LineBytes: main.LineBytes, Bits: 3},
 			OnlineFVTEvery: 100_000,
 		}
-		res, err := measureRec(w, opt.Scale, onlineCfg, sim.MeasureOptions{})
+		res, err := measureBatch(w, opt.Scale, []core.Config{
+			{Main: main},
+			withFVC(w, opt.Scale, main, 512, 3),
+			onlineCfg,
+		}, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
-		online := res.Stats.MissRate() * 100
+		base := res[0].Stats.MissRate() * 100
+		profiled := res[1].Stats.MissRate() * 100
+		online := res[2].Stats.MissRate() * 100
 		return []string{
 			label(w),
 			report.F2(reduction(base, profiled)) + "%",
 			report.F2(reduction(base, online)) + "%",
-			fmt.Sprintf("%d", res.Stats.FVTUpdates),
+			fmt.Sprintf("%d", res[2].Stats.FVTUpdates),
 		}, nil
 	})
 	if err != nil {
@@ -167,15 +161,12 @@ func runXEnergy(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main}
-		baseRes, err := measureRec(w, opt.Scale, baseCfg, sim.MeasureOptions{})
-		if err != nil {
-			return nil, err
-		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
-		augRes, err := measureRec(w, opt.Scale, augCfg, sim.MeasureOptions{})
+		res, err := measureBatch(w, opt.Scale, []core.Config{baseCfg, augCfg}, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
+		baseRes, augRes := res[0], res[1]
 		be := m.Estimate(baseCfg, baseRes.Stats)
 		ae := m.Estimate(augCfg, augRes.Stats)
 		return []string{

@@ -225,11 +225,7 @@ func runFig4(opt Options, out io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		total, attrOcc, err := sim.MissAttributionRecorded(rec, cfg, topOcc)
-		if err != nil {
-			return nil, err
-		}
-		_, attrAcc, err := sim.MissAttributionRecorded(rec, cfg, topAcc)
+		total, attr, err := sim.MissAttributionSets(rec, cfg, [][]uint32{topOcc, topAcc})
 		if err != nil {
 			return nil, err
 		}
@@ -237,8 +233,8 @@ func runFig4(opt Options, out io.Writer) error {
 		return []string{
 			label(w),
 			report.Pct(missRate),
-			report.Pct(float64(attrOcc) / float64(total)),
-			report.Pct(float64(attrAcc) / float64(total)),
+			report.Pct(float64(attr[0]) / float64(total)),
+			report.Pct(float64(attr[1]) / float64(total)),
 		}, nil
 	})
 	if err != nil {

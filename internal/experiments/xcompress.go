@@ -28,14 +28,14 @@ func runXCompress(opt Options, out io.Writer) error {
 		"benchmark", "DMC miss%", "DMC+FVC miss%", "FVcomp miss%", "lines compressed", "FPC bits/word")
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base, err := missPct(w, opt.Scale, core.Config{Main: main})
+		pcts, err := missPcts(w, opt.Scale, []core.Config{
+			{Main: main},
+			withFVC(w, opt.Scale, main, 512, 3),
+		})
 		if err != nil {
 			return nil, err
 		}
-		aug, err := missPct(w, opt.Scale, withFVC(w, opt.Scale, main, 512, 3))
-		if err != nil {
-			return nil, err
-		}
+		base, aug := pcts[0], pcts[1]
 
 		// FV-compressed cache of the same physical size, using the
 		// same profiled top-7 values.

@@ -26,17 +26,13 @@ func runXL2(opt Options, out io.Writer) error {
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
 		baseCfg := core.Config{Main: main, L2: &l2}
-		baseRes, err := measureRec(w, opt.Scale, baseCfg, sim.MeasureOptions{})
-		if err != nil {
-			return nil, err
-		}
 		augCfg := withFVC(w, opt.Scale, main, 512, 3)
 		augCfg.L2 = &l2
-		augRes, err := measureRec(w, opt.Scale, augCfg, sim.MeasureOptions{})
+		res, err := measureBatch(w, opt.Scale, []core.Config{baseCfg, augCfg}, sim.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
-		b, a := baseRes.Stats, augRes.Stats
+		b, a := res[0].Stats, res[1].Stats
 		return []string{
 			label(w),
 			report.F3(b.MissRate() * 100),
@@ -71,22 +67,21 @@ func runXAssocFVC(opt Options, out io.Writer) error {
 	t := report.NewTable("Extension: FVC associativity (16KB DMC + 512-entry/7v FVC)", header...)
 	rows, err := pmap(opt, len(suite), func(i int) ([]string, error) {
 		w := suite[i]
-		base, err := missPct(w, opt.Scale, core.Config{Main: main})
-		if err != nil {
-			return nil, err
-		}
-		row := []string{label(w), report.F3(base)}
+		cfgs := []core.Config{{Main: main}}
 		for _, a := range assocs {
-			cfg := core.Config{
+			cfgs = append(cfgs, core.Config{
 				Main:           main,
 				FVC:            &fvc.Params{Entries: 512, LineBytes: main.LineBytes, Bits: 3, Assoc: a},
 				FrequentValues: topAccessed(w, opt.Scale, 7),
-			}
-			m, err := missPct(w, opt.Scale, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, report.F2(reduction(base, m))+"%")
+			})
+		}
+		pcts, err := missPcts(w, opt.Scale, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{label(w), report.F3(pcts[0])}
+		for _, m := range pcts[1:] {
+			row = append(row, report.F2(reduction(pcts[0], m))+"%")
 		}
 		return row, nil
 	})

@@ -36,8 +36,10 @@ type tlbEntry struct {
 // direct-mapped page-translation memo and consults the page map only
 // on a memo miss — which also keeps hot loads free of map-lookup
 // overhead when an access pattern ping-pongs between pages. Memory is
-// not safe for concurrent use; each simulated hierarchy owns its own
-// instance.
+// not safe for concurrent use; a simulated hierarchy either owns a
+// private instance or, under batched replay, shares one image with the
+// other members of a core.SystemSet — whose single-goroutine driver
+// applies each store exactly once on behalf of all of them.
 type Memory struct {
 	pages map[uint32]*page
 	tlb   [tlbSize]tlbEntry

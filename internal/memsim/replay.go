@@ -13,6 +13,13 @@ import "fvcache/internal/trace"
 // samplers, spatial studies), place the Replayer first in the
 // trace.Tee: downstream sinks then see memory after the event took
 // effect, matching what they saw live.
+//
+// The cache hierarchy's own backing store is a different image: a
+// core.System applies only Stores to its memory (live via Env, or the
+// SystemSet driver under batched replay) and never the HeapFree
+// scrubs, so hierarchy replays must not reconstruct memory through a
+// Replayer — the scrubs would change eviction footprints and break
+// bit-exact replay equivalence.
 type Replayer struct {
 	Mem *Memory
 }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/workload"
+)
+
+// batchConfigs spans the lane shapes the fused engine handles: fast
+// direct-mapped lanes (plain, FVC, victim) and generic lanes
+// (associative main cache, L2, online FVT sketch).
+func batchConfigs(w workload.Workload) []core.Config {
+	main := cache.Params{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1}
+	fvt := ProfileTopAccessed(w, workload.Test, 7)
+	return []core.Config{
+		{Main: main},
+		{Main: main, FVC: &fvc.Params{Entries: 256, LineBytes: main.LineBytes, Bits: 3}, FrequentValues: fvt},
+		{Main: main, VictimEntries: 8},
+		{Main: cache.Params{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2}},
+		{Main: main, L2: &cache.Params{SizeBytes: 64 << 10, LineBytes: 32, Assoc: 4}},
+		{Main: main, FVC: &fvc.Params{Entries: 256, LineBytes: main.LineBytes, Bits: 3}, OnlineFVTEvery: 100_000},
+	}
+}
+
+// TestBatchReplayEquivalence is the fused engine's contract: for every
+// registered workload, one batched pass over the shared recording
+// yields bit-identical core.Stats to per-configuration replays, for
+// every configuration shape.
+func TestBatchReplayEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			rec, err := Recordings.Get(w, workload.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs := batchConfigs(w)
+			batch, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(cfgs) {
+				t.Fatalf("got %d results for %d configs", len(batch), len(cfgs))
+			}
+			for i, cfg := range cfgs {
+				solo, err := MeasureRecorded(rec, cfg, MeasureOptions{})
+				if err != nil {
+					t.Fatalf("config %d: %v", i, err)
+				}
+				if batch[i].Stats != solo.Stats {
+					t.Errorf("config %d: batch stats diverge\nbatch: %+v\nsolo:  %+v", i, batch[i].Stats, solo.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchReplayEquivalenceHooks checks the chunked hook path: warmup
+// exclusion, FVC content sampling and periodic audits must observe the
+// same access boundaries as the per-config replay, making the whole
+// MeasureResult — not just Stats — identical.
+func TestBatchReplayEquivalenceHooks(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := batchConfigs(w)
+	opt := MeasureOptions{
+		WarmupAccesses: 10_000,
+		SampleEvery:    5_000,
+		AuditEvery:     50_000,
+		VerifyValues:   true,
+	}
+	batch, err := MeasureRecordedBatch(rec, cfgs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		solo, err := MeasureRecorded(rec, cfg, opt)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if batch[i] != solo {
+			t.Errorf("config %d: hooked batch result diverges\nbatch: %+v\nsolo:  %+v", i, batch[i], solo)
+		}
+	}
+}
+
+// TestBatchReplayConcurrent replays the same shared recording from
+// many goroutines at once through the batch engine (plus concurrent
+// profile-cache use). Run under -race this pins the immutability
+// contract: batches build private SystemSets over the recording and
+// never mutate it.
+func TestBatchReplayConcurrent(t *testing.T) {
+	w, err := workload.Get("strproc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := batchConfigs(w)
+	want, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replayers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < replayers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ProfileTopAccessed(w, workload.Test, 7) // shared singleflight cache
+			got, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("config %d: concurrent batch diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatchReplayZeroAllocs pins the fused loop's allocation behavior:
+// once the SystemSet is warm (shared pages materialized, cache frames
+// filled), a full batched replay must not allocate at all.
+func TestBatchReplayZeroAllocs(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := cache.Params{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1}
+	set, err := core.NewSet([]core.Config{
+		{Main: main},
+		{Main: main, FVC: &fvc.Params{Entries: 256, LineBytes: main.LineBytes, Bits: 3},
+			FrequentValues: ProfileTopAccessed(w, workload.Test, 7)},
+		{Main: main, VictimEntries: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, addrs, vals := rec.AccessColumns()
+	set.ReplayColumns(ops, addrs, vals) // warm: pages and frames exist now
+	if allocs := testing.AllocsPerRun(3, func() { set.ReplayColumns(ops, addrs, vals) }); allocs > 0 {
+		t.Errorf("steady-state batched replay allocated %.0f times per pass, want 0", allocs)
+	}
+}
+
+// TestMissAttributionSetsParity checks the multi-set attribution pass
+// against per-set MissAttributionRecorded calls.
+func TestMissAttributionSetsParity(t *testing.T) {
+	w, err := workload.Get("lispint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Main: cache.Params{SizeBytes: 8 << 10, LineBytes: 16, Assoc: 1}}
+	sets := [][]uint32{
+		ProfileTopAccessed(w, workload.Test, 10),
+		{0, 1, 0xffffffff},
+	}
+	total, attr, err := MissAttributionSets(rec, cfg, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, values := range sets {
+		soloTotal, soloAttr, err := MissAttributionRecorded(rec, cfg, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soloTotal != total || soloAttr != attr[i] {
+			t.Errorf("set %d: fused attribution diverges: total %d vs %d, attributed %d vs %d",
+				i, total, soloTotal, attr[i], soloAttr)
+		}
+	}
+}
+
+// TestProfileCacheSingleflight checks that concurrent profile requests
+// for the same key share one histogram scan and one cached slice.
+func TestProfileCacheSingleflight(t *testing.T) {
+	w, err := workload.Get("goboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c ProfileCache
+	const n = 8
+	got := make([][]uint32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.TopAccessed(w, workload.Test, 7)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if len(got[i]) != len(got[0]) {
+			t.Fatalf("request %d returned %d values, want %d", i, len(got[i]), len(got[0]))
+		}
+		if len(got[i]) > 0 && &got[i][0] != &got[0][0] {
+			t.Fatalf("request %d returned a different backing array (no singleflight)", i)
+		}
+	}
+	// Prefix reuse: a smaller k must come from the same cached scan.
+	small := c.TopAccessed(w, workload.Test, 3)
+	if len(small) > 0 && &small[0] != &got[0][0] {
+		t.Error("smaller k did not reuse the cached profile")
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 
 	"fvcache/internal/core"
-	"fvcache/internal/freqval"
 	"fvcache/internal/harness"
 	"fvcache/internal/memsim"
 	"fvcache/internal/trace"
@@ -21,18 +20,13 @@ import (
 
 // ProfileTopAccessed returns w's k most frequently accessed values at
 // scale (the FVT a profile-directed compiler/loader would install).
-// The histogram is derived by replaying the shared recording of w, so
-// a profile pass followed by measurement runs executes the workload
-// only once. If recording fails the profile falls back to a live run.
+// Results come from the singleflight Profiles cache, so a sweep that
+// derives the same FVT for many configuration points scans the
+// recording's histogram once; the cache itself replays the shared
+// recording of w, so profiling adds no workload execution either.
+// The returned slice is shared and must not be mutated.
 func ProfileTopAccessed(w workload.Workload, scale workload.Scale, k int) []uint32 {
-	h := trace.NewValueHistogram()
-	if rec, err := Recordings.Get(w, scale); err == nil {
-		rec.Replay(h)
-	} else {
-		env := memsim.NewEnv(h)
-		w.Run(env, scale)
-	}
-	return freqval.TopAccessed(h, k)
+	return Profiles.TopAccessed(w, scale, k)
 }
 
 // MeasureOptions tunes a measurement run.

@@ -3,6 +3,7 @@ package trace
 import (
 	"errors"
 	"io"
+	"sync"
 )
 
 // Recording is a packed in-memory trace: the full event stream of one
@@ -21,6 +22,19 @@ type Recording struct {
 	addrs    []uint32
 	vals     []uint32
 	accesses uint64
+
+	// acc is the lazily built access-only projection (see
+	// AccessColumns). The sync.Once makes the first materialization
+	// safe under concurrent replays of an immutable recording.
+	acc accessCols
+}
+
+// accessCols is the packed access-only projection of the columns.
+type accessCols struct {
+	once  sync.Once
+	ops   []Op
+	addrs []uint32
+	vals  []uint32
 }
 
 // NewRecording returns an empty Recording ready to record into.
@@ -58,12 +72,46 @@ func (r *Recording) Columns() (ops []Op, addrs, values []uint32) {
 	return r.ops, r.addrs, r.vals
 }
 
-// Reset discards all recorded events, keeping the buffers for reuse.
+// AccessColumns exposes packed columnar buffers holding only the
+// access events (loads and stores), in stream order. A cache hierarchy
+// is a function of the access subsequence alone, so batched replay
+// loops iterate these instead of Columns: no per-event op filtering,
+// and the i-th element is exactly the i-th access, which turns hook
+// boundaries (warmup, sampling, audit counts) into plain slice
+// offsets. The projection is materialized lazily on first use and
+// shared thereafter; concurrent callers are safe because a Recording
+// is immutable once recorded. The slices must not be mutated.
+func (r *Recording) AccessColumns() (ops []Op, addrs, values []uint32) {
+	r.acc.once.Do(func() {
+		if r.accesses == uint64(len(r.ops)) {
+			// Pure access stream: share the primary columns outright.
+			r.acc.ops, r.acc.addrs, r.acc.vals = r.ops, r.addrs, r.vals
+			return
+		}
+		ops := make([]Op, 0, r.accesses)
+		addrs := make([]uint32, 0, r.accesses)
+		vals := make([]uint32, 0, r.accesses)
+		for i, op := range r.ops {
+			if op.IsAccess() {
+				ops = append(ops, op)
+				addrs = append(addrs, r.addrs[i])
+				vals = append(vals, r.vals[i])
+			}
+		}
+		r.acc.ops, r.acc.addrs, r.acc.vals = ops, addrs, vals
+	})
+	return r.acc.ops, r.acc.addrs, r.acc.vals
+}
+
+// Reset discards all recorded events, keeping the primary buffers for
+// reuse. The caller must have exclusive ownership (no concurrent
+// replays), as with recording itself.
 func (r *Recording) Reset() {
 	r.ops = r.ops[:0]
 	r.addrs = r.addrs[:0]
 	r.vals = r.vals[:0]
 	r.accesses = 0
+	r.acc = accessCols{}
 }
 
 // Replay sends every recorded event to dst in order. For Sink
