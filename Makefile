@@ -14,21 +14,28 @@ vet:
 	$(GO) vet ./...
 
 # check is the full robustness gate (see ROADMAP.md "Tier-1 verify"):
-# vet, build, the race-enabled test suite, a short fuzz smoke run over
-# the hardened trace reader, a single-iteration pass over every
-# benchmark so the benchmark corpus cannot rot, and a sanity pass over
-# the committed sweep-engine artifact (it must parse, every speedup
-# layer must be >= 1.0, and the steady-state replay loops must be
-# allocation-free).
+# vet, build (with telemetry on and compiled out), the race-enabled
+# test suite, a short fuzz smoke run over the hardened trace reader,
+# the telemetry-overhead gate (the steady-state replay loops must stay
+# allocation-free with telemetry compiled in, and the exported
+# telemetry.json must validate end to end), a single-iteration pass
+# over every benchmark so the benchmark corpus cannot rot, and a
+# sanity pass over the committed sweep-engine artifact (it must parse,
+# every speedup layer must be >= 1.0, the steady-state allocation
+# counts must be zero, and its telemetry snapshot must validate).
 check: vet build
+	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
+	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
+	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs' ./internal/sim
+	$(GO) test -count=1 -run='TestTelemetry' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
 
 # bench measures both sweep-engine layers (per-config replay and the
 # fused batch) against live execution and writes the BENCH_sweep.json
-# artifact.
+# artifact, plus the run's telemetry.json snapshot next to it.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 

@@ -13,9 +13,10 @@
 // replay paths, which the de-allocated access loops keep at zero.
 //
 // With -verify, benchsweep instead reads an existing artifact and
-// checks it is well-formed: every speedup layer must be >= 1.0 and the
-// steady-state allocation counts zero. make check uses this to keep
-// the committed artifact honest.
+// checks it is well-formed: every speedup layer must be >= 1.0, the
+// steady-state allocation counts zero, and the telemetry snapshot next
+// to it must satisfy obs.ValidateSnapshot. make check uses this to
+// keep both committed artifacts honest.
 package main
 
 import (
@@ -23,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"fvcache/internal/cache"
 	"fvcache/internal/core"
 	"fvcache/internal/fvc"
+	"fvcache/internal/obs"
 	"fvcache/internal/sim"
 	"fvcache/internal/workload"
 )
@@ -118,18 +121,27 @@ func run(out string) error {
 	// benchmarks on shared machines (noise is strictly additive).
 	const reps = 3
 	liveNs, replayNs, batchNs := int64(0), int64(0), int64(0)
+	bspan := obs.Begin("bench")
 	for r := 0; r < reps; r++ {
+		lspan := bspan.Begin("live")
 		if ns := testing.Benchmark(liveBench).NsPerOp(); r == 0 || ns < liveNs {
 			liveNs = ns
 		}
+		lspan.Done()
+		pspan := bspan.Begin("replay")
 		if ns := testing.Benchmark(replayBench).NsPerOp(); r == 0 || ns < replayNs {
 			replayNs = ns
 		}
+		pspan.Done()
+		fspan := bspan.Begin("batch")
 		if ns := testing.Benchmark(batchBench).NsPerOp(); r == 0 || ns < batchNs {
 			batchNs = ns
 		}
+		fspan.Done()
 	}
+	bspan.Done()
 
+	aspan := obs.Begin("alloc-check")
 	sys, err := core.New(cfgs[len(cfgs)-1])
 	if err != nil {
 		return err
@@ -144,7 +156,10 @@ func run(out string) error {
 	ops, addrs, vals := rec.AccessColumns()
 	set.ReplayColumns(ops, addrs, vals) // warm
 	batchAllocs := testing.AllocsPerRun(3, func() { set.ReplayColumns(ops, addrs, vals) })
+	aspan.Done()
 
+	rspan := obs.Begin("report")
+	defer rspan.Done()
 	r := report{
 		Workload:           w.Name(),
 		Scale:              "test",
@@ -178,7 +193,9 @@ func run(out string) error {
 
 // verify checks an existing artifact: it must parse, each optimization
 // layer must actually be a speedup (>= 1.0), and the steady-state
-// replay loops must be allocation-free.
+// replay loops must be allocation-free. The telemetry snapshot written
+// alongside the artifact is validated too, so a schema regression in
+// the exporter cannot ship unnoticed.
 func verify(path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -207,24 +224,58 @@ func verify(path string) error {
 		return fmt.Errorf("%s: steady-state allocs nonzero (replay %.0f, batch %.0f)",
 			path, r.SteadyReplayAllocs, r.SteadyBatchAllocs)
 	}
+	tpath := filepath.Join(filepath.Dir(path), "telemetry.json")
+	tbuf, err := os.ReadFile(tpath)
+	if err != nil {
+		return fmt.Errorf("telemetry snapshot missing next to %s: %w", path, err)
+	}
+	snap, err := obs.ValidateSnapshot(tbuf)
+	if err != nil {
+		return fmt.Errorf("%s: %w", tpath, err)
+	}
 	fmt.Printf("%s ok: live/replay %.2fx, replay/batch %.2fx, live/batch %.2fx, zero steady-state allocs\n",
 		path, r.Speedup, r.BatchSpeedup, r.TotalSpeedup)
+	fmt.Printf("%s ok: %s, %d counters, %d phases\n",
+		tpath, snap.Schema, len(snap.Counters), len(snap.Phases.Children))
 	return nil
 }
 
 func main() {
+	os.Exit(mainExit())
+}
+
+func mainExit() (code int) {
 	out := flag.String("o", "BENCH_sweep.json", "output path for the JSON artifact")
 	check := flag.String("verify", "", "verify an existing artifact instead of benchmarking")
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *check != "" {
+		// Verify is read-only: it must not overwrite the committed
+		// telemetry artifact it is checking.
+		of.TelemetryOut = ""
 		if err := verify(*check); err != nil {
 			fmt.Fprintln(os.Stderr, "benchsweep:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
+	// The telemetry snapshot ships next to the benchmark artifact.
+	if of.TelemetryOut == "telemetry.json" {
+		of.TelemetryOut = filepath.Join(filepath.Dir(*out), "telemetry.json")
+	}
+	if err := of.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		return 1
+	}
+	defer func() {
+		if err := of.Stop(); err != nil && code == 0 {
+			fmt.Fprintln(os.Stderr, "benchsweep: telemetry:", err)
+			code = 1
+		}
+	}()
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fvcache/internal/experiments"
 	"fvcache/internal/harness"
+	"fvcache/internal/obs"
 	"fvcache/internal/workload"
 )
 
@@ -32,7 +34,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
 		only      = flag.String("only", "", "comma-separated artifact ids (default: all)")
@@ -43,6 +45,7 @@ func run() int {
 		resume    = flag.Bool("resume", true, "with -out: skip artifacts the checkpoint manifest records as done")
 		timeout   = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
 	)
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -73,7 +76,22 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return harness.ExitFailure
 		}
+		// In -out mode the telemetry snapshot belongs with the sweep's
+		// artifacts (and its checkpoint manifest), unless the user aimed
+		// it elsewhere explicitly.
+		if of.TelemetryOut == "telemetry.json" {
+			of.TelemetryOut = filepath.Join(*outDir, "telemetry.json")
+		}
 	}
+	if err := of.Start(); err != nil {
+		return usage(err)
+	}
+	defer func() {
+		if err := of.Stop(); err != nil && code == harness.ExitOK {
+			fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)
+			code = harness.ExitFailure
+		}
+	}()
 
 	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
 	defer cancel()

@@ -24,6 +24,7 @@ import (
 	"fvcache/internal/energy"
 	"fvcache/internal/fvc"
 	"fvcache/internal/harness"
+	"fvcache/internal/obs"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/workload"
@@ -33,7 +34,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		wlName     = flag.String("workload", "goboard", "workload name (see -list)")
 		scaleName  = flag.String("scale", "ref", "input scale: test, train or ref")
@@ -50,6 +51,7 @@ func run() int {
 		showEnergy = flag.Bool("energy", false, "print an energy estimate (0.8um model)")
 		timeout    = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	)
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -69,6 +71,15 @@ func run() int {
 	if err != nil {
 		return usage(err)
 	}
+	if err := of.Start(); err != nil {
+		return usage(err)
+	}
+	defer func() {
+		if serr := of.Stop(); serr != nil && code == harness.ExitOK {
+			fmt.Fprintln(os.Stderr, "fvcsim: telemetry:", serr)
+			code = harness.ExitFailure
+		}
+	}()
 	cfg := core.Config{
 		Main:          cache.Params{SizeBytes: *size, LineBytes: *line, Assoc: *assoc},
 		VictimEntries: *victim,
@@ -107,6 +118,8 @@ func run() int {
 		if rerr != nil {
 			return rerr
 		}
+		span := obs.Begin("measure:" + w.Name())
+		defer span.Done()
 		var merr error
 		res, merr = sim.MeasureRecorded(rec, cfg, sim.MeasureOptions{
 			VerifyValues: *verify,
@@ -116,14 +129,12 @@ func run() int {
 		return merr
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fvcsim:", err)
-		if stack := harness.StackOf(err); stack != nil {
-			fmt.Fprintf(os.Stderr, "%s", stack)
-		}
-		return harness.ExitFailure
+		return harness.ReportRunError(os.Stderr, "fvcsim", err)
 	}
 	st := res.Stats
 
+	rspan := obs.Begin("report")
+	defer rspan.Done()
 	t := report.NewTable(fmt.Sprintf("%s @ %s — main %s", w.Name(), scale, cfg.Main), "metric", "value")
 	t.AddRow("accesses", fmt.Sprintf("%d (loads %d, stores %d)", st.Accesses(), st.Loads, st.Stores))
 	t.AddRow("main hits", fmt.Sprintf("%d", st.MainHits))

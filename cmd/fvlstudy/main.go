@@ -21,6 +21,7 @@ import (
 
 	"fvcache/internal/experiments"
 	"fvcache/internal/harness"
+	"fvcache/internal/obs"
 	"fvcache/internal/workload"
 )
 
@@ -30,19 +31,29 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
 		only      = flag.String("only", "", "comma-separated artifact ids (default: all of section 2)")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
 		timeout   = flag.Duration("timeout", 0, "abort the study after this duration (0 = none)")
 	)
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleName)
 	if err != nil {
 		return usage(err)
 	}
+	if err := of.Start(); err != nil {
+		return usage(err)
+	}
+	defer func() {
+		if err := of.Stop(); err != nil && code == harness.ExitOK {
+			fmt.Fprintln(os.Stderr, "fvlstudy: telemetry:", err)
+			code = harness.ExitFailure
+		}
+	}()
 	ids := studyIDs
 	if *only != "" {
 		ids = strings.Split(*only, ",")

@@ -21,6 +21,7 @@ import (
 	"fvcache/internal/cache"
 	"fvcache/internal/core"
 	"fvcache/internal/harness"
+	"fvcache/internal/obs"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/trace"
@@ -31,7 +32,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		wlName    = flag.String("workload", "", "workload to record")
 		scaleName = flag.String("scale", "test", "input scale: test, train or ref")
@@ -43,6 +44,7 @@ func run() int {
 		assoc     = flag.Int("assoc", 1, "replay: associativity")
 		timeout   = flag.Duration("timeout", 0, "abort the command after this duration (0 = none)")
 	)
+	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var cmd func() error
@@ -58,16 +60,21 @@ func run() int {
 		return harness.ExitUsage
 	}
 
+	if err := of.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return harness.ExitUsage
+	}
+	defer func() {
+		if err := of.Stop(); err != nil && code == harness.ExitOK {
+			fmt.Fprintln(os.Stderr, "tracegen: telemetry:", err)
+			code = harness.ExitFailure
+		}
+	}()
+
 	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
 	defer cancel()
-	if err := harness.Run(ctx, func(context.Context) error { return cmd() }); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		if stack := harness.StackOf(err); stack != nil {
-			fmt.Fprintf(os.Stderr, "%s", stack)
-		}
-		return harness.ExitFailure
-	}
-	return harness.ExitOK
+	err := harness.Run(ctx, func(context.Context) error { return cmd() })
+	return harness.ReportRunError(os.Stderr, "tracegen", err)
 }
 
 func recordCmd(wlName, scaleName, outPath string) error {
@@ -85,6 +92,8 @@ func recordCmd(wlName, scaleName, outPath string) error {
 	if err != nil {
 		return err
 	}
+	span := obs.Begin("spill:" + outPath)
+	defer span.Done()
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -117,6 +126,8 @@ func openTrace(path string) (*trace.Reader, *os.File, error) {
 }
 
 func statsCmd(path string) error {
+	span := obs.Begin("stats:" + path)
+	defer span.Done()
 	r, f, err := openTrace(path)
 	if err != nil {
 		return err
@@ -145,6 +156,8 @@ func statsCmd(path string) error {
 }
 
 func replayCmd(path string, size, line, assoc int) error {
+	span := obs.Begin("replay:" + path)
+	defer span.Done()
 	r, f, err := openTrace(path)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package core
 import (
 	"fvcache/internal/cache"
 	"fvcache/internal/memsim"
+	"fvcache/internal/obs"
 	"fvcache/internal/trace"
 )
 
@@ -56,6 +57,7 @@ type dmGroup struct {
 	members     []groupMember
 	hits        []uint64 // per-member main-hit tally for the current chunk
 	misses      []uint64 // per-member miss tally for the current chunk
+	resyncs     uint64   // filter resyncs this chunk, flushed to obs at chunk end
 }
 
 type groupMember struct {
@@ -181,6 +183,9 @@ func (g *dmGroup) push() {
 // occupies the set. Outlined so the fused loop body stays small enough
 // to keep its locals in registers.
 func (g *dmGroup) missAt(j int, idx uint32, store bool, addr, value uint32) {
+	// A plain field increment: the per-event fused loop stays free of
+	// atomics; the tally reaches the obs counter once per chunk.
+	g.resyncs++
 	m := &g.members[j]
 	ln := m.dm.LineAt(idx)
 	ei := int(idx)*len(g.members) + j
@@ -277,4 +282,18 @@ func (ss *SystemSet) ReplayColumns(ops []trace.Op, addrs, values []uint32) {
 		g.push()
 	}
 	// Slow members tallied Loads/Stores inside Access itself.
+
+	// Telemetry, once per chunk (never per event): a handful of atomic
+	// adds that keep the fused loop allocation-free and branch-light.
+	if obs.Enabled {
+		obs.BatchChunks.Inc()
+		obs.BatchEvents.Add(uint64(len(ops)))
+		obs.ProbeRebuilds.Add(uint64(len(groups)))
+		var resyncs uint64
+		for gi := range groups {
+			resyncs += groups[gi].resyncs
+			groups[gi].resyncs = 0
+		}
+		obs.ProbeResyncs.Add(resyncs)
+	}
 }

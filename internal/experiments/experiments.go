@@ -157,6 +157,9 @@ func measureBatch(w workload.Workload, scale workload.Scale, cfgs []core.Config,
 	if err != nil {
 		return nil, err
 	}
+	if mo.Label == "" {
+		mo.Label = w.Name()
+	}
 	res, err := sim.MeasureRecordedBatch(rec, cfgs, mo)
 	if err != nil {
 		return nil, fmt.Errorf("measuring %s: %w", w.Name(), err)

@@ -2,10 +2,14 @@ package harness
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"fvcache/internal/obs"
 )
 
 // Exit codes shared by every cmd/ binary.
@@ -16,6 +20,11 @@ const (
 	ExitFailure = 1
 	// ExitUsage: bad flags or arguments.
 	ExitUsage = 2
+	// ExitPanic: the run aborted on a recovered panic — a simulator
+	// invariant broke, not an expected failure mode. Shares the value
+	// of ExitUsage: both mean "an operator must intervene", and the
+	// stderr epilogue disambiguates.
+	ExitPanic = 2
 )
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM and,
@@ -46,4 +55,24 @@ func Run(ctx context.Context, fn func(ctx context.Context) error) error {
 		return err
 	}
 	return Recover(func() error { return fn(ctx) })
+}
+
+// ReportRunError is the cmd/ binaries' shared failure epilogue: it
+// prints "name: err" to w, dumps the recovered stack when err carries
+// one, logs the outcome through the obs logger, and returns the
+// process exit code — ExitOK for nil, ExitPanic for a recovered panic,
+// ExitFailure for any other error. Every binary routes its top-level
+// error through here instead of hand-rolling the stack-dump block.
+func ReportRunError(w io.Writer, name string, err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	fmt.Fprintf(w, "%s: %v\n", name, err)
+	if stack := StackOf(err); stack != nil {
+		fmt.Fprintf(w, "%s", stack)
+		obs.Log.Error("run panicked", "cmd", name, "err", err.Error())
+		return ExitPanic
+	}
+	obs.Log.Error("run failed", "cmd", name, "err", err.Error())
+	return ExitFailure
 }

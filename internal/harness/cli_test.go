@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReportRunErrorExitCodes pins the shared CLI epilogue's exit-code
+// table: 0 for success, 1 for an ordinary failure, 2 for a recovered
+// panic (with the stack dumped exactly once).
+func TestReportRunErrorExitCodes(t *testing.T) {
+	panicErr := Recover(func() error { panic("invariant broke") })
+	if panicErr == nil {
+		t.Fatal("Recover did not capture the panic")
+	}
+
+	tests := []struct {
+		name      string
+		err       error
+		wantCode  int
+		wantOut   []string
+		wantStack bool
+	}{
+		{name: "success", err: nil, wantCode: ExitOK},
+		{
+			name:     "failure",
+			err:      errors.New("bad input"),
+			wantCode: ExitFailure,
+			wantOut:  []string{"mycmd: bad input"},
+		},
+		{
+			name:      "panic",
+			err:       panicErr,
+			wantCode:  ExitPanic,
+			wantOut:   []string{"mycmd: panic: invariant broke"},
+			wantStack: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf strings.Builder
+			if got := ReportRunError(&buf, "mycmd", tt.err); got != tt.wantCode {
+				t.Errorf("exit code = %d, want %d", got, tt.wantCode)
+			}
+			out := buf.String()
+			if tt.err == nil && out != "" {
+				t.Errorf("success wrote output: %q", out)
+			}
+			for _, want := range tt.wantOut {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			if gotStack := strings.Contains(out, "goroutine"); gotStack != tt.wantStack {
+				t.Errorf("stack dumped = %v, want %v:\n%s", gotStack, tt.wantStack, out)
+			}
+		})
+	}
+}
+
+// TestReportRunErrorWrappedPanic checks the panic classification works
+// through error wrapping, the way cmd binaries surface sweep errors.
+func TestReportRunErrorWrappedPanic(t *testing.T) {
+	inner := Recover(func() error { panic("deep") })
+	wrapped := errors.Join(errors.New("sweep aborted"), inner)
+	var buf strings.Builder
+	if got := ReportRunError(&buf, "x", wrapped); got != ExitPanic {
+		t.Errorf("wrapped panic exit code = %d, want %d", got, ExitPanic)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+
+	"fvcache/internal/obs"
 )
 
 // PanicError is a recovered panic, carrying the panicking goroutine's
@@ -46,10 +48,12 @@ func (e *PanicError) Unwrap() error {
 }
 
 // Recover runs fn, converting a panic into a *PanicError. It is the
-// single panic boundary the rest of the harness builds on.
+// single panic boundary the rest of the harness builds on, so the
+// telemetry panic counter is maintained here and nowhere else.
 func Recover(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			obs.HarnessPanics.Inc()
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()

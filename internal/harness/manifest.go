@@ -90,3 +90,17 @@ func (m *Manifest) IsDone(dir, id string) bool {
 func (m *Manifest) MarkDone(id, output string, d time.Duration) {
 	m.Done[id] = ManifestEntry{Output: output, CompletedAt: time.Now().UTC(), DurationMS: d.Milliseconds()}
 }
+
+// AvgDurationMS returns the mean recorded task duration, or 0 when the
+// manifest is empty. A resumed sweep seeds its progress ETA from this
+// before any task of the new run completes.
+func (m *Manifest) AvgDurationMS() int64 {
+	if len(m.Done) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, e := range m.Done {
+		sum += e.DurationMS
+	}
+	return sum / int64(len(m.Done))
+}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := LoadManifest(dir, "k=1")
+	if len(m.Done) != 0 {
+		t.Fatalf("fresh manifest has %d entries", len(m.Done))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkDone("a", "a.txt", 250*time.Millisecond)
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	got := LoadManifest(dir, "k=1")
+	if !got.IsDone(dir, "a") {
+		t.Error("round-tripped manifest lost entry a")
+	}
+	e := got.Done["a"]
+	if e.Output != "a.txt" || e.DurationMS != 250 {
+		t.Errorf("entry a = %+v, want output a.txt duration 250ms", e)
+	}
+	if e.CompletedAt.IsZero() {
+		t.Error("entry a has zero completion time")
+	}
+}
+
+func TestManifestInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	save := func() {
+		m := LoadManifest(dir, "k=1")
+		m.MarkDone("a", "a.txt", time.Millisecond)
+		if err := m.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	save()
+	if !LoadManifest(dir, "k=1").IsDone(dir, "a") {
+		t.Fatal("setup: entry not visible")
+	}
+
+	// A key change discards the checkpoint wholesale.
+	if LoadManifest(dir, "k=2").IsDone(dir, "a") {
+		t.Error("key mismatch did not invalidate the checkpoint")
+	}
+
+	// A corrupt manifest degrades to a fresh one, never an error.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if LoadManifest(dir, "k=1").IsDone(dir, "a") {
+		t.Error("corrupt manifest still reports entry done")
+	}
+
+	// A deleted output invalidates just its entry.
+	save()
+	if err := os.Remove(filepath.Join(dir, "a.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if LoadManifest(dir, "k=1").IsDone(dir, "a") {
+		t.Error("entry with deleted output still reports done")
+	}
+}
+
+func TestManifestAvgDurationMS(t *testing.T) {
+	m := &Manifest{Done: map[string]ManifestEntry{}}
+	if got := m.AvgDurationMS(); got != 0 {
+		t.Errorf("empty manifest avg = %d, want 0", got)
+	}
+	m.Done["a"] = ManifestEntry{DurationMS: 100}
+	m.Done["b"] = ManifestEntry{DurationMS: 300}
+	if got := m.AvgDurationMS(); got != 200 {
+		t.Errorf("avg = %d, want 200", got)
+	}
+}
+
+// TestManifestResumeAfterCorruption is the full write -> corrupt ->
+// resume cycle through RunSweep: a torn checkpoint must degrade to
+// redoing work, and the redo must rebuild a valid checkpoint.
+func TestManifestResumeAfterCorruption(t *testing.T) {
+	dir := t.TempDir()
+	var runs []string
+	tasks := []Task{
+		{ID: "a", Run: func(_ context.Context, out io.Writer) error {
+			runs = append(runs, "a")
+			fmt.Fprintln(out, "artifact a")
+			return nil
+		}},
+		{ID: "b", Run: func(_ context.Context, out io.Writer) error {
+			runs = append(runs, "b")
+			fmt.Fprintln(out, "artifact b")
+			return nil
+		}},
+	}
+	opt := SweepOptions{OutDir: dir, Key: "k", Resume: true, Log: io.Discard}
+
+	if sum := RunSweep(context.Background(), tasks, opt); !sum.OK() {
+		t.Fatalf("first sweep failed: %+v", sum.Results)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("first sweep ran %v, want [a b]", runs)
+	}
+
+	// Second run resumes: nothing re-executes.
+	runs = nil
+	sum := RunSweep(context.Background(), tasks, opt)
+	if len(runs) != 0 {
+		t.Errorf("resumed sweep re-ran %v", runs)
+	}
+	if got := sum.Count(TaskSkipped); got != 2 {
+		t.Errorf("resumed sweep skipped %d tasks, want 2", got)
+	}
+
+	// Corrupt the checkpoint: the sweep redoes everything and leaves a
+	// valid checkpoint behind.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runs = nil
+	if sum := RunSweep(context.Background(), tasks, opt); !sum.OK() {
+		t.Fatalf("post-corruption sweep failed: %+v", sum.Results)
+	}
+	if len(runs) != 2 {
+		t.Errorf("post-corruption sweep ran %v, want [a b]", runs)
+	}
+	m := LoadManifest(dir, "k")
+	if !m.IsDone(dir, "a") || !m.IsDone(dir, "b") {
+		t.Error("redo did not rebuild the checkpoint")
+	}
+}
+
+// TestSweepCheckpointWriteErrorSurfaces pins the satellite fix: a
+// checkpoint-manifest write failure must not fail (or silently pass)
+// the task — it surfaces as CheckpointErr and in the printed summary.
+func TestSweepCheckpointWriteErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	task := Task{ID: "a", Run: func(_ context.Context, out io.Writer) error {
+		// Make the manifest temp file uncreatable after the artifact is
+		// written: Save targets <dir>/manifest.json.tmp, so a directory
+		// squatting on that name fails the write step.
+		if err := os.Mkdir(filepath.Join(dir, ManifestName+".tmp"), 0o755); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "artifact a")
+		return nil
+	}}
+	sum := RunSweep(context.Background(), []Task{task},
+		SweepOptions{OutDir: dir, Key: "k", Log: io.Discard})
+
+	if !sum.OK() {
+		t.Fatalf("sweep not OK despite valid artifact: %+v", sum.Results)
+	}
+	ck := sum.CheckpointErrs()
+	if len(ck) != 1 || ck[0].ID != "a" {
+		t.Fatalf("CheckpointErrs = %+v, want one entry for a", ck)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.txt")); err != nil {
+		t.Errorf("artifact missing despite checkpoint-only failure: %v", err)
+	}
+	var buf strings.Builder
+	sum.Print(&buf)
+	if !strings.Contains(buf.String(), "1 checkpoint write errors") ||
+		!strings.Contains(buf.String(), "checkpoint manifest write failures") {
+		t.Errorf("summary does not surface the checkpoint failure:\n%s", buf.String())
+	}
+}

@@ -2,10 +2,13 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"fvcache/internal/obs"
 )
 
 // MapOptions tunes Map.
@@ -135,7 +138,13 @@ func runTask[T any](ctx context.Context, i int, opt MapOptions, retryIf func(err
 	for {
 		attempts++
 		v, err = attempt(ctx, i, opt.TaskTimeout, fn)
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			obs.HarnessTimeouts.Inc()
+		}
 		if err == nil || attempts > opt.Retries || !retryIf(err) || ctx.Err() != nil {
+			if attempts > 1 {
+				obs.HarnessRetries.Add(uint64(attempts - 1))
+			}
 			return v, attempts, err
 		}
 		if backoff > 0 {

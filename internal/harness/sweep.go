@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"fvcache/internal/obs"
 )
 
 // Task is one artifact of a sweep.
@@ -75,6 +77,12 @@ type TaskResult struct {
 	Status   TaskStatus
 	Err      error // non-nil iff Status == TaskFailed
 	Duration time.Duration
+	// CheckpointErr records a checkpoint-manifest write failure after
+	// the task's artifact completed successfully: the artifact itself
+	// is valid, but a rerun with Resume will redo the task. Surfaced in
+	// the failure summary instead of failing (or silently dropping) the
+	// otherwise-successful task.
+	CheckpointErr error
 }
 
 // Summary aggregates a sweep's outcomes.
@@ -104,6 +112,18 @@ func (s *Summary) Count(status TaskStatus) int {
 	return n
 }
 
+// CheckpointErrs returns the results whose checkpoint-manifest write
+// failed (their artifacts are still valid).
+func (s *Summary) CheckpointErrs() []TaskResult {
+	var out []TaskResult
+	for _, r := range s.Results {
+		if r.CheckpointErr != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // OK reports whether every task completed (done or skipped).
 func (s *Summary) OK() bool {
 	return s.Count(TaskFailed) == 0 && s.Count(TaskCanceled) == 0
@@ -111,10 +131,16 @@ func (s *Summary) OK() bool {
 
 // Print writes the sweep summary: one line per task, then the full
 // failure details — each failed artifact with its error and, for
-// recovered panics, the stack trace.
+// recovered panics, the stack trace — and finally any checkpoint
+// write failures, so a sweep whose artifacts all completed still
+// reports that its resume state is stale.
 func (s *Summary) Print(w io.Writer) {
-	fmt.Fprintf(w, "\nsweep summary: %d done, %d skipped, %d failed, %d canceled\n",
+	fmt.Fprintf(w, "\nsweep summary: %d done, %d skipped, %d failed, %d canceled",
 		s.Count(TaskDone), s.Count(TaskSkipped), s.Count(TaskFailed), s.Count(TaskCanceled))
+	if n := len(s.CheckpointErrs()); n > 0 {
+		fmt.Fprintf(w, ", %d checkpoint write errors", n)
+	}
+	fmt.Fprintln(w)
 	for _, r := range s.Results {
 		if r.Status == TaskFailed {
 			fmt.Fprintf(w, "  %-8s %-10s %s\n", r.ID, r.Status, r.Err)
@@ -126,6 +152,12 @@ func (s *Summary) Print(w io.Writer) {
 		fmt.Fprintf(w, "\n--- %s: %s ---\n%v\n", r.ID, r.Title, r.Err)
 		if stack := StackOf(r.Err); stack != nil {
 			fmt.Fprintf(w, "%s", stack)
+		}
+	}
+	if ck := s.CheckpointErrs(); len(ck) > 0 {
+		fmt.Fprintf(w, "\ncheckpoint manifest write failures (artifacts are valid; a -resume rerun will redo them):\n")
+		for _, r := range ck {
+			fmt.Fprintf(w, "  %-8s %v\n", r.ID, r.CheckpointErr)
 		}
 	}
 }
@@ -150,37 +182,85 @@ func RunSweep(ctx context.Context, tasks []Task, opt SweepOptions) Summary {
 	if opt.OutDir != "" {
 		manifest = LoadManifest(opt.OutDir, opt.Key)
 	}
+	sweepSpan := obs.Begin("sweep")
+	defer sweepSpan.Done()
 
-	sum := Summary{Results: make([]TaskResult, 0, len(tasks))}
-	for _, t := range tasks {
+	total := len(tasks)
+	var ranMS int64 // total wall-clock of tasks executed this run
+	var ran int
+	sum := Summary{Results: make([]TaskResult, 0, total)}
+	for i, t := range tasks {
 		if ctx.Err() != nil {
 			sum.Results = append(sum.Results, TaskResult{ID: t.ID, Title: t.Title, Status: TaskCanceled})
 			continue
 		}
 		if manifest != nil && opt.Resume && manifest.IsDone(opt.OutDir, t.ID) {
-			fmt.Fprintf(opt.Log, "skipping %s (checkpointed in %s)\n", t.ID, ManifestName)
+			fmt.Fprintf(opt.Log, "[%d/%d] skipping %s (checkpointed in %s)\n", i+1, total, t.ID, ManifestName)
+			obs.SweepTasksSkipped.Inc()
 			sum.Results = append(sum.Results, TaskResult{ID: t.ID, Title: t.Title, Status: TaskSkipped})
 			continue
 		}
-		fmt.Fprintf(opt.Log, "running %s (%s)...\n", t.ID, t.Title)
+		fmt.Fprintf(opt.Log, "[%d/%d] running %s (%s)...%s\n", i+1, total, t.ID, t.Title,
+			etaNote(ran, ranMS, manifest, total-i))
+		obs.Log.Info("sweep task start", "task", t.ID, "index", i+1, "total", total)
+		span := sweepSpan.Begin(t.ID)
 		start := time.Now()
-		err := runOne(ctx, t, opt, manifest)
-		res := TaskResult{ID: t.ID, Title: t.Title, Status: TaskDone, Duration: time.Since(start)}
+		err, ckptErr := runOne(ctx, t, opt, manifest)
+		span.Done()
+		res := TaskResult{
+			ID: t.ID, Title: t.Title, Status: TaskDone,
+			Duration: time.Since(start), CheckpointErr: ckptErr,
+		}
+		ran++
+		ranMS += res.Duration.Milliseconds()
+		obs.SweepTaskMS.Observe(uint64(res.Duration.Milliseconds()))
 		if err != nil {
 			res.Status = TaskFailed
 			res.Err = err
+			obs.SweepTasksFailed.Inc()
 			fmt.Fprintf(opt.Log, "  FAILED in %s: %v\n", res.Duration.Truncate(time.Millisecond), err)
+			obs.Log.Warn("sweep task failed", "task", t.ID, "ms", res.Duration.Milliseconds(), "err", err.Error())
 		} else {
+			obs.SweepTasksDone.Inc()
 			fmt.Fprintf(opt.Log, "  done in %s\n", res.Duration.Truncate(time.Millisecond))
+			obs.Log.Info("sweep task done", "task", t.ID, "ms", res.Duration.Milliseconds())
+		}
+		if ckptErr != nil {
+			obs.CheckpointErrors.Inc()
+			fmt.Fprintf(opt.Log, "  checkpoint write failed (artifact kept): %v\n", ckptErr)
+			obs.Log.Warn("checkpoint write failed", "task", t.ID, "err", ckptErr.Error())
 		}
 		sum.Results = append(sum.Results, res)
 	}
 	return sum
 }
 
+// etaNote estimates the remaining sweep time from the average duration
+// of tasks executed this run, falling back to the checkpoint
+// manifest's recorded durations (a resumed sweep knows how long its
+// finished siblings took before any new task completes). Empty when no
+// estimate is available yet.
+func etaNote(ran int, ranMS int64, manifest *Manifest, remaining int) string {
+	avgMS := int64(0)
+	switch {
+	case ran > 0:
+		avgMS = ranMS / int64(ran)
+	case manifest != nil:
+		avgMS = manifest.AvgDurationMS()
+	}
+	if avgMS <= 0 || remaining <= 0 {
+		return ""
+	}
+	eta := time.Duration(avgMS*int64(remaining)) * time.Millisecond
+	return fmt.Sprintf(" (eta %s)", eta.Truncate(time.Second))
+}
+
 // runOne executes a single task behind the panic boundary, handling
-// output-file and checkpoint plumbing.
-func runOne(ctx context.Context, t Task, opt SweepOptions, manifest *Manifest) error {
+// output-file and checkpoint plumbing. The checkpoint-manifest write
+// error is returned separately from the task error: a manifest that
+// cannot be saved does not invalidate the completed artifact, but it
+// must surface in the summary rather than vanish.
+func runOne(ctx context.Context, t Task, opt SweepOptions, manifest *Manifest) (taskErr, ckptErr error) {
 	var out io.Writer = opt.Stdout
 	var f *os.File
 	final := t.ID + ".txt"
@@ -188,7 +268,7 @@ func runOne(ctx context.Context, t Task, opt SweepOptions, manifest *Manifest) e
 		var err error
 		f, err = os.Create(filepath.Join(opt.OutDir, final+".partial"))
 		if err != nil {
-			return err
+			return err, nil
 		}
 		out = f
 	}
@@ -201,20 +281,20 @@ func runOne(ctx context.Context, t Task, opt SweepOptions, manifest *Manifest) e
 		if err != nil {
 			// Keep the partial file for post-mortems but never let it
 			// masquerade as a finished artifact.
-			return err
+			return err, nil
 		}
 		if err := os.Rename(f.Name(), filepath.Join(opt.OutDir, final)); err != nil {
-			return err
+			return err, nil
 		}
 	}
 	if err != nil {
-		return err
+		return err, nil
 	}
 	if manifest != nil {
 		manifest.MarkDone(t.ID, final, time.Since(start))
 		if err := manifest.Save(opt.OutDir); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return nil, nil
 }

@@ -1,0 +1,8 @@
+//go:build obsoff
+
+package obs
+
+// Enabled is false in obsoff builds: every metric mutator, span and
+// log call short-circuits on this constant and is eliminated by the
+// compiler. Build with `-tags obsoff` to strip telemetry entirely.
+const Enabled = false

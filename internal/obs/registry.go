@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if !Enabled {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (throughput, occupancy,
+// progress fraction). Stored as atomic bits, so Set/Load are single
+// word operations.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if !Enabled {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramBuckets is the fixed bucket count of every Histogram: one
+// bucket per bit length of the observed value, so bucket i counts
+// observations in [2^(i-1), 2^i). Bounded by construction — a
+// histogram can never grow, whatever it observes.
+const HistogramBuckets = 65
+
+// Histogram is a bounded log2-bucketed histogram of uint64
+// observations (durations in milliseconds, sizes, counts). Lock-free:
+// each Observe is two atomic adds.
+type Histogram struct {
+	counts [HistogramBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if !Enabled {
+		return
+	}
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Registry holds named metrics and the run's phase tree. Metric
+// accessors are get-or-create and idempotent, so packages may resolve
+// the same name independently; hot paths should resolve once (package
+// variable) and increment the returned pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	root     *Span
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry whose root span starts now.
+func NewRegistry() *Registry {
+	now := time.Now()
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		root:     &Span{name: "run", start: now},
+		start:    now,
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Root returns the registry's root span (the whole run's phase tree).
+func (r *Registry) Root() *Span { return r.root }
+
+// Start returns when the registry (and its root span) was created.
+func (r *Registry) Start() time.Time { return r.start }
+
+// Reset zeroes every metric in place (pointers previously handed out
+// stay valid and registered) and restarts the phase tree. For tests;
+// production code accumulates for the process lifetime.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
+		h.n.Store(0)
+	}
+	r.start = time.Now()
+	r.root = &Span{name: "run", start: r.start}
+}
+
+// names returns the sorted metric names of kind-specific map m.
+func names[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

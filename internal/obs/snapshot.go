@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// SnapshotSchema identifies the telemetry.json format. Bump on
+// incompatible changes; ValidateSnapshot rejects other schemas.
+const SnapshotSchema = "fvcache-telemetry/v1"
+
+// Snapshot is a frozen, serializable view of a Registry: every
+// counter, gauge and histogram plus the run's phase tree. It is what
+// the cmd binaries write to telemetry.json, making benchmark and sweep
+// trajectories machine-diffable across runs.
+type Snapshot struct {
+	Schema     string    `json:"schema"`
+	CapturedAt time.Time `json:"captured_at"`
+	// UptimeMS is the registry's age at capture (root span duration).
+	UptimeMS   int64                        `json:"uptime_ms"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Phases     *PhaseNode                   `json:"phases"`
+}
+
+// HistogramSnapshot is one histogram's frozen buckets. Buckets are
+// cumulative Prometheus-style: Count(le) observations were <= Le.
+// Zero-count prefixes/suffixes are trimmed.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	Le    uint64 `json:"le"` // upper bound, inclusive
+	Count uint64 `json:"count"`
+}
+
+// PhaseNode is one frozen span of the phase tree.
+type PhaseNode struct {
+	Name       string       `json:"name"`
+	DurationMS int64        `json:"duration_ms"`
+	Open       bool         `json:"open,omitempty"`
+	Dropped    int          `json:"dropped,omitempty"`
+	Children   []*PhaseNode `json:"children,omitempty"`
+}
+
+// Snapshot freezes the registry. Concurrent metric updates during the
+// capture land in either side — each individual metric read is atomic.
+func (r *Registry) Snapshot() *Snapshot {
+	now := time.Now()
+	r.mu.Lock()
+	s := &Snapshot{
+		Schema:     SnapshotSchema,
+		CapturedAt: now.UTC(),
+		UptimeMS:   now.Sub(r.start).Milliseconds(),
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.freeze()
+	}
+	root := r.root
+	r.mu.Unlock()
+	s.Phases = root.snapshot(now)
+	return s
+}
+
+// freeze converts the histogram's per-bit buckets into cumulative
+// (le, count) pairs, dropping empty buckets.
+func (h *Histogram) freeze() HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := uint64(1)<<uint(i) - 1 // bits.Len64(v) == i  ⇒  v <= 2^i - 1
+		if i == 0 {
+			le = 0
+		}
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: cum})
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteSnapshotFile captures r and writes it to path atomically (temp
+// file + rename), so a crash mid-write cannot leave a torn artifact.
+func WriteSnapshotFile(path string, r *Registry) error {
+	s := r.Snapshot()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ValidateSnapshot parses data as a telemetry snapshot and checks its
+// schema: the schema id must match, the capture time must be set, the
+// phase tree must be rooted and every histogram's cumulative buckets
+// must be monotonic in both bound and count. Returns the parsed
+// snapshot so callers can assert on contents.
+func ValidateSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: telemetry snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("obs: telemetry schema %q, want %q", s.Schema, SnapshotSchema)
+	}
+	if s.CapturedAt.IsZero() {
+		return nil, fmt.Errorf("obs: telemetry snapshot has no capture time")
+	}
+	if s.UptimeMS < 0 {
+		return nil, fmt.Errorf("obs: negative uptime %dms", s.UptimeMS)
+	}
+	if s.Phases == nil || s.Phases.Name == "" {
+		return nil, fmt.Errorf("obs: telemetry snapshot has no phase tree")
+	}
+	if err := validatePhase(s.Phases); err != nil {
+		return nil, err
+	}
+	for name, h := range s.Histograms {
+		var prevLe, prevCount uint64
+		for i, b := range h.Buckets {
+			if i > 0 && (b.Le <= prevLe || b.Count < prevCount) {
+				return nil, fmt.Errorf("obs: histogram %q buckets not monotonic at le=%d", name, b.Le)
+			}
+			prevLe, prevCount = b.Le, b.Count
+		}
+		if n := len(h.Buckets); n > 0 && h.Buckets[n-1].Count != h.Count {
+			return nil, fmt.Errorf("obs: histogram %q cumulative count %d != count %d",
+				name, h.Buckets[n-1].Count, h.Count)
+		}
+	}
+	return &s, nil
+}
+
+// validatePhase checks one phase subtree: named nodes, sane durations.
+func validatePhase(n *PhaseNode) error {
+	if n.Name == "" {
+		return fmt.Errorf("obs: unnamed phase node")
+	}
+	if n.DurationMS < 0 {
+		return fmt.Errorf("obs: phase %q has negative duration", n.Name)
+	}
+	for _, c := range n.Children {
+		if err := validatePhase(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format. Labeled metric names (see Labeled) pass through unchanged;
+// other characters invalid in metric names are mapped to '_'.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, name := range names(s.Counters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", promBase(name), promName(name), s.Counters[name])
+	}
+	for _, name := range names(s.Gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", promBase(name), promName(name), s.Gauges[name])
+	}
+	for _, name := range names(s.Histograms) {
+		h := s.Histograms[name]
+		base := promBase(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", base, bk.Le, bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", base, h.Sum, base, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promBase strips a label suffix and sanitizes the bare metric name.
+func promBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return sanitize(name)
+}
+
+// promName sanitizes the name part while preserving a {label="x"}
+// suffix produced by Labeled.
+func promName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return sanitize(name[:i]) + name[i:]
+	}
+	return sanitize(name)
+}
+
+// sanitize maps characters outside [a-zA-Z0-9_:] to '_'.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, name)
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpanChildren bounds each span's fan-out: a sweep that opens a
+// span per workload batch cannot grow the phase tree without bound.
+// Children beyond the cap are not recorded; the parent counts them in
+// Dropped so the snapshot still says how much was elided.
+const maxSpanChildren = 128
+
+// Span is one timed phase of a run. Spans form a tree under the
+// registry's root: Begin opens a child, Done closes it. A Span may be
+// used from multiple goroutines (children append under a lock), but a
+// single span's Begin/Done pairing is the caller's responsibility.
+//
+// With telemetry disabled (obsoff), Begin returns a shared inert span
+// and records nothing.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time // zero while open
+	children []*Span
+	dropped  int
+}
+
+// noopSpan soaks up Begin/Done calls in disabled builds.
+var noopSpan = &Span{name: "disabled"}
+
+// Begin opens a child phase of s and returns it. The child is
+// registered immediately, so a snapshot taken mid-phase shows it as
+// open.
+func (s *Span) Begin(name string) *Span {
+	if !Enabled {
+		return noopSpan
+	}
+	child := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	if len(s.children) >= maxSpanChildren {
+		s.dropped++
+		s.mu.Unlock()
+		// Unregistered but functional: timing still works, it just
+		// won't appear in the tree.
+		return child
+	}
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// Done closes the span. Closing an already-closed span keeps the
+// first end time.
+func (s *Span) Done() {
+	if !Enabled {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's phase name.
+func (s *Span) Name() string { return s.name }
+
+// Duration returns the span's elapsed time: end-start when closed,
+// time since start while open.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// snapshot freezes the span subtree into a PhaseNode.
+func (s *Span) snapshot(now time.Time) *PhaseNode {
+	s.mu.Lock()
+	end, open := s.end, s.end.IsZero()
+	if open {
+		end = now
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	dropped := s.dropped
+	s.mu.Unlock()
+
+	n := &PhaseNode{
+		Name:       s.name,
+		DurationMS: end.Sub(s.start).Milliseconds(),
+		Open:       open,
+		Dropped:    dropped,
+	}
+	for _, c := range kids {
+		n.Children = append(n.Children, c.snapshot(now))
+	}
+	return n
+}

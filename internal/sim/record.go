@@ -3,10 +3,12 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"fvcache/internal/core"
 	"fvcache/internal/harness"
 	"fvcache/internal/memsim"
+	"fvcache/internal/obs"
 	"fvcache/internal/trace"
 	"fvcache/internal/workload"
 )
@@ -18,11 +20,21 @@ import (
 // the per-event closure dispatch, which is what makes the sweep
 // engine's record-once/replay-many strategy sound.
 func Record(w workload.Workload, scale workload.Scale) (*trace.Recording, error) {
+	span := obs.Begin("record:" + w.Name())
+	defer span.Done()
+	start := time.Now()
 	rec := trace.NewRecording()
 	env := memsim.NewEnv(rec)
 	if rerr := harness.Recover(func() error { w.Run(env, scale); return nil }); rerr != nil {
 		return nil, fmt.Errorf("sim: recording aborted: %w", rerr)
 	}
+	obs.RecordedEvents.Add(uint64(rec.Len()))
+	if d := time.Since(start); d > 0 {
+		obs.Default.Gauge(obs.Labeled("record_events_per_sec", "workload", w.Name())).
+			Set(float64(rec.Len()) / d.Seconds())
+	}
+	obs.Log.Debug("workload recorded", "workload", w.Name(), "scale", scale.String(),
+		"events", rec.Len(), "accesses", rec.Accesses())
 	return rec, nil
 }
 
@@ -59,6 +71,9 @@ func (c *RecordingCache) Get(w workload.Workload, scale workload.Scale) (*trace.
 	if e == nil {
 		e = new(recEntry)
 		c.entries[k] = e
+		obs.RecordingMisses.Inc()
+	} else {
+		obs.RecordingHits.Inc()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.rec, e.err = Record(w, scale) })
@@ -84,6 +99,7 @@ var Recordings RecordingCache
 func ReplayInto(rec *trace.Recording, sys *core.System) {
 	ops, addrs, vals := rec.Columns()
 	sys.ReplayColumns(ops, addrs, vals)
+	obs.ReplayEvents.Add(uint64(len(ops)))
 }
 
 // MeasureRecorded is Measure driven from a recording instead of a live
@@ -134,6 +150,10 @@ func MeasureRecorded(rec *trace.Recording, cfg core.Config, opt MeasureOptions) 
 	// one corrupt replay must not take down a whole sweep.
 	if rerr := harness.Recover(replay); rerr != nil {
 		return MeasureResult{}, fmt.Errorf("sim: replay measurement aborted: %w", rerr)
+	}
+	if needHook {
+		// The fast path counts inside ReplayInto.
+		obs.ReplayEvents.Add(uint64(rec.Len()))
 	}
 	if opt.AuditEvery > 0 {
 		if aerr := sys.AuditInvariants(); aerr != nil {

@@ -14,6 +14,7 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/harness"
 	"fvcache/internal/memsim"
+	"fvcache/internal/obs"
 	"fvcache/internal/trace"
 	"fvcache/internal/workload"
 )
@@ -45,6 +46,11 @@ type MeasureOptions struct {
 	// accesses (0 disables auditing). An audit failure aborts the
 	// measurement with the *core.AuditError describing every violation.
 	AuditEvery uint64
+	// Label names the measurement in telemetry (phase spans and
+	// per-workload throughput gauges). Sweeps set it to the workload
+	// name; empty skips the span, keeping tight per-config loops out of
+	// the phase tree.
+	Label string
 }
 
 // MeasureResult is the outcome of one measurement run.
@@ -60,6 +66,7 @@ type MeasureResult struct {
 
 // Measure runs w at scale against a hierarchy built from cfg.
 func Measure(w workload.Workload, scale workload.Scale, cfg core.Config, opt MeasureOptions) (MeasureResult, error) {
+	obs.LiveMeasures.Inc()
 	cfg.VerifyValues = opt.VerifyValues
 	sys, err := core.New(cfg)
 	if err != nil {

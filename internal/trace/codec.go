@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"fvcache/internal/obs"
 )
 
 // Binary trace format
@@ -133,11 +135,14 @@ func (r *Reader) Offset() int64 { return r.off }
 // Events returns the number of records decoded so far.
 func (r *Reader) Events() uint64 { return r.events }
 
-// corrupt wraps cause with the current record's location.
+// corrupt wraps cause with the current record's location. Every
+// malformed stream passes through here exactly once, so this is also
+// where corrupt traces are counted.
 func (r *Reader) corrupt(recordOff int64, cause error) error {
 	if errors.Is(cause, io.EOF) {
 		cause = io.ErrUnexpectedEOF
 	}
+	obs.TraceCorrupt.Inc()
 	return &CorruptError{Offset: recordOff, Event: r.events, Cause: cause}
 }
 
@@ -210,6 +215,9 @@ func (r *Reader) Drain(dst Sink) (uint64, error) {
 	for {
 		e, err := r.Next()
 		if err != nil {
+			// One add at the end (clean or not) keeps the decode loop
+			// free of per-event telemetry.
+			obs.TraceDrained.Add(n)
 			if errors.Is(err, io.EOF) {
 				return n, nil
 			}

@@ -1,0 +1,135 @@
+// End-to-end telemetry coverage: the snapshot a cmd binary exports
+// must validate against the schema and carry the counters, phase tree
+// and throughput gauges the run actually produced. This is the make
+// check gate for the telemetry artifact pipeline (the zero-alloc gates
+// for the instrumented hot loops live in internal/sim).
+package fvcache_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"fvcache/internal/obs"
+)
+
+// buildTracegen compiles cmd/tracegen into dir and returns the binary
+// path.
+func buildTracegen(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "tracegen")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/tracegen")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tracegen: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTelemetrySnapshotFromTracegenRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	dir := t.TempDir()
+	bin := buildTracegen(t, dir)
+	tracePath := filepath.Join(dir, "ccomp.fvt")
+	telPath := filepath.Join(dir, "telemetry.json")
+
+	cmd := exec.Command(bin,
+		"-workload", "ccomp", "-scale", "test", "-o", tracePath,
+		"-telemetry-out", telPath, "-log-level", "debug")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracegen record: %v\n%s", err, out)
+	}
+	// -log-level debug emits structured JSON lines on stderr.
+	if !strings.Contains(string(out), `"msg":"workload recorded"`) {
+		t.Errorf("debug log line missing from output:\n%s", out)
+	}
+
+	buf, err := os.ReadFile(telPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ValidateSnapshot(buf)
+	if err != nil {
+		t.Fatalf("exported snapshot invalid: %v", err)
+	}
+	if snap.Counters["recorded_events_total"] == 0 {
+		t.Errorf("recorded_events counter is 0; counters: %v", snap.Counters)
+	}
+	if _, ok := snap.Gauges[`record_events_per_sec{workload="ccomp"}`]; !ok {
+		t.Errorf("per-workload throughput gauge missing; gauges: %v", snap.Gauges)
+	}
+	var names []string
+	for _, ph := range snap.Phases.Children {
+		names = append(names, ph.Name)
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "record:ccomp") {
+		t.Errorf("phase tree missing record span: %v", names)
+	}
+
+	// Second invocation: replay the trace; its snapshot must count the
+	// drained events and validate too.
+	telPath2 := filepath.Join(dir, "telemetry2.json")
+	cmd = exec.Command(bin, "-replay", tracePath, "-telemetry-out", telPath2)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("tracegen replay: %v\n%s", err, out)
+	}
+	buf, err = os.ReadFile(telPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = obs.ValidateSnapshot(buf)
+	if err != nil {
+		t.Fatalf("replay snapshot invalid: %v", err)
+	}
+	if snap.Counters["trace_drained_events_total"] == 0 {
+		t.Errorf("trace_drained_events counter is 0; counters: %v", snap.Counters)
+	}
+}
+
+// TestTelemetryExitCodes checks the shared CLI epilogue end to end:
+// a clean run exits 0 and a failing one exits 1, with telemetry still
+// exported in both cases.
+func TestTelemetryExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	dir := t.TempDir()
+	bin := buildTracegen(t, dir)
+
+	// Corrupt trace: the run must fail with exit code 1 (not a panic),
+	// count the corruption, and still write its snapshot.
+	bad := filepath.Join(dir, "bad.fvt")
+	if err := os.WriteFile(bad, []byte("FVT1\xff\xff\xff\xff\xff\xff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	telPath := filepath.Join(dir, "telemetry.json")
+	cmd := exec.Command(bin, "-stats", bad, "-telemetry-out", telPath)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("corrupt-trace run: err = %v (output %s), want exit error", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Errorf("corrupt-trace exit code = %d, want 1\n%s", ee.ExitCode(), out)
+	}
+	buf, err := os.ReadFile(telPath)
+	if err != nil {
+		t.Fatalf("failing run did not export telemetry: %v", err)
+	}
+	snap, err := obs.ValidateSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["trace_corrupt_total"] == 0 {
+		t.Errorf("trace_corrupt counter is 0; counters: %v", snap.Counters)
+	}
+}
