@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz vet fmt bench
+.PHONY: all build test check fuzz vet fmt bench lint-examples
 
 all: build
 
@@ -13,23 +13,35 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint-examples keeps the examples honest: they document the public
+# API, so they must consume only the root fvcache package, never the
+# internal engine behind it.
+lint-examples:
+	@if grep -rn 'fvcache/internal' examples/; then \
+		echo "examples/ must import only the public fvcache package"; exit 1; \
+	fi
+
 # check is the full robustness gate (see ROADMAP.md "Tier-1 verify"):
-# vet, build (with telemetry on and compiled out), the race-enabled
-# test suite, a short fuzz smoke run over the hardened trace reader,
-# the telemetry-overhead gate (the steady-state replay loops must stay
+# vet, the examples import lint, build (with telemetry on and compiled
+# out), the race-enabled test suite (which includes the fvcached
+# service e2e tests: request coalescing, 429 backpressure, graceful
+# drain), a short fuzz smoke run over the hardened trace reader, the
+# telemetry-overhead gate (the steady-state replay loops must stay
 # allocation-free with telemetry compiled in, and the exported
-# telemetry.json must validate end to end), a single-iteration pass
-# over every benchmark so the benchmark corpus cannot rot, and a
+# telemetry.json must validate end to end), the service smoke run
+# (boot fvcached, measure over HTTP, scrape /debug/metrics, drain on
+# SIGTERM, validate the exported telemetry.json), a single-iteration
+# pass over every benchmark so the benchmark corpus cannot rot, and a
 # sanity pass over the committed sweep-engine artifact (it must parse,
 # every speedup layer must be >= 1.0, the steady-state allocation
 # counts must be zero, and its telemetry snapshot must validate).
-check: vet build
+check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
 	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs' ./internal/sim
-	$(GO) test -count=1 -run='TestTelemetry' .
+	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
 

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"fvcache/internal/cache"
 	"fvcache/internal/core"
 	"fvcache/internal/fvc"
+	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 	"fvcache/internal/sim"
 	"fvcache/internal/workload"
@@ -69,7 +71,7 @@ func sweepGrid(values []uint32) []core.Config {
 	return cfgs
 }
 
-func run(out string) error {
+func run(ctx context.Context, out string) error {
 	const scale = workload.Test
 	w, err := workload.Get("imgdct")
 	if err != nil {
@@ -123,6 +125,13 @@ func run(out string) error {
 	liveNs, replayNs, batchNs := int64(0), int64(0), int64(0)
 	bspan := obs.Begin("bench")
 	for r := 0; r < reps; r++ {
+		// The bench loops themselves stay context-free (a ctx check in
+		// the measured path would perturb the numbers); -timeout aborts
+		// between repetitions.
+		if err := ctx.Err(); err != nil {
+			bspan.Done()
+			return err
+		}
 		lspan := bspan.Begin("live")
 		if ns := testing.Benchmark(liveBench).NsPerOp(); r == 0 || ns < liveNs {
 			liveNs = ns
@@ -247,6 +256,7 @@ func main() {
 func mainExit() (code int) {
 	out := flag.String("o", "BENCH_sweep.json", "output path for the JSON artifact")
 	check := flag.String("verify", "", "verify an existing artifact instead of benchmarking")
+	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagTimeout, "")
 	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *check != "" {
@@ -273,7 +283,9 @@ func mainExit() (code int) {
 			code = 1
 		}
 	}()
-	if err := run(*out); err != nil {
+	ctx, cancel := cf.Context(context.Background())
+	defer cancel()
+	if err := run(ctx, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		return 1
 	}

@@ -19,15 +19,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"fvcache/internal/experiments"
+	"fvcache"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
-	"fvcache/internal/workload"
 )
 
 func main() {
@@ -36,43 +34,33 @@ func main() {
 
 func run() (code int) {
 	var (
-		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
-		only      = flag.String("only", "", "comma-separated artifact ids (default: all)")
-		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
-		outDir    = flag.String("out", "", "write one file per artifact into this directory")
-		markdown  = flag.Bool("md", false, "render tables as Markdown")
-		list      = flag.Bool("list", false, "list artifacts and exit")
-		resume    = flag.Bool("resume", true, "with -out: skip artifacts the checkpoint manifest records as done")
-		timeout   = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+		only     = flag.String("only", "", "comma-separated artifact ids (default: all)")
+		markdown = flag.Bool("md", false, "render tables as Markdown")
+		list     = flag.Bool("list", false, "list artifacts and exit")
+		resume   = flag.Bool("resume", true, "with -out: skip artifacts the checkpoint manifest records as done")
 	)
+	cf := harness.AddCommonFlags(flag.CommandLine,
+		harness.FlagScale|harness.FlagWorkers|harness.FlagTimeout|harness.FlagOut, "ref")
 	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		for _, a := range fvcache.Artifacts() {
+			fmt.Printf("%-7s %s\n", a.ID, a.Title)
 		}
 		return harness.ExitOK
 	}
 
-	scale, err := workload.ParseScale(*scaleName)
+	scale, err := cf.Scale()
 	if err != nil {
 		return usage(err)
 	}
-	var todo []experiments.Experiment
-	if *only == "" {
-		todo = experiments.All()
-	} else {
-		for _, id := range strings.Split(*only, ",") {
-			e, err := experiments.Get(strings.TrimSpace(id))
-			if err != nil {
-				return usage(err)
-			}
-			todo = append(todo, e)
-		}
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
 	}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	if cf.Out != "" {
+		if err := os.MkdirAll(cf.Out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return harness.ExitFailure
 		}
@@ -80,7 +68,7 @@ func run() (code int) {
 		// artifacts (and its checkpoint manifest), unless the user aimed
 		// it elsewhere explicitly.
 		if of.TelemetryOut == "telemetry.json" {
-			of.TelemetryOut = filepath.Join(*outDir, "telemetry.json")
+			of.TelemetryOut = filepath.Join(cf.Out, "telemetry.json")
 		}
 	}
 	if err := of.Start(); err != nil {
@@ -93,38 +81,24 @@ func run() (code int) {
 		}
 	}()
 
-	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	ctx, cancel := cf.Context(context.Background())
 	defer cancel()
 
-	opt := experiments.Options{Scale: scale, Workers: *workers, Markdown: *markdown}
-	tasks := make([]harness.Task, 0, len(todo))
-	for _, e := range todo {
-		e := e
-		tasks = append(tasks, harness.Task{
-			ID:    e.ID,
-			Title: e.Title,
-			Run: func(ctx context.Context, out io.Writer) error {
-				o := opt
-				o.Ctx = ctx
-				fmt.Fprintf(out, "== %s: %s == (scale=%s)\n\n", e.ID, e.Title, scale)
-				if err := e.Run(o, out); err != nil {
-					return err
-				}
-				_, err := fmt.Fprintln(out)
-				return err
-			},
-		})
-	}
-
-	summary := harness.RunSweep(ctx, tasks, harness.SweepOptions{
-		OutDir: *outDir,
-		Key:    fmt.Sprintf("scale=%s md=%v", scale, *markdown),
-		Resume: *resume,
-		Stdout: os.Stdout,
-		Log:    os.Stderr,
+	res, err := fvcache.Sweep(ctx, fvcache.SweepRequest{
+		Artifacts: ids,
+		Scale:     scale,
+		Workers:   cf.Workers,
+		Markdown:  *markdown,
+		OutDir:    cf.Out,
+		Resume:    *resume,
+		Stdout:    os.Stdout,
+		Log:       os.Stderr,
 	})
-	summary.Print(os.Stderr)
-	if !summary.OK() {
+	if err != nil {
+		return usage(err)
+	}
+	res.PrintSummary(os.Stderr)
+	if !res.OK() {
 		return harness.ExitFailure
 	}
 	return harness.ExitOK

@@ -1,0 +1,107 @@
+// Command fvcached is the long-lived simulation service: an HTTP/JSON
+// front end over the fvcache measurement engine for many concurrent
+// clients.
+//
+//	fvcached -addr 127.0.0.1:8080
+//
+//	POST /v1/measure    measure one or many configurations over a workload
+//	POST /v1/sweep      reproduce paper artifacts (streams JSON lines)
+//	GET  /v1/workloads  list registered workloads
+//	GET  /v1/artifacts  list reproducible artifacts
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /debug/metrics telemetry in Prometheus text format
+//
+// Requests for the same workload and scale arriving within the
+// coalescing window are fused into a single batch replay; the "batch"
+// stanza of each response reports how a request was executed. When the
+// batch queue is full new requests are rejected with 429. SIGINT or
+// SIGTERM drains gracefully: in-flight requests complete, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"fvcache/internal/harness"
+	"fvcache/internal/obs"
+	"fvcache/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
+		queue    = flag.Int("queue", 64, "batch queue depth (full queue rejects with 429)")
+		window   = flag.Duration("coalesce", 10*time.Millisecond, "coalescing window for same-workload requests")
+		reqLimit = flag.Duration("request-timeout", 120*time.Second, "per-batch execution deadline")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	)
+	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagWorkers|harness.FlagTimeout, "")
+	of := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := of.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "fvcached:", err)
+		return harness.ExitUsage
+	}
+	defer func() {
+		if err := of.Stop(); err != nil && code == harness.ExitOK {
+			fmt.Fprintln(os.Stderr, "fvcached: telemetry:", err)
+			code = harness.ExitFailure
+		}
+	}()
+
+	ctx, cancel := cf.Context(context.Background())
+	defer cancel()
+
+	sv := serve.New(serve.Options{
+		Workers:        cf.Workers,
+		QueueDepth:     *queue,
+		CoalesceWindow: *window,
+		RequestTimeout: *reqLimit,
+	})
+	httpSrv := &http.Server{Handler: sv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvcached:", err)
+		return harness.ExitFailure
+	}
+	fmt.Printf("fvcached listening on %s\n", ln.Addr())
+	obs.Log.Info("fvcached up", "addr", ln.Addr().String())
+
+	// Drain on signal: flush coalescing windows and finish queued
+	// batches first (handlers blocked on results unblock), then close
+	// the listener once every handler has written its response.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+		defer dcancel()
+		if err := sv.Shutdown(dctx); err != nil {
+			obs.Log.Warn("drain incomplete", "err", err.Error())
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			obs.Log.Warn("http shutdown", "err", err.Error())
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "fvcached:", err)
+		return harness.ExitFailure
+	}
+	<-drained
+	fmt.Println("fvcached drained")
+	return harness.ExitOK
+}

@@ -19,15 +19,11 @@ import (
 	"fmt"
 	"os"
 
-	"fvcache/internal/cache"
-	"fvcache/internal/core"
+	"fvcache"
 	"fvcache/internal/energy"
-	"fvcache/internal/fvc"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 	"fvcache/internal/report"
-	"fvcache/internal/sim"
-	"fvcache/internal/workload"
 )
 
 func main() {
@@ -37,7 +33,6 @@ func main() {
 func run() (code int) {
 	var (
 		wlName     = flag.String("workload", "goboard", "workload name (see -list)")
-		scaleName  = flag.String("scale", "ref", "input scale: test, train or ref")
 		size       = flag.Int("size", 16<<10, "main cache size in bytes")
 		line       = flag.Int("line", 32, "line size in bytes")
 		assoc      = flag.Int("assoc", 1, "main cache associativity")
@@ -49,25 +44,24 @@ func run() (code int) {
 		list       = flag.Bool("list", false, "list workloads and exit")
 		fvtMode    = flag.String("fvt", "profiled", "FVT selection: profiled (pre-pass) or online (Space-Saving sketch)")
 		showEnergy = flag.Bool("energy", false, "print an energy estimate (0.8um model)")
-		timeout    = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	)
+	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagScale|harness.FlagTimeout, "ref")
 	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		t := report.NewTable("Workloads", "name", "analogue", "fvl", "description")
-		for _, w := range workload.All() {
-			t.AddRow(w.Name(), w.Analogue(), fmt.Sprint(w.FVL()), w.Description())
+		for _, w := range fvcache.Workloads() {
+			t.AddRow(w.Name, w.Analogue, fmt.Sprint(w.FVL), w.Description)
 		}
 		t.Render(os.Stdout)
 		return harness.ExitOK
 	}
 
-	w, err := workload.Get(*wlName)
-	if err != nil {
+	if _, err := fvcache.LookupWorkload(*wlName); err != nil {
 		return usage(err)
 	}
-	scale, err := workload.ParseScale(*scaleName)
+	scale, err := cf.Scale()
 	if err != nil {
 		return usage(err)
 	}
@@ -80,19 +74,27 @@ func run() (code int) {
 			code = harness.ExitFailure
 		}
 	}()
-	cfg := core.Config{
-		Main:          cache.Params{SizeBytes: *size, LineBytes: *line, Assoc: *assoc},
+
+	ctx, cancel := cf.Context(context.Background())
+	defer cancel()
+
+	cfg := fvcache.Config{
+		Main:          fvcache.CacheParams{SizeBytes: *size, LineBytes: *line, Assoc: *assoc},
 		VictimEntries: *victim,
 	}
 	if *fvcEntries > 0 {
-		cfg.FVC = &fvc.Params{Entries: *fvcEntries, LineBytes: *line, Bits: *fvcBits}
+		cfg.FVC = &fvcache.FVCParams{Entries: *fvcEntries, LineBytes: *line, Bits: *fvcBits}
 		switch *fvtMode {
 		case "online":
 			cfg.OnlineFVTEvery = 100_000
 			fmt.Println("online FVT identification (Space-Saving sketch, update every 100k accesses)")
 		case "profiled":
-			fmt.Printf("profiling %s/%s for top %d values...\n", w.Name(), scale, fvc.MaxValues(*fvcBits))
-			cfg.FrequentValues = sim.ProfileTopAccessed(w, scale, fvc.MaxValues(*fvcBits))
+			k := fvcache.MaxFVTValues(*fvcBits)
+			fmt.Printf("profiling %s/%s for top %d values...\n", *wlName, scale, k)
+			cfg.FrequentValues, err = fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: *wlName, Scale: scale, K: k})
+			if err != nil {
+				return harness.ReportRunError(os.Stderr, "fvcsim", err)
+			}
 			fmt.Printf("frequent values:")
 			for _, v := range cfg.FrequentValues {
 				fmt.Printf(" %#x", v)
@@ -106,25 +108,23 @@ func run() (code int) {
 		return usage(err)
 	}
 
-	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
-	defer cancel()
-
-	var res sim.MeasureResult
+	var res fvcache.MeasureResult
 	err = harness.Run(ctx, func(ctx context.Context) error {
-		// Record once and measure from the replay: with -fvt profiled
-		// the profiling pre-pass already populated the recording cache,
-		// so the workload executes exactly once per invocation.
-		rec, rerr := sim.Recordings.Get(w, scale)
-		if rerr != nil {
-			return rerr
-		}
-		span := obs.Begin("measure:" + w.Name())
+		// The facade measures from the shared recording cache: with
+		// -fvt profiled the profiling pre-pass already populated it, so
+		// the workload executes exactly once per invocation.
+		span := obs.Begin("measure:" + *wlName)
 		defer span.Done()
 		var merr error
-		res, merr = sim.MeasureRecorded(rec, cfg, sim.MeasureOptions{
-			VerifyValues: *verify,
-			SampleEvery:  100_000,
-			AuditEvery:   *audit,
+		res, merr = fvcache.Measure(ctx, fvcache.MeasureRequest{
+			Workload: *wlName,
+			Scale:    scale,
+			Config:   cfg,
+			Options: fvcache.Options{
+				VerifyValues: *verify,
+				SampleEvery:  100_000,
+				AuditEvery:   *audit,
+			},
 		})
 		return merr
 	})
@@ -135,7 +135,7 @@ func run() (code int) {
 
 	rspan := obs.Begin("report")
 	defer rspan.Done()
-	t := report.NewTable(fmt.Sprintf("%s @ %s — main %s", w.Name(), scale, cfg.Main), "metric", "value")
+	t := report.NewTable(fmt.Sprintf("%s @ %s — main %s", *wlName, scale, cfg.Main), "metric", "value")
 	t.AddRow("accesses", fmt.Sprintf("%d (loads %d, stores %d)", st.Accesses(), st.Loads, st.Stores))
 	t.AddRow("main hits", fmt.Sprintf("%d", st.MainHits))
 	if cfg.FVC != nil {

@@ -15,14 +15,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
-	"fvcache/internal/experiments"
+	"fvcache"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
-	"fvcache/internal/workload"
 )
 
 var studyIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "tab4"}
@@ -32,16 +30,13 @@ func main() {
 }
 
 func run() (code int) {
-	var (
-		scaleName = flag.String("scale", "ref", "input scale: test, train or ref")
-		only      = flag.String("only", "", "comma-separated artifact ids (default: all of section 2)")
-		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
-		timeout   = flag.Duration("timeout", 0, "abort the study after this duration (0 = none)")
-	)
+	only := flag.String("only", "", "comma-separated artifact ids (default: all of section 2)")
+	cf := harness.AddCommonFlags(flag.CommandLine,
+		harness.FlagScale|harness.FlagWorkers|harness.FlagTimeout, "ref")
 	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	scale, err := workload.ParseScale(*scaleName)
+	scale, err := cf.Scale()
 	if err != nil {
 		return usage(err)
 	}
@@ -58,44 +53,22 @@ func run() (code int) {
 	if *only != "" {
 		ids = strings.Split(*only, ",")
 	}
-	var todo []experiments.Experiment
-	for _, id := range ids {
-		e, err := experiments.Get(strings.TrimSpace(id))
-		if err != nil {
-			return usage(err)
-		}
-		todo = append(todo, e)
-	}
 
-	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	ctx, cancel := cf.Context(context.Background())
 	defer cancel()
 
-	opt := experiments.Options{Scale: scale, Workers: *workers}
-	tasks := make([]harness.Task, 0, len(todo))
-	for _, e := range todo {
-		e := e
-		tasks = append(tasks, harness.Task{
-			ID:    e.ID,
-			Title: e.Title,
-			Run: func(ctx context.Context, out io.Writer) error {
-				o := opt
-				o.Ctx = ctx
-				fmt.Fprintf(out, "== %s: %s ==\n\n", e.ID, e.Title)
-				if err := e.Run(o, out); err != nil {
-					return err
-				}
-				_, err := fmt.Fprintln(out)
-				return err
-			},
-		})
-	}
-
-	summary := harness.RunSweep(ctx, tasks, harness.SweepOptions{
-		Stdout: os.Stdout,
-		Log:    os.Stderr,
+	res, err := fvcache.Sweep(ctx, fvcache.SweepRequest{
+		Artifacts: ids,
+		Scale:     scale,
+		Workers:   cf.Workers,
+		Stdout:    os.Stdout,
+		Log:       os.Stderr,
 	})
-	summary.Print(os.Stderr)
-	if !summary.OK() {
+	if err != nil {
+		return usage(err)
+	}
+	res.PrintSummary(os.Stderr)
+	if !res.OK() {
 		return harness.ExitFailure
 	}
 	return harness.ExitOK

@@ -35,15 +35,14 @@ func main() {
 func run() (code int) {
 	var (
 		wlName    = flag.String("workload", "", "workload to record")
-		scaleName = flag.String("scale", "test", "input scale: test, train or ref")
 		outPath   = flag.String("o", "trace.fvt", "output trace file")
 		statsPath = flag.String("stats", "", "print statistics of an existing trace")
 		replay    = flag.String("replay", "", "replay a trace through a cache")
 		size      = flag.Int("size", 16<<10, "replay: main cache size in bytes")
 		line      = flag.Int("line", 32, "replay: line size in bytes")
 		assoc     = flag.Int("assoc", 1, "replay: associativity")
-		timeout   = flag.Duration("timeout", 0, "abort the command after this duration (0 = none)")
 	)
+	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagScale|harness.FlagTimeout, "test")
 	of := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -54,7 +53,7 @@ func run() (code int) {
 	case *replay != "":
 		cmd = func() error { return replayCmd(*replay, *size, *line, *assoc) }
 	case *wlName != "":
-		cmd = func() error { return recordCmd(*wlName, *scaleName, *outPath) }
+		cmd = func() error { return recordCmd(*wlName, cf.ScaleName, *outPath) }
 	default:
 		flag.Usage()
 		return harness.ExitUsage
@@ -71,7 +70,7 @@ func run() (code int) {
 		}
 	}()
 
-	ctx, cancel := harness.SignalContext(context.Background(), *timeout)
+	ctx, cancel := cf.Context(context.Background())
 	defer cancel()
 	err := harness.Run(ctx, func(context.Context) error { return cmd() })
 	return harness.ReportRunError(os.Stderr, "tracegen", err)

@@ -4,19 +4,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"fvcache/internal/cache"
-	"fvcache/internal/core"
-	"fvcache/internal/fvc"
-	"fvcache/internal/sim"
-	"fvcache/internal/workload"
+	"fvcache"
 )
 
 func main() {
 	// --- Part 1: the encoding itself (paper Figure 7) ---
 	// Seven frequent values in 3-bit codes; code 7 = "infrequent".
-	table := fvc.MustTable(3, []uint32{0, 0xffffffff, 1, 2, 4, 8, 10})
+	table := fvcache.MustFVTable(3, []uint32{0, 0xffffffff, 1, 2, 4, 8, 10})
 	line := []uint32{0, 1000, 0, 99999, 0xffffffff, 10, 1, 0xffffffff}
 
 	fmt.Println("uncompressed 8-word line (256 bits):")
@@ -36,17 +33,21 @@ func main() {
 		func() uint32 { c, _ := table.Encode(line[6]); return table.Decode(c) }())
 
 	// --- Part 2: measured compression effectiveness (Figure 11) ---
+	ctx := context.Background()
 	for _, name := range []string{"goboard", "cpusim", "strproc"} {
-		w, err := workload.Get(name)
+		values, err := fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: name, Scale: fvcache.Train, K: 7})
 		if err != nil {
 			panic(err)
 		}
-		values := sim.ProfileTopAccessed(w, workload.Train, 7)
-		res, err := sim.Measure(w, workload.Train, core.Config{
-			Main:           cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1},
-			FVC:            &fvc.Params{Entries: 512, LineBytes: 32, Bits: 3},
-			FrequentValues: values,
-		}, sim.MeasureOptions{SampleEvery: 50_000})
+		res, err := fvcache.Measure(ctx, fvcache.MeasureRequest{
+			Workload: name, Scale: fvcache.Train,
+			Config: fvcache.Config{
+				Main:           fvcache.CacheParams{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1},
+				FVC:            &fvcache.FVCParams{Entries: 512, LineBytes: 32, Bits: 3},
+				FrequentValues: values,
+			},
+			Options: fvcache.Options{SampleEvery: 50_000},
+		})
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 // Custom workload: implement your own program against the instrumented
-// memory substrate, check whether it exhibits frequent value locality,
-// and evaluate how much a frequent value cache would help it.
+// memory substrate, register it, check whether it exhibits frequent
+// value locality, and evaluate how much a frequent value cache would
+// help it — all through the public fvcache package.
 //
 // The example program is a sparse-graph reachability sweep: adjacency
 // bitmaps full of zeros and a visited array of 0/1 flags — exactly the
@@ -8,18 +9,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"fvcache/internal/cache"
-	"fvcache/internal/core"
-	"fvcache/internal/fvc"
-	"fvcache/internal/memsim"
-	"fvcache/internal/sim"
-	"fvcache/internal/trace"
-	"fvcache/internal/workload"
+	"fvcache"
 )
 
-// sparseGraph implements workload.Workload.
+// sparseGraph implements fvcache.Workload.
 type sparseGraph struct{}
 
 func (sparseGraph) Name() string        { return "sparsegraph" }
@@ -27,9 +23,9 @@ func (sparseGraph) Analogue() string    { return "(custom)" }
 func (sparseGraph) FVL() bool           { return true }
 func (sparseGraph) Description() string { return "BFS over adjacency bitmaps" }
 
-func (sparseGraph) Run(env *memsim.Env, scale workload.Scale) {
-	nodes := map[workload.Scale]int{
-		workload.Test: 512, workload.Train: 1024, workload.Ref: 2048,
+func (sparseGraph) Run(env *fvcache.Env, scale fvcache.Scale) {
+	nodes := map[fvcache.Scale]int{
+		fvcache.Test: 512, fvcache.Train: 1024, fvcache.Ref: 2048,
 	}[scale]
 	words := nodes / 32 // bitmap words per node
 
@@ -82,35 +78,46 @@ func (sparseGraph) Run(env *memsim.Env, scale workload.Scale) {
 }
 
 func main() {
-	w := sparseGraph{}
+	ctx := context.Background()
+
+	// Step 0: register the workload; every entry point (and the
+	// fvcached service) can now run it by name.
+	fvcache.RegisterWorkload(sparseGraph{})
 
 	// Step 1: characterize — does it exhibit frequent value locality?
-	hist := trace.NewValueHistogram()
-	env := memsim.NewEnv(hist)
-	w.Run(env, workload.Train)
-	fmt.Printf("%s: %d accesses, %d distinct values\n", w.Name(), hist.Total(), hist.Distinct())
+	c, err := fvcache.Characterize(ctx, fvcache.CharacterizeRequest{Workload: "sparsegraph", Scale: fvcache.Train})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d accesses, %d distinct values\n", c.Workload, c.Accesses, c.DistinctValues)
 	for _, k := range []int{1, 3, 7, 10} {
-		fmt.Printf("  top-%-2d values cover %5.1f%% of accesses\n", k, hist.CoverageOfTopK(k)*100)
+		fmt.Printf("  top-%-2d values cover %5.1f%% of accesses\n", k, c.CoverageOfTopK(k)*100)
 	}
 
 	// Step 2: evaluate an FVC against a plain cache across sizes.
-	values := sim.ProfileTopAccessed(w, workload.Train, 7)
+	values, err := fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: "sparsegraph", Scale: fvcache.Train, K: 7})
+	if err != nil {
+		panic(err)
+	}
 	for _, kb := range []int{4, 8, 16} {
-		main := cache.Params{SizeBytes: kb << 10, LineBytes: 32, Assoc: 1}
-		base, err := sim.Measure(w, workload.Train, core.Config{Main: main}, sim.MeasureOptions{})
+		main := fvcache.CacheParams{SizeBytes: kb << 10, LineBytes: 32, Assoc: 1}
+		res, err := fvcache.MeasureBatch(ctx, fvcache.MeasureBatchRequest{
+			Workload: "sparsegraph", Scale: fvcache.Train,
+			Configs: []fvcache.Config{
+				{Main: main},
+				{
+					Main:           main,
+					FVC:            &fvcache.FVCParams{Entries: 256, LineBytes: 32, Bits: 3},
+					FrequentValues: values,
+				},
+			},
+		})
 		if err != nil {
 			panic(err)
 		}
-		aug, err := sim.Measure(w, workload.Train, core.Config{
-			Main:           main,
-			FVC:            &fvc.Params{Entries: 256, LineBytes: 32, Bits: 3},
-			FrequentValues: values,
-		}, sim.MeasureOptions{})
-		if err != nil {
-			panic(err)
-		}
+		base, aug := res[0].Stats, res[1].Stats
 		fmt.Printf("%2dKB DMC: %.3f%% -> +FVC256: %.3f%%  (reduction %.1f%%)\n",
-			kb, base.Stats.MissRate()*100, aug.Stats.MissRate()*100,
-			(base.Stats.MissRate()-aug.Stats.MissRate())/base.Stats.MissRate()*100)
+			kb, base.MissRate()*100, aug.MissRate()*100,
+			(base.MissRate()-aug.MissRate())/base.MissRate()*100)
 	}
 }

@@ -1,35 +1,38 @@
 // Quickstart: simulate a workload on a plain direct-mapped cache, then
 // augment it with a frequent value cache and compare miss rates — the
 // paper's headline experiment in ~40 lines.
+//
+// Examples use only the public fvcache package; the internal engine
+// behind it is not part of the API.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"fvcache/internal/cache"
-	"fvcache/internal/core"
-	"fvcache/internal/fvc"
-	"fvcache/internal/sim"
-	"fvcache/internal/workload"
+	"fvcache"
 )
 
 func main() {
-	w, err := workload.Get("goboard")
-	if err != nil {
-		panic(err)
-	}
-	scale := workload.Train
-	main16 := cache.Params{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
+	ctx := context.Background()
+	scale := fvcache.Train
+	main16 := fvcache.CacheParams{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
 
 	// 1. Baseline: a 16KB direct-mapped cache.
-	base, err := sim.Measure(w, scale, core.Config{Main: main16}, sim.MeasureOptions{})
+	base, err := fvcache.Measure(ctx, fvcache.MeasureRequest{
+		Workload: "goboard", Scale: scale,
+		Config: fvcache.Config{Main: main16},
+	})
 	if err != nil {
 		panic(err)
 	}
 
 	// 2. Profile the workload's seven most frequently accessed values
 	// (the paper's profile-directed FVT selection).
-	values := sim.ProfileTopAccessed(w, scale, 7)
+	values, err := fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: "goboard", Scale: scale, K: 7})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Print("frequent values:")
 	for _, v := range values {
 		fmt.Printf(" %#x", v)
@@ -38,15 +41,19 @@ func main() {
 
 	// 3. Augment the same cache with a 512-entry FVC (1.5KB of encoded
 	// data) exploiting those values.
-	aug, err := sim.Measure(w, scale, core.Config{
-		Main:           main16,
-		FVC:            &fvc.Params{Entries: 512, LineBytes: 32, Bits: 3},
-		FrequentValues: values,
-	}, sim.MeasureOptions{})
+	aug, err := fvcache.Measure(ctx, fvcache.MeasureRequest{
+		Workload: "goboard", Scale: scale,
+		Config: fvcache.Config{
+			Main:           main16,
+			FVC:            &fvcache.FVCParams{Entries: 512, LineBytes: 32, Bits: 3},
+			FrequentValues: values,
+		},
+	})
 	if err != nil {
 		panic(err)
 	}
 
+	w, _ := fvcache.LookupWorkload("goboard")
 	b, a := base.Stats, aug.Stats
 	fmt.Printf("workload %s (%s analogue), %d accesses\n", w.Name(), w.Analogue(), b.Accesses())
 	fmt.Printf("  16KB DMC             miss rate %.3f%%  traffic %d KB\n",

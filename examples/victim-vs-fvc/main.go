@@ -5,61 +5,57 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"fvcache/internal/cache"
-	"fvcache/internal/cacti"
-	"fvcache/internal/core"
-	"fvcache/internal/fvc"
-	"fvcache/internal/sim"
-	"fvcache/internal/workload"
+	"fvcache"
 )
 
 func main() {
-	m := cacti.Default08um()
+	m := fvcache.DefaultAccessTimes()
 	fmt.Println("access times (0.8um model):")
 	fmt.Printf("  4KB DMC:           %.1f ns\n",
-		m.CacheAccessNs(cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}))
+		m.CacheAccessNs(fvcache.CacheParams{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}))
 	fmt.Printf("  4-entry VC (FA):   %.1f ns\n", m.VictimAccessNs(4, 32))
 	fmt.Printf("  16-entry VC (FA):  %.1f ns\n", m.VictimAccessNs(16, 32))
-	fmt.Printf("  128-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvc.Params{Entries: 128, LineBytes: 32, Bits: 3}))
-	fmt.Printf("  512-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvc.Params{Entries: 512, LineBytes: 32, Bits: 3}))
+	fmt.Printf("  128-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvcache.FVCParams{Entries: 128, LineBytes: 32, Bits: 3}))
+	fmt.Printf("  512-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvcache.FVCParams{Entries: 512, LineBytes: 32, Bits: 3}))
 	fmt.Println()
 
-	main4 := cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
-	scale := workload.Train
+	ctx := context.Background()
+	main4 := fvcache.CacheParams{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
+	scale := fvcache.Train
 	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
 		"workload", "DMC miss%", "VC16", "FVC128", "VC4", "FVC512")
 	for _, name := range []string{"goboard", "cpusim", "ccomp", "strproc"} {
-		w, err := workload.Get(name)
+		values, err := fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: name, Scale: scale, K: 7})
 		if err != nil {
 			panic(err)
 		}
-		values := sim.ProfileTopAccessed(w, scale, 7)
-		missRate := func(cfg core.Config) float64 {
-			res, err := sim.Measure(w, scale, cfg, sim.MeasureOptions{})
+		missRate := func(cfg fvcache.Config) float64 {
+			res, err := fvcache.Measure(ctx, fvcache.MeasureRequest{Workload: name, Scale: scale, Config: cfg})
 			if err != nil {
 				panic(err)
 			}
 			return res.Stats.MissRate() * 100
 		}
-		withFVC := func(entries int) core.Config {
-			return core.Config{
+		withFVC := func(entries int) fvcache.Config {
+			return fvcache.Config{
 				Main:           main4,
-				FVC:            &fvc.Params{Entries: entries, LineBytes: 32, Bits: 3},
+				FVC:            &fvcache.FVCParams{Entries: entries, LineBytes: 32, Bits: 3},
 				FrequentValues: values,
 			}
 		}
-		base := missRate(core.Config{Main: main4})
+		base := missRate(fvcache.Config{Main: main4})
 		red := func(v float64) string {
 			return fmt.Sprintf("-%.1f%%", (base-v)/base*100)
 		}
 		fmt.Printf("%-10s %9.3f%% %12s %12s %12s %12s\n", name, base,
 			// Equal area: 16-entry VC vs 128-entry FVC.
-			red(missRate(core.Config{Main: main4, VictimEntries: 16})),
+			red(missRate(fvcache.Config{Main: main4, VictimEntries: 16})),
 			red(missRate(withFVC(128))),
 			// Equal access time: 4-entry VC vs 512-entry FVC.
-			red(missRate(core.Config{Main: main4, VictimEntries: 4})),
+			red(missRate(fvcache.Config{Main: main4, VictimEntries: 4})),
 			red(missRate(withFVC(512))))
 	}
 	fmt.Println("\npaper: equal-size VC wins; equal-access-time FVC wins; both help small DMCs")

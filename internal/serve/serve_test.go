@@ -1,0 +1,421 @@
+// End-to-end tests for the fvcached service layer: coalescing of
+// concurrent identical requests into fewer batch executions, queue
+// backpressure (429), graceful drain, and wire-level validation.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fvcache"
+)
+
+func newTestService(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	sv := New(opt)
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return sv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestCoalescingFusesRequests is the tentpole proof: K concurrent
+// clients issuing the same measurement must observe fewer batch
+// executions than requests, and every client's numbers must agree with
+// a direct engine call.
+func TestCoalescingFusesRequests(t *testing.T) {
+	const clients = 8
+	sv, ts := newTestService(t, Options{CoalesceWindow: 150 * time.Millisecond})
+
+	body := `{"workload":"goboard","scale":"test","configs":[` +
+		`{"main_bytes":8192},{"main_bytes":8192,"fvc_entries":256}]}`
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		resps []measureRespWire
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/measure", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(resp.Body)
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			var out measureRespWire
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			resps = append(resps, out)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(resps) != clients {
+		t.Fatalf("%d/%d requests succeeded", len(resps), clients)
+	}
+
+	st := sv.ServerStats()
+	if st.Batches >= clients {
+		t.Errorf("coalescing failed: %d batch executions for %d identical requests", st.Batches, clients)
+	}
+	if st.Coalesced == 0 {
+		t.Error("no request reported as coalesced")
+	}
+	t.Logf("%d requests -> %d batch executions (%d coalesced)", clients, st.Batches, st.Coalesced)
+
+	// Every client must receive the same, correct results.
+	want, err := fvcache.MeasureBatch(context.Background(), fvcache.MeasureBatchRequest{
+		Workload: "goboard", Scale: fvcache.Test,
+		Configs: []fvcache.Config{
+			{Main: fvcache.CacheParams{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1}},
+			func() fvcache.Config {
+				values, err := fvcache.Profile(context.Background(),
+					fvcache.ProfileRequest{Workload: "goboard", Scale: fvcache.Test, K: fvcache.MaxFVTValues(3)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fvcache.Config{
+					Main:           fvcache.CacheParams{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1},
+					FVC:            &fvcache.FVCParams{Entries: 256, LineBytes: 32, Bits: 3},
+					FrequentValues: values,
+				}
+			}(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCoalesced := false
+	for _, r := range resps {
+		if len(r.Results) != 2 {
+			t.Fatalf("response carries %d results, want 2", len(r.Results))
+		}
+		for i := range r.Results {
+			if r.Results[i].Stats != want[i].Stats {
+				t.Errorf("config %d: served stats diverged from direct engine call:\n got %+v\nwant %+v",
+					i, r.Results[i].Stats, want[i].Stats)
+			}
+		}
+		if r.Batch.Coalesced {
+			sawCoalesced = true
+			if r.Batch.Requests < 2 {
+				t.Errorf("coalesced batch reports %d requests", r.Batch.Requests)
+			}
+		}
+	}
+	if !sawCoalesced {
+		t.Error("no response carried a coalesced batch stanza")
+	}
+}
+
+// TestQueueOverflowRejects drives the worker pool to saturation with a
+// stubbed slow executor and checks that an over-capacity request is
+// rejected with 429 instead of queuing unboundedly.
+func TestQueueOverflowRejects(t *testing.T) {
+	sv, ts := newTestService(t, Options{
+		Workers: 1, QueueDepth: 1, CoalesceWindow: time.Millisecond,
+	})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	sv.exec = func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error) {
+		started <- b.workload
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return make([]fvcache.MeasureResult, len(b.configs)), nil
+	}
+
+	// Distinct workloads so the three requests cannot coalesce.
+	post := func(wl string, status chan<- int) {
+		resp, err := http.Post(ts.URL+"/v1/measure", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"workload":%q}`, wl)))
+		if err != nil {
+			t.Error(err)
+			status <- 0
+			return
+		}
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}
+	stA, stB, stC := make(chan int, 1), make(chan int, 1), make(chan int, 1)
+
+	go post("goboard", stA)
+	<-started // the lone worker is now pinned inside request A
+
+	go post("ccomp", stB) // takes the single queue slot
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sv.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request B never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	go post("strproc", stC) // queue full: must bounce with 429
+	if got := <-stC; got != http.StatusTooManyRequests {
+		t.Errorf("overflow request: status %d, want 429", got)
+	}
+	if st := sv.ServerStats(); st.Rejected == 0 {
+		t.Error("rejected counter did not move")
+	}
+
+	close(release)
+	if got := <-stA; got != http.StatusOK {
+		t.Errorf("request A: status %d, want 200", got)
+	}
+	if got := <-stB; got != http.StatusOK {
+		t.Errorf("request B: status %d, want 200", got)
+	}
+}
+
+// TestGracefulDrain verifies the SIGTERM path: a request in flight when
+// Shutdown begins still completes with 200, while new requests are
+// turned away with 503.
+func TestGracefulDrain(t *testing.T) {
+	sv := New(Options{Workers: 1, CoalesceWindow: time.Millisecond})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	sv.exec = func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return make([]fvcache.MeasureResult, len(b.configs)), nil
+	}
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/measure", "application/json",
+			strings.NewReader(`{"workload":"goboard"}`))
+		if err != nil {
+			t.Error(err)
+			inflight <- 0
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	<-started // the request is executing
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainDone <- sv.Shutdown(ctx)
+	}()
+
+	// Draining: health reports it and new work is refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for !sv.draining.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/measure", `{"workload":"goboard"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("measure during drain: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: status %d, want 503", hresp.StatusCode)
+	}
+
+	close(release) // let the in-flight batch finish
+	if got := <-inflight; got != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d, want 200", got)
+	}
+	if err := <-drainDone; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestBadRequests walks the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed json", `{"workload":`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"nope"}`, http.StatusBadRequest},
+		{"bad scale", `{"workload":"goboard","scale":"huge"}`, http.StatusBadRequest},
+		{"fvc and victim", `{"workload":"goboard","config":{"fvc_entries":64,"victim_entries":4}}`, http.StatusBadRequest},
+		{"oversized fvt", `{"workload":"goboard","config":{"fvc_entries":64,"fvc_bits":1,"frequent_values":[1,2,3]}}`, http.StatusBadRequest},
+		{"bad geometry", `{"workload":"goboard","config":{"main_bytes":1000}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/measure", tc.body)
+			if resp.StatusCode != tc.want {
+				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.want, data)
+			}
+			var e errorWire
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Errorf("error body not wire-shaped: %s", data)
+			}
+		})
+	}
+	// Method checks.
+	resp, err := http.Get(ts.URL + "/v1/measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/measure: status %d, want 405", resp.StatusCode)
+	}
+	// Unknown artifact in a sweep.
+	if resp, _ := postJSON(t, ts.URL+"/v1/sweep", `{"artifacts":["fig999"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown artifact: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestListingAndMetricsEndpoints covers the read-only surface.
+func TestListingAndMetricsEndpoints(t *testing.T) {
+	_, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wls struct {
+		Workloads []fvcache.WorkloadInfo `json:"workloads"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wls)
+	resp.Body.Close()
+	if err != nil || len(wls.Workloads) < 12 {
+		t.Fatalf("workloads listing: err=%v n=%d", err, len(wls.Workloads))
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/artifacts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arts struct {
+		Artifacts []fvcache.ArtifactInfo `json:"artifacts"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&arts)
+	resp.Body.Close()
+	if err != nil || len(arts.Artifacts) == 0 {
+		t.Fatalf("artifacts listing: err=%v n=%d", err, len(arts.Artifacts))
+	}
+
+	// One measurement, then the metrics page must carry the service
+	// counters.
+	if resp, data := postJSON(t, ts.URL+"/v1/measure", `{"workload":"goboard"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure: status %d (%s)", resp.StatusCode, data)
+	}
+	resp, err = http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{"serve_requests_total", "serve_batches_total", "serve_batch_configs"} {
+		if !bytes.Contains(page, []byte(metric)) {
+			t.Errorf("metrics page missing %s", metric)
+		}
+	}
+}
+
+// TestSweepStreamsOverHTTP runs one artifact through POST /v1/sweep and
+// checks the NDJSON stream shape.
+func TestSweepStreamsOverHTTP(t *testing.T) {
+	_, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", `{"artifacts":["tab1"],"scale":"test"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("stream carries %d lines, want artifact + summary:\n%s", len(lines), data)
+	}
+	var art struct {
+		Artifact fvcache.ArtifactResult `json:"artifact"`
+	}
+	if err := json.Unmarshal(lines[0], &art); err != nil || art.Artifact.ID != "tab1" || art.Artifact.Status != "done" {
+		t.Errorf("artifact line: err=%v %+v", err, art.Artifact)
+	}
+	if art.Artifact.Output == "" {
+		t.Error("artifact line carries no output")
+	}
+	var sum struct {
+		Summary *fvcache.SweepResult `json:"summary"`
+	}
+	if err := json.Unmarshal(lines[1], &sum); err != nil || sum.Summary == nil || sum.Summary.Done != 1 {
+		t.Errorf("summary line: err=%v %+v", err, sum.Summary)
+	}
+}
+
+// TestDefaultConfigRequest checks the minimal useful body measures the
+// default geometry.
+func TestDefaultConfigRequest(t *testing.T) {
+	_, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+	resp, data := postJSON(t, ts.URL+"/v1/measure", `{"workload":"goboard"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out measureRespWire
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Accesses == 0 {
+		t.Fatalf("default measurement empty: %s", data)
+	}
+	if out.Scale != "test" {
+		t.Errorf("default scale = %q, want test", out.Scale)
+	}
+	if out.Results[0].MissRate <= 0 || out.Results[0].MissRate >= 1 {
+		t.Errorf("implausible miss rate %v", out.Results[0].MissRate)
+	}
+}

@@ -1,0 +1,636 @@
+// Package serve is the fvcached simulation service: an HTTP/JSON front
+// end that accepts measurement and sweep requests from many concurrent
+// clients and coalesces them into the fused batch replay engine.
+//
+// Requests for the same (workload, scale, options) arriving within a
+// short window are merged into ONE sim.MeasureRecordedBatch execution:
+// their configurations are deduplicated into a single fused SystemSet
+// replay over the shared recording cache, and each client receives its
+// own slice of the results. A bounded worker pool executes batches;
+// when the batch queue overflows, new requests are rejected with 429
+// (backpressure) instead of piling up. Shutdown drains: in-flight
+// requests complete, open coalescing windows flush, and only then do
+// the workers exit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fvcache"
+	"fvcache/internal/obs"
+)
+
+// Service metrics, exported on /debug/metrics and in the telemetry
+// snapshot.
+var (
+	reqTotal       = obs.Default.Counter("serve_requests_total")
+	reqRejected    = obs.Default.Counter("serve_rejected_total")
+	reqErrors      = obs.Default.Counter("serve_errors_total")
+	batchesTotal   = obs.Default.Counter("serve_batches_total")
+	coalescedTotal = obs.Default.Counter("serve_coalesced_requests_total")
+	batchConfigs   = obs.Default.Histogram("serve_batch_configs")
+	requestMS      = obs.Default.Histogram("serve_request_ms")
+	queueDepth     = obs.Default.Gauge("serve_queue_depth")
+	inflightReqs   = obs.Default.Gauge("serve_inflight_requests")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the batch worker pool size (<=0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the batch queue; a full queue rejects new
+	// batches with 429 (<=0 means 64).
+	QueueDepth int
+	// CoalesceWindow is how long the first request of a batch waits
+	// for same-keyed requests to join it (<=0 means 10ms).
+	CoalesceWindow time.Duration
+	// RequestTimeout bounds one batch execution (<=0 means 120s).
+	RequestTimeout time.Duration
+	// MaxBatchConfigs caps distinct configurations fused into one
+	// batch; a window that fills up dispatches early and keeps
+	// coalescing into a fresh batch (<=0 means 64).
+	MaxBatchConfigs int
+	// MaxSweeps bounds concurrent /v1/sweep executions (<=0 means 2).
+	MaxSweeps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CoalesceWindow <= 0 {
+		o.CoalesceWindow = 10 * time.Millisecond
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 120 * time.Second
+	}
+	if o.MaxBatchConfigs <= 0 {
+		o.MaxBatchConfigs = 64
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 2
+	}
+	return o
+}
+
+// call is one client request's seat in a batch: which of the batch's
+// deduplicated configs it wants, and where the worker delivers them.
+type call struct {
+	idx  []int
+	done chan callResult
+}
+
+type callResult struct {
+	results []fvcache.MeasureResult
+	info    batchInfoWire
+	status  int // HTTP status when err != nil
+	err     error
+}
+
+// batch is one coalescing unit: every request sharing (workload,
+// scale, options) that arrived within the window, with their
+// configurations deduplicated by fingerprint.
+type batch struct {
+	key      string
+	workload string
+	scale    fvcache.Scale
+	opts     fvcache.Options
+
+	configs []ConfigWire
+	fps     map[string]int
+	subs    []*call
+	timer   *time.Timer
+}
+
+// failAll delivers an error to every coalesced request of the batch.
+func (b *batch) failAll(status int, err error) {
+	for _, c := range b.subs {
+		c.done <- callResult{status: status, err: err}
+	}
+}
+
+// Server coalesces measurement requests into fused batch executions.
+type Server struct {
+	opt Options
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	pending map[string]*batch
+	qClosed bool
+
+	queue    chan *batch
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	draining atomic.Bool
+	sweepSem chan struct{}
+
+	// exec runs one batch's measurements; tests stub it to control
+	// worker timing. Defaults to execBatch.
+	exec func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error)
+
+	// Server-local counters, so tests can assert on this instance
+	// without reading process-global telemetry.
+	nBatches   atomic.Uint64
+	nCoalesced atomic.Uint64
+	nRejected  atomic.Uint64
+}
+
+// New builds a Server and starts its worker pool. Callers must
+// Shutdown it to stop the workers.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:      opt,
+		pending:  make(map[string]*batch),
+		queue:    make(chan *batch, opt.QueueDepth),
+		baseCtx:  ctx,
+		stop:     cancel,
+		sweepSem: make(chan struct{}, opt.MaxSweeps),
+	}
+	s.exec = s.execBatch
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default.WritePrometheus(w)
+	})
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats is a point-in-time snapshot of this server's coalescing
+// counters (test observability; the process-wide metrics are on
+// /debug/metrics).
+type Stats struct {
+	// Batches is how many fused batch executions ran.
+	Batches uint64
+	// Coalesced is how many requests joined an already-open batch.
+	Coalesced uint64
+	// Rejected is how many requests were refused with 429.
+	Rejected uint64
+}
+
+// ServerStats returns the server-local counters.
+func (s *Server) ServerStats() Stats {
+	return Stats{
+		Batches:   s.nBatches.Load(),
+		Coalesced: s.nCoalesced.Load(),
+		Rejected:  s.nRejected.Load(),
+	}
+}
+
+// Shutdown drains the service: open coalescing windows flush
+// immediately, queued and in-flight batches complete (delivering
+// results to their waiting requests), and the workers exit. New
+// requests are rejected with 503 from the first call on. If ctx
+// expires first, in-flight batch replays are cancelled at their next
+// chunk boundary and the drain finishes with ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// Flush every open window: ownership moves from the timer to us.
+	s.mu.Lock()
+	flush := make([]*batch, 0, len(s.pending))
+	for _, b := range s.pending {
+		b.timer.Stop()
+		flush = append(flush, b)
+	}
+	s.pending = make(map[string]*batch)
+	s.mu.Unlock()
+	for _, b := range flush {
+		s.enqueue(b, true)
+	}
+	s.mu.Lock()
+	if !s.qClosed {
+		s.qClosed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel in-flight replays at their next chunk boundary
+		<-done
+		return ctx.Err()
+	}
+}
+
+// submit coalesces a parsed request into an open batch (or opens one)
+// and returns the caller's seat.
+func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Options, cfgs []ConfigWire) (*call, error) {
+	optsFP, err := json.Marshal(opts)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%s|%s", workload, scale, optsFP)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.qClosed {
+		return nil, errDraining
+	}
+	b := s.pending[key]
+	if b == nil {
+		b = s.newBatchLocked(key, workload, scale, opts)
+	} else {
+		s.nCoalesced.Add(1)
+		coalescedTotal.Inc()
+	}
+	c := &call{done: make(chan callResult, 1)}
+	for _, cfg := range cfgs {
+		fp := cfg.fingerprint()
+		i, ok := b.fps[fp]
+		if !ok {
+			if len(b.configs) >= s.opt.MaxBatchConfigs {
+				// The open batch is full: dispatch it now and keep
+				// coalescing this (and later) requests into a fresh one.
+				// Seats already taken in the full batch stay there; a
+				// request can legitimately span two executions only when
+				// it alone exceeds the cap, in which case it waits on the
+				// last batch it joined.
+				s.dispatchLocked(b)
+				nb := s.newBatchLocked(key, workload, scale, opts)
+				if len(c.idx) > 0 {
+					// This caller already holds seats in the dispatched
+					// batch; it cannot wait on two. Refuse rather than
+					// deliver partial results.
+					return nil, fmt.Errorf("request spans more than %d distinct configurations", s.opt.MaxBatchConfigs)
+				}
+				b = nb
+			}
+			i = len(b.configs)
+			b.configs = append(b.configs, cfg)
+			b.fps[fp] = i
+		}
+		c.idx = append(c.idx, i)
+	}
+	b.subs = append(b.subs, c)
+	return c, nil
+}
+
+// newBatchLocked opens a batch and arms its coalescing window.
+func (s *Server) newBatchLocked(key, workload string, scale fvcache.Scale, opts fvcache.Options) *batch {
+	b := &batch{key: key, workload: workload, scale: scale, opts: opts, fps: make(map[string]int)}
+	s.pending[key] = b
+	b.timer = time.AfterFunc(s.opt.CoalesceWindow, func() { s.dispatch(b) })
+	return b
+}
+
+// dispatch moves a batch from the coalescing window to the queue if
+// it still owns it (Shutdown or a full window may have taken it
+// first).
+func (s *Server) dispatch(b *batch) {
+	s.mu.Lock()
+	if s.pending[b.key] != b {
+		s.mu.Unlock()
+		return
+	}
+	s.dispatchLocked(b)
+	s.mu.Unlock()
+}
+
+func (s *Server) dispatchLocked(b *batch) {
+	delete(s.pending, b.key)
+	b.timer.Stop()
+	s.enqueueLocked(b, false)
+}
+
+// enqueue hands a batch to the worker pool. Non-blocking mode applies
+// queue backpressure: a full queue fails the whole batch with 429.
+// Blocking mode is used by the Shutdown flush, which must not drop
+// accepted work.
+func (s *Server) enqueue(b *batch, block bool) {
+	s.mu.Lock()
+	s.enqueueLocked(b, block)
+	s.mu.Unlock()
+}
+
+func (s *Server) enqueueLocked(b *batch, block bool) {
+	if s.qClosed {
+		b.failAll(http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	if block {
+		s.queue <- b
+	} else {
+		select {
+		case s.queue <- b:
+		default:
+			s.nRejected.Add(uint64(len(b.subs)))
+			reqRejected.Add(uint64(len(b.subs)))
+			b.failAll(http.StatusTooManyRequests, errOverloaded)
+			return
+		}
+	}
+	queueDepth.Set(float64(len(s.queue)))
+}
+
+var (
+	errDraining   = errors.New("service is shutting down")
+	errOverloaded = errors.New("batch queue full, retry later")
+)
+
+// worker executes batches until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for b := range s.queue {
+		queueDepth.Set(float64(len(s.queue)))
+		s.runBatch(b)
+	}
+}
+
+// runBatch materializes the batch's configurations (resolving
+// profile-derived FVTs from the shared profile cache), drives one
+// fused replay for all of them, and fans the per-config results back
+// to every coalesced request.
+func (s *Server) runBatch(b *batch) {
+	s.nBatches.Add(1)
+	batchesTotal.Inc()
+	batchConfigs.Observe(uint64(len(b.configs)))
+	span := obs.Begin("serve:batch:" + b.workload)
+	defer span.Done()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opt.RequestTimeout)
+	defer cancel()
+
+	results, err := s.exec(ctx, b)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		}
+		reqErrors.Add(uint64(len(b.subs)))
+		obs.Log.Warn("batch failed", "workload", b.workload, "configs", len(b.configs), "err", err.Error())
+		b.failAll(status, err)
+		return
+	}
+	info := batchInfoWire{
+		Requests:  len(b.subs),
+		Configs:   len(b.configs),
+		Coalesced: len(b.subs) > 1,
+	}
+	for _, c := range b.subs {
+		rs := make([]fvcache.MeasureResult, len(c.idx))
+		for j, i := range c.idx {
+			rs[j] = results[i]
+		}
+		c.done <- callResult{results: rs, info: info}
+	}
+	obs.Log.Debug("batch served", "workload", b.workload, "requests", len(b.subs), "configs", len(b.configs))
+}
+
+// execBatch materializes the batch's configurations (resolving
+// profile-derived FVTs from the shared profile cache) and drives one
+// fused replay for all of them.
+func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error) {
+	cfgs := make([]fvcache.Config, len(b.configs))
+	for i, cw := range b.configs {
+		var values []uint32
+		if cw.needsProfile() {
+			var err error
+			values, err = fvcache.Profile(ctx, fvcache.ProfileRequest{
+				Workload: b.workload, Scale: b.scale, K: fvcache.MaxFVTValues(cw.FVCBits),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cfgs[i] = cw.toConfig(values)
+	}
+	return fvcache.MeasureBatch(ctx, fvcache.MeasureBatchRequest{
+		Workload: b.workload, Scale: b.scale, Configs: cfgs, Options: b.opts,
+	})
+}
+
+// maxBodyBytes bounds request bodies; a measurement request is a few
+// KB even with a long explicit FVT.
+const maxBodyBytes = 1 << 20
+
+// handleMeasure serves POST /v1/measure.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	reqTotal.Inc()
+	inflightReqs.Set(inflightDelta(1))
+	defer inflightReqs.Set(inflightDelta(-1))
+	start := time.Now()
+	defer func() { requestMS.Observe(uint64(time.Since(start).Milliseconds())) }()
+	span := obs.Begin("serve:measure")
+	defer span.Done()
+
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req measureWire
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if _, err := fvcache.LookupWorkload(req.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfgs := req.Configs
+	if req.Config != nil {
+		cfgs = append([]ConfigWire{*req.Config}, cfgs...)
+	}
+	if len(cfgs) == 0 {
+		cfgs = []ConfigWire{{}} // default geometry
+	}
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].normalized()
+		if err := cfgs[i].validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
+			return
+		}
+	}
+
+	c, err := s.submit(req.Workload, scale, req.Options, cfgs)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	select {
+	case res := <-c.done:
+		if res.err != nil {
+			writeError(w, res.status, res.err)
+			return
+		}
+		out := measureRespWire{
+			Workload: req.Workload,
+			Scale:    scale.String(),
+			Results:  make([]resultWire, len(res.results)),
+			Batch:    res.info,
+		}
+		for i, mr := range res.results {
+			out.Results[i] = toResultWire(mr)
+		}
+		writeJSON(w, http.StatusOK, out)
+	case <-r.Context().Done():
+		// Client went away; the worker's buffered send still completes.
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+	}
+}
+
+// handleSweep serves POST /v1/sweep, streaming one JSON line per
+// completed artifact followed by a summary line.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	reqTotal.Inc()
+	span := obs.Begin("serve:sweep")
+	defer span.Done()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req sweepWire
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	default:
+		reqRejected.Inc()
+		writeError(w, http.StatusTooManyRequests, errors.New("sweep capacity exhausted, retry later"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	res, err := fvcache.Sweep(r.Context(), fvcache.SweepRequest{
+		Artifacts: req.Artifacts,
+		Scale:     scale,
+		Workers:   req.Workers,
+		Markdown:  req.Markdown,
+		OnArtifact: func(ar fvcache.ArtifactResult) {
+			enc.Encode(struct {
+				Artifact fvcache.ArtifactResult `json:"artifact"`
+			}{ar})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	})
+	if err != nil {
+		// Unknown artifact: nothing has streamed yet, a clean 400 is
+		// still possible.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	enc.Encode(struct {
+		Summary *fvcache.SweepResult `json:"summary"`
+	}{res})
+}
+
+// handleWorkloads serves GET /v1/workloads.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Workloads []fvcache.WorkloadInfo `json:"workloads"`
+	}{fvcache.Workloads()})
+}
+
+// handleArtifacts serves GET /v1/artifacts.
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Artifacts []fvcache.ArtifactInfo `json:"artifacts"`
+	}{fvcache.Artifacts()})
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 while
+// draining (load balancers stop routing before the listener closes).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// parseScale maps the wire scale (default "test") to a Scale.
+func parseScale(s string) (fvcache.Scale, error) {
+	if s == "" {
+		return fvcache.Test, nil
+	}
+	return fvcache.ParseScale(s)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorWire{Error: err.Error()})
+}
+
+// inflight tracks the in-flight request gauge without a registry
+// read-modify-write race (Gauge has no Add).
+var inflight atomic.Int64
+
+func inflightDelta(d int64) float64 { return float64(inflight.Add(d)) }

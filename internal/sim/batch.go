@@ -27,6 +27,9 @@ import (
 // configuration. Unlike the per-config path, a failure (audit
 // violation or simulator panic) aborts the whole batch.
 func MeasureRecordedBatch(rec *trace.Recording, cfgs []core.Config, opt MeasureOptions) ([]MeasureResult, error) {
+	if err := ctxErr(opt.Ctx, "batch replay"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	if opt.Label != "" {
 		span := obs.Begin(fmt.Sprintf("batch:%s[%d]", opt.Label, len(cfgs)))
@@ -63,9 +66,18 @@ func MeasureRecordedBatch(rec *trace.Recording, cfgs []core.Config, opt MeasureO
 	replay := func() error {
 		var n uint64
 		for n < total {
+			if err := ctxErr(opt.Ctx, "batch replay"); err != nil {
+				return err
+			}
 			// Fuse-replay up to the nearest hook boundary; with no
-			// hooks armed this is one chunk to the end of the stream.
+			// hooks armed (and no context) this is one chunk to the end
+			// of the stream. A cancellable replay additionally bounds
+			// chunks at cancelCheckEvery accesses so the context check
+			// above runs at a useful cadence.
 			next := total
+			if opt.Ctx != nil && n+cancelCheckEvery < next {
+				next = n + cancelCheckEvery
+			}
 			if opt.WarmupAccesses > n && opt.WarmupAccesses < next {
 				next = opt.WarmupAccesses
 			}

@@ -107,6 +107,9 @@ func ReplayInto(rec *trace.Recording, sys *core.System) {
 // sampling, periodic audits) match Measure exactly, so for a recording
 // of w at scale the result is bit-identical to Measure(w, scale, ...).
 func MeasureRecorded(rec *trace.Recording, cfg core.Config, opt MeasureOptions) (MeasureResult, error) {
+	if err := ctxErr(opt.Ctx, "replay measurement"); err != nil {
+		return MeasureResult{}, err
+	}
 	cfg.VerifyValues = opt.VerifyValues
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -119,7 +122,26 @@ func MeasureRecorded(rec *trace.Recording, cfg core.Config, opt MeasureOptions) 
 		(opt.SampleEvery > 0 && sys.FVC() != nil)
 	replay := func() error {
 		if !needHook {
-			ReplayInto(rec, sys)
+			if opt.Ctx == nil {
+				ReplayInto(rec, sys)
+				return nil
+			}
+			// Cancellable fast path: drive the access columns in
+			// cancelCheckEvery-sized chunks, checking the context between
+			// chunks. Same bulk ReplayColumns loop, so the steady-state
+			// allocation behavior is unchanged.
+			ops, addrs, vals := rec.AccessColumns()
+			for n := 0; n < len(ops); n += cancelCheckEvery {
+				if err := ctxErr(opt.Ctx, "replay measurement"); err != nil {
+					return err
+				}
+				end := n + cancelCheckEvery
+				if end > len(ops) {
+					end = len(ops)
+				}
+				sys.ReplayColumns(ops[n:end], addrs[n:end], vals[n:end])
+			}
+			obs.ReplayEvents.Add(uint64(len(ops)))
 			return nil
 		}
 		ops, addrs, vals := rec.Columns()
@@ -130,6 +152,11 @@ func MeasureRecorded(rec *trace.Recording, cfg core.Config, opt MeasureOptions) 
 			}
 			sys.Access(op, addrs[i], vals[i])
 			n++
+			if opt.Ctx != nil && n%cancelCheckEvery == 0 {
+				if err := ctxErr(opt.Ctx, "replay measurement"); err != nil {
+					return err
+				}
+			}
 			if opt.WarmupAccesses > 0 && n == opt.WarmupAccesses {
 				warmupStats = sys.Stats()
 			}

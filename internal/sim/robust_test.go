@@ -13,33 +13,9 @@ import (
 	"fvcache/internal/workload"
 )
 
-// TestParallelMapPanicNoHang: a panicking fn must not hang the map's
-// WaitGroup; the first panic resurfaces on the caller's goroutine with
-// the original stack attached.
-func TestParallelMapPanicNoHang(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("ParallelMap swallowed the panic")
-		}
-		msg, ok := r.(string)
-		if !ok {
-			t.Fatalf("re-panic value is %T, want string", r)
-		}
-		for _, want := range []string{"boom on 3", "original stack", "robust_test.go"} {
-			if !strings.Contains(msg, want) {
-				t.Errorf("re-panic missing %q:\n%s", want, msg)
-			}
-		}
-	}()
-	ParallelMap(8, 2, func(i int) int {
-		if i == 3 {
-			panic("boom on 3")
-		}
-		return i
-	})
-	t.Fatal("unreachable: ParallelMap must re-panic")
-}
+// Parallel fan-out panic isolation is covered by harness.Map's own
+// tests (TestMapPanicDoesNotHang); sim no longer carries a second
+// parallel-map implementation.
 
 // panicker is a workload that blows up partway through its run.
 type panicker struct{}

@@ -8,7 +8,6 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"fvcache/internal/core"
@@ -51,6 +50,31 @@ type MeasureOptions struct {
 	// name; empty skips the span, keeping tight per-config loops out of
 	// the phase tree.
 	Label string
+	// Ctx, when non-nil, cancels the measurement cooperatively: the
+	// replay paths check it every cancelCheckEvery accesses (and at
+	// every hook boundary) and abort with the context's error. Live
+	// workload execution cannot be preempted mid-Run, so Measure only
+	// observes it at the run boundary. The fvcache facade and the
+	// fvcached service wire per-request deadlines here.
+	Ctx context.Context
+}
+
+// cancelCheckEvery is how many accesses a cancellable replay drives
+// between context checks: coarse enough to keep the steady-state loops
+// allocation-free and branch-cheap, fine enough that a multi-second
+// batch replay honors a deadline within tens of milliseconds.
+const cancelCheckEvery = 1 << 20
+
+// ctxErr returns the context's error wrapped as a measurement abort,
+// or nil. A nil ctx never cancels.
+func ctxErr(ctx context.Context, path string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: %s cancelled: %w", path, err)
+	}
+	return nil
 }
 
 // MeasureResult is the outcome of one measurement run.
@@ -66,6 +90,9 @@ type MeasureResult struct {
 
 // Measure runs w at scale against a hierarchy built from cfg.
 func Measure(w workload.Workload, scale workload.Scale, cfg core.Config, opt MeasureOptions) (MeasureResult, error) {
+	if err := ctxErr(opt.Ctx, "measurement"); err != nil {
+		return MeasureResult{}, err
+	}
 	obs.LiveMeasures.Inc()
 	cfg.VerifyValues = opt.VerifyValues
 	sys, err := core.New(cfg)
@@ -154,23 +181,7 @@ func MissAttribution(w workload.Workload, scale workload.Scale, cfg core.Config,
 	return total, attributed, nil
 }
 
-// ParallelMap evaluates fn(0..n-1) across up to workers goroutines
-// (GOMAXPROCS when workers <= 0) and returns the results in order.
-//
-// It delegates to harness.Map, so a panicking fn can no longer hang
-// the internal WaitGroup: the panic is recovered, remaining work is
-// cancelled, and the first panic is re-surfaced on the caller's
-// goroutine with the original stack appended. New code should call
-// harness.Map directly and handle the error.
-func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
-	out, err := harness.Map(context.Background(), n, harness.MapOptions{Workers: workers},
-		func(_ context.Context, i int) (T, error) { return fn(i), nil })
-	if err != nil {
-		var pe *harness.PanicError
-		if errors.As(err, &pe) {
-			panic(fmt.Sprintf("sim: parallel task panicked: %v\n\noriginal stack:\n%s", pe.Value, pe.Stack))
-		}
-		panic(err) // unreachable: fn returns no error and ctx is never cancelled
-	}
-	return out
-}
+// Parallel fan-out lives in harness.Map: one panic-isolating,
+// context-aware parallel-map implementation serves the sweeps, the
+// experiment pmap and any ad-hoc caller (the former sim.ParallelMap
+// wrapper is gone).

@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"sync/atomic"
+	"context"
+	"errors"
 	"testing"
 
 	"fvcache/internal/cache"
@@ -111,22 +112,48 @@ func TestMissAttribution(t *testing.T) {
 	}
 }
 
-func TestParallelMapOrderAndCompleteness(t *testing.T) {
-	got := ParallelMap(100, 8, func(i int) int { return i * i })
-	for i, v := range got {
-		if v != i*i {
-			t.Fatalf("out[%d] = %d", i, v)
-		}
-	}
-}
+// TestMeasureCtxCancelled: every measurement entry point must refuse a
+// context that is already cancelled, and an uncancelled context must
+// not perturb results (the cancellable fast path chunks the same bulk
+// replay loop).
+func TestMeasureCtxCancelled(t *testing.T) {
+	w := wl(t, "goboard")
+	cfg := core.Config{Main: cache.Params{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
 
-func TestParallelMapEdges(t *testing.T) {
-	if out := ParallelMap(0, 4, func(i int) int { return i }); len(out) != 0 {
-		t.Error("n=0 must return empty")
+	if _, err := Measure(w, workload.Test, cfg, MeasureOptions{Ctx: cancelled}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Measure with cancelled ctx: err = %v, want context.Canceled", err)
 	}
-	var calls atomic.Int64
-	out := ParallelMap(5, 0, func(i int) int { calls.Add(1); return i })
-	if len(out) != 5 || calls.Load() != 5 {
-		t.Errorf("default workers: out=%v calls=%d", out, calls.Load())
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureRecorded(rec, cfg, MeasureOptions{Ctx: cancelled}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureRecorded with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := MeasureRecordedBatch(rec, []core.Config{cfg}, MeasureOptions{Ctx: cancelled}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureRecordedBatch with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// A live context must leave results bit-identical to the ctx-free
+	// paths, for both the per-config and the fused engine.
+	want, err := MeasureRecorded(rec, cfg, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureRecorded(rec, cfg, MeasureOptions{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ctx-chunked replay diverged: %+v != %+v", got, want)
+	}
+	batch, err := MeasureRecordedBatch(rec, []core.Config{cfg}, MeasureOptions{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != want {
+		t.Errorf("ctx-chunked batch replay diverged: %+v != %+v", batch[0], want)
 	}
 }
