@@ -25,23 +25,29 @@ lint-examples:
 # vet, the examples import lint, build (with telemetry on and compiled
 # out), the race-enabled test suite (which includes the fvcached
 # service e2e tests: request coalescing, 429 backpressure, graceful
-# drain), a short fuzz smoke run over the hardened trace reader, the
-# telemetry-overhead gate (the steady-state replay loops must stay
-# allocation-free with telemetry compiled in, and the exported
-# telemetry.json must validate end to end), the service smoke run
-# (boot fvcached, measure over HTTP, scrape /debug/metrics, drain on
-# SIGTERM, validate the exported telemetry.json), a single-iteration
-# pass over every benchmark so the benchmark corpus cannot rot, and a
-# sanity pass over the committed sweep-engine artifact (it must parse,
-# every speedup layer must be >= 1.0, the steady-state allocation
-# counts must be zero, and its telemetry snapshot must validate).
+# drain, deadlines, the circuit breaker, and the chaos detection
+# matrix over the durable result cache), a short fuzz smoke run over
+# the hardened trace reader and the result-cache entry codec, the
+# telemetry-overhead gate (the steady-state replay loops and the
+# result-cache hit path must stay allocation-free with telemetry
+# compiled in, and the exported telemetry.json must validate end to
+# end), the service smoke and crash-recovery runs (boot fvcached,
+# measure over HTTP, SIGKILL it over a durable cache, restart, prove
+# quarantine + bit-identical recompute), a single-iteration pass over
+# every benchmark so the benchmark corpus cannot rot, and a sanity
+# pass over the committed sweep-engine artifact (it must parse, every
+# speedup layer must be >= 1.0, the steady-state allocation counts
+# must be zero, and its telemetry snapshot must validate).
 check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run='TestChaos' ./internal/resultcache
 	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
+	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=5s
 	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs' ./internal/sim
-	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke' .
+	$(GO) test -count=1 -run='TestResultCacheHitZeroAllocs' ./internal/resultcache
+	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke|TestCrashRecovery' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
 
@@ -53,6 +59,7 @@ bench:
 
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=60s
+	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=60s
 
 fmt:
 	gofmt -w .

@@ -5,10 +5,12 @@
 //	fvcached -addr 127.0.0.1:8080
 //
 //	POST /v1/measure    measure one or many configurations over a workload
+//	                    (?deadline_ms= bounds the request; expired -> 504)
 //	POST /v1/sweep      reproduce paper artifacts (streams JSON lines)
 //	GET  /v1/workloads  list registered workloads
 //	GET  /v1/artifacts  list reproducible artifacts
-//	GET  /healthz       liveness (503 while draining)
+//	GET  /healthz       liveness (200 while the process serves HTTP)
+//	GET  /readyz        readiness (503 during boot recovery and drain)
 //	GET  /debug/metrics telemetry in Prometheus text format
 //
 // Requests for the same workload and scale arriving within the
@@ -17,6 +19,14 @@
 // batch queue is full new requests are rejected with 429. SIGINT or
 // SIGTERM drains gracefully: in-flight requests complete, then the
 // process exits.
+//
+// Results are cached in memory, and durably under -cache-dir: repeat
+// measurements are O(1), survive restarts, and every on-disk entry is
+// CRC-validated on read — corrupt or torn entries are quarantined to
+// <cache-dir>/corrupt and recomputed, never served. The boot recovery
+// scan runs while /readyz reports 503; a failing disk (ENOSPC, I/O
+// errors) degrades the cache to memory-only instead of taking the
+// service down.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
+	"fvcache/internal/resultcache"
 	"fvcache/internal/serve"
 )
 
@@ -40,11 +51,15 @@ func main() {
 
 func run() (code int) {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
-		queue    = flag.Int("queue", 64, "batch queue depth (full queue rejects with 429)")
-		window   = flag.Duration("coalesce", 10*time.Millisecond, "coalescing window for same-workload requests")
-		reqLimit = flag.Duration("request-timeout", 120*time.Second, "per-batch execution deadline")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port, :0 picks a free port)")
+		queue      = flag.Int("queue", 64, "batch queue depth (full queue rejects with 429)")
+		window     = flag.Duration("coalesce", 10*time.Millisecond, "coalescing window for same-workload requests")
+		reqLimit   = flag.Duration("request-timeout", 120*time.Second, "per-batch execution deadline")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		cacheDir   = flag.String("cache-dir", "", "durable result cache directory (empty = memory-only cache)")
+		cacheMemMB = flag.Int("cache-mem-mb", 64, "result cache memory tier budget in MiB")
+		cacheDisk  = flag.Int("cache-disk-mb", 256, "result cache disk tier budget in MiB")
+		deadlineMS = flag.Int64("deadline-ms", 0, "default per-request deadline in ms (0 = none; requests may override with deadline_ms)")
 	)
 	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagWorkers|harness.FlagTimeout, "")
 	of := obs.AddFlags(flag.CommandLine)
@@ -65,10 +80,12 @@ func run() (code int) {
 	defer cancel()
 
 	sv := serve.New(serve.Options{
-		Workers:        cf.Workers,
-		QueueDepth:     *queue,
-		CoalesceWindow: *window,
-		RequestTimeout: *reqLimit,
+		Workers:         cf.Workers,
+		QueueDepth:      *queue,
+		CoalesceWindow:  *window,
+		RequestTimeout:  *reqLimit,
+		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+		StartUnready:    true, // ready once the cache recovery scan finishes
 	})
 	httpSrv := &http.Server{Handler: sv.Handler()}
 
@@ -79,6 +96,34 @@ func run() (code int) {
 	}
 	fmt.Printf("fvcached listening on %s\n", ln.Addr())
 	obs.Log.Info("fvcached up", "addr", ln.Addr().String())
+
+	// Open the result cache while the listener is already accepting:
+	// /readyz reports 503 until the boot recovery scan (quarantining any
+	// torn or corrupt entries a crash left behind) finishes. An unusable
+	// cache directory degrades to a memory-only cache — never an outage.
+	go func() {
+		opt := resultcache.Options{
+			Dir:       *cacheDir,
+			MemBytes:  int64(*cacheMemMB) << 20,
+			DiskBytes: int64(*cacheDisk) << 20,
+		}
+		rc, err := resultcache.Open(opt)
+		if err != nil {
+			obs.Log.Warn("result cache unavailable, serving without durable tier", "dir", *cacheDir, "err", err.Error())
+			opt.Dir = ""
+			if rc, err = resultcache.Open(opt); err != nil {
+				obs.Log.Warn("memory result cache unavailable, serving uncached", "err", err.Error())
+			}
+		}
+		if rc != nil {
+			st := rc.Stats()
+			obs.Log.Info("result cache ready", "dir", *cacheDir,
+				"entries", st.DiskEntries, "quarantined", st.Quarantined)
+			sv.SetResultCache(rc)
+		}
+		sv.SetReady(true)
+		fmt.Println("fvcached ready")
+	}()
 
 	// Drain on signal: flush coalescing windows and finish queued
 	// batches first (handlers blocked on results unblock), then close

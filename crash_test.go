@@ -1,0 +1,229 @@
+// Crash-recovery test for the fvcached durable result cache: kill the
+// service with SIGKILL (no drain, no flush), tear the on-disk entry a
+// crash mid-write would leave behind, restart over the same cache
+// directory and prove the boot recovery scan quarantines the damage,
+// that no corrupt entry is ever served, and that the re-request
+// recomputes results bit-identical to the cold run.
+package fvcache_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fvcachedInstance is one running fvcached process under test.
+type fvcachedInstance struct {
+	cmd    *exec.Cmd
+	base   string
+	exited chan error
+}
+
+// startFVCached boots the binary with the given extra flags and waits
+// for /readyz to go green.
+func startFVCached(t *testing.T, bin string, extra ...string) *fvcachedInstance {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	inst := &fvcachedInstance{cmd: cmd, exited: make(chan error, 1)}
+	go func() { inst.exited <- cmd.Wait() }()
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("startup line %q carries no address", line)
+	}
+	inst.base = "http://" + strings.TrimSpace(line[i+len(marker):])
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// The listener is up before the cache recovery scan finishes;
+	// readiness flips once boot work is done.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(inst.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return inst
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// measure posts one fixed measurement and returns the raw results JSON
+// plus the batch stanza.
+func (inst *fvcachedInstance) measure(t *testing.T) (json.RawMessage, int) {
+	t.Helper()
+	const body = `{"workload":"goboard","config":{"main_bytes":8192,"fvc_entries":256}}`
+	resp, err := http.Post(inst.base+"/v1/measure", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("measure: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Results json.RawMessage `json:"results"`
+		Batch   struct {
+			CacheHits int `json:"cache_hits"`
+		} `json:"batch"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("measure response: %v\n%s", err, data)
+	}
+	return out.Results, out.Batch.CacheHits
+}
+
+// metricValue scrapes /debug/metrics for one counter.
+func (inst *fvcachedInstance) metricValue(t *testing.T, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(inst.base + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(page), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func TestCrashRecoveryQuarantinesAndRecomputes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a binary")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("uses SIGKILL")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fvcached")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/fvcached").CombinedOutput(); err != nil {
+		t.Fatalf("building fvcached: %v\n%s", err, out)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Phase 1: boot, measure (cold compute), repeat until the entry is
+	// promoted to disk (admission requires reuse, so the third request
+	// crosses the threshold).
+	a := startFVCached(t, bin, "-cache-dir", cacheDir)
+	cold, hits := a.measure(t)
+	if hits != 0 {
+		t.Fatalf("cold request reported %d cache hits", hits)
+	}
+	for i := 0; i < 2; i++ {
+		warm, hits := a.measure(t)
+		if string(warm) != string(cold) {
+			t.Fatalf("warm repeat %d diverged from cold:\ncold %s\nwarm %s", i, cold, warm)
+		}
+		if hits != 1 {
+			t.Fatalf("warm repeat %d: cache hits = %d, want 1", i, hits)
+		}
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.fvr"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("promoted entries on disk: %v (err %v), want 1", entries, err)
+	}
+
+	// Phase 2: SIGKILL — no drain, no cleanup — then inflict the damage
+	// an interrupted promotion leaves: a torn (half-written) entry and a
+	// stray temp file.
+	if err := a.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-a.exited:
+	case <-time.After(10 * time.Second):
+		t.Fatal("process survived SIGKILL")
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, "inflight.fvr.tmp"), data[:16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: restart over the damaged directory. The boot recovery
+	// scan must quarantine both files before /readyz goes green.
+	b := startFVCached(t, bin, "-cache-dir", cacheDir)
+	if q := b.metricValue(t, "resultcache_corrupt_quarantined"); q < 2 {
+		t.Errorf("resultcache_corrupt_quarantined = %v, want >= 2 (torn entry + temp file)", q)
+	}
+	qfiles, err := os.ReadDir(filepath.Join(cacheDir, "corrupt"))
+	if err != nil || len(qfiles) < 2 {
+		t.Errorf("corrupt/ holds %d files (err %v), want >= 2", len(qfiles), err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(cacheDir, "*.fvr")); len(left) != 0 {
+		t.Errorf("damaged entries still indexed in cache root: %v", left)
+	}
+
+	// Phase 4: the re-request must recompute — never serve the torn
+	// entry — and the recomputed results must be bit-identical to the
+	// cold run (the engine is deterministic).
+	recomputed, hits := b.measure(t)
+	if hits != 0 {
+		t.Errorf("re-request after quarantine reported %d cache hits; the torn entry must not serve", hits)
+	}
+	if string(recomputed) != string(cold) {
+		t.Errorf("recomputed results diverged from cold compute:\ncold %s\nnew  %s", cold, recomputed)
+	}
+
+	// The cache is healthy again: repeats hit, and a graceful drain
+	// exits clean.
+	if _, hits := b.measure(t); hits != 1 {
+		t.Errorf("repeat after recompute: cache hits = %d, want 1", hits)
+	}
+	if err := b.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-b.exited:
+		if err != nil {
+			t.Errorf("fvcached exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Error("fvcached did not exit after SIGTERM")
+	}
+}

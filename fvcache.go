@@ -49,6 +49,14 @@ const (
 // ParseScale converts "test", "train" or "ref" to a Scale.
 func ParseScale(s string) (Scale, error) { return workload.ParseScale(s) }
 
+// EngineVersion identifies the measurement engine's result semantics.
+// It participates in durable result-cache keys (internal/resultcache),
+// so entries persisted by an older engine are never served as current
+// results. Bump it whenever a change can alter measured numbers:
+// stats accounting, replay semantics, workload generation, or the
+// profile-directed FVT selection.
+const EngineVersion = "fvcache-engine/1"
+
 // Config selects a cache hierarchy: main cache geometry, optional FVC
 // or victim cache, optional L2, and the design-ablation knobs.
 type Config = core.Config

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"fvcache/internal/core"
 	"fvcache/internal/fvc"
@@ -60,8 +61,11 @@ type Fault struct {
 func (f Fault) String() string { return string(f.Class) + ": " + f.Detail }
 
 // Injector produces deterministic faults from a seed and records every
-// injection for the test report.
+// injection for the test report. The fault log and rng are guarded by
+// a mutex so a FaultFS can inject from concurrent cache operations;
+// the simulator-state methods themselves expect a quiesced System.
 type Injector struct {
+	mu     sync.Mutex
 	rng    *rand.Rand
 	faults []Fault
 }
@@ -70,11 +74,17 @@ type Injector struct {
 func New(seed int64) *Injector { return &Injector{rng: rand.New(rand.NewSource(seed))} }
 
 // Faults returns every fault injected so far, in order.
-func (in *Injector) Faults() []Fault { return append([]Fault(nil), in.faults...) }
+func (in *Injector) Faults() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.faults...)
+}
 
 func (in *Injector) record(c Class, format string, args ...any) Fault {
 	f := Fault{Class: c, Detail: fmt.Sprintf(format, args...)}
+	in.mu.Lock()
 	in.faults = append(in.faults, f)
+	in.mu.Unlock()
 	return f
 }
 

@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"io/fs"
+	"sync"
+	"syscall"
+	"time"
+
+	"fvcache/internal/resultcache"
+)
+
+// Filesystem fault classes, injected through a FaultFS wrapped around
+// the result cache's filesystem. Each class maps to a detection the
+// chaos matrix proves (see internal/resultcache's chaos suite):
+const (
+	// FSTornWrite makes the next atomic write land only a prefix of
+	// its data, as if the machine died after the rename was (wrongly)
+	// persisted before the data. Detected on the next read: the frame
+	// promises more bytes than the file holds -> CorruptError ->
+	// quarantine.
+	FSTornWrite Class = "fs-torn-write"
+	// FSBitFlip flips one random bit of the data returned by the next
+	// read (silent media corruption). Detected by the CRC32C check ->
+	// quarantine.
+	FSBitFlip Class = "fs-bit-flip"
+	// FSShortRead truncates the data returned by the next read (lost
+	// tail, partial page). Detected by the frame length check ->
+	// quarantine.
+	FSShortRead Class = "fs-short-read"
+	// FSENOSPC fails the next write with syscall.ENOSPC. Detected by
+	// the degradation ladder: the disk tier trips to memory-only.
+	FSENOSPC Class = "fs-enospc"
+	// FSSlowIO delays the next operation by the armed duration
+	// (dying disk, saturated volume). Detected by the slow-op
+	// threshold feeding the degradation ladder.
+	FSSlowIO Class = "fs-slow-io"
+)
+
+// FaultFS wraps a resultcache.FS and injects armed faults into the
+// operations passing through it. Faults are armed per class with a
+// use count; injection order within a class follows operation order,
+// and the byte/bit choices come from the Injector's seeded rng, so a
+// failing chaos test reproduces exactly.
+type FaultFS struct {
+	real resultcache.FS
+	in   *Injector
+
+	mu    sync.Mutex
+	armed map[Class]int
+	// SlowDelay is how long an FSSlowIO injection sleeps.
+	SlowDelay time.Duration
+}
+
+// WrapFS returns a FaultFS over real, drawing randomness from the
+// injector.
+func (in *Injector) WrapFS(real resultcache.FS) *FaultFS {
+	return &FaultFS{real: real, in: in, armed: make(map[Class]int), SlowDelay: 50 * time.Millisecond}
+}
+
+// Arm schedules the next n matching operations to suffer the fault
+// class.
+func (f *FaultFS) Arm(c Class, n int) {
+	f.mu.Lock()
+	f.armed[c] += n
+	f.mu.Unlock()
+}
+
+// take consumes one armed injection of class c, if any.
+func (f *FaultFS) take(c Class) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.armed[c] <= 0 {
+		return false
+	}
+	f.armed[c]--
+	return true
+}
+
+// slow sleeps if an FSSlowIO injection is armed.
+func (f *FaultFS) slow(op string) {
+	if f.take(FSSlowIO) {
+		f.in.record(FSSlowIO, "%s delayed %v", op, f.SlowDelay)
+		time.Sleep(f.SlowDelay)
+	}
+}
+
+// ReadFile applies slow-I/O, short-read and bit-flip injections.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.slow("read " + name)
+	data, err := f.real.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if f.take(FSShortRead) && len(data) > 0 {
+		n := len(data) / 2
+		f.in.record(FSShortRead, "%s: %d of %d bytes", name, n, len(data))
+		data = data[:n]
+	}
+	if f.take(FSBitFlip) && len(data) > 0 {
+		f.in.mu.Lock()
+		pos := f.in.rng.Intn(len(data))
+		bit := uint(f.in.rng.Intn(8))
+		f.in.mu.Unlock()
+		flipped := append([]byte(nil), data...)
+		flipped[pos] ^= 1 << bit
+		f.in.record(FSBitFlip, "%s: bit %d at byte %d flipped", name, bit, pos)
+		data = flipped
+	}
+	return data, nil
+}
+
+// WriteFileAtomic applies slow-I/O, ENOSPC and torn-write injections.
+func (f *FaultFS) WriteFileAtomic(name string, data []byte) error {
+	f.slow("write " + name)
+	if f.take(FSENOSPC) {
+		f.in.record(FSENOSPC, "%s: write failed with ENOSPC", name)
+		return syscall.ENOSPC
+	}
+	if f.take(FSTornWrite) && len(data) > 1 {
+		f.in.mu.Lock()
+		n := 1 + f.in.rng.Intn(len(data)-1)
+		f.in.mu.Unlock()
+		f.in.record(FSTornWrite, "%s: %d of %d bytes persisted", name, n, len(data))
+		// The torn prefix reaches the final name: the worst crash
+		// outcome a non-journaling filesystem can produce.
+		return f.real.WriteFileAtomic(name, data[:n])
+	}
+	return f.real.WriteFileAtomic(name, data)
+}
+
+// Remove passes through (with slow-I/O injection).
+func (f *FaultFS) Remove(name string) error {
+	f.slow("remove " + name)
+	return f.real.Remove(name)
+}
+
+// Rename passes through (with slow-I/O injection).
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.slow("rename " + oldname)
+	return f.real.Rename(oldname, newname)
+}
+
+// MkdirAll passes through.
+func (f *FaultFS) MkdirAll(dir string) error { return f.real.MkdirAll(dir) }
+
+// ReadDir passes through (with slow-I/O injection).
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	f.slow("readdir " + dir)
+	return f.real.ReadDir(dir)
+}

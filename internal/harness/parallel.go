@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,13 @@ type MapOptions struct {
 	// RetryBackoff is the sleep before the first retry, doubling per
 	// attempt. Zero retries immediately.
 	RetryBackoff time.Duration
+	// RetrySeed, when non-zero, jitters each backoff sleep to a uniform
+	// duration in [backoff/2, backoff*3/2), decorrelating retry storms
+	// when many tasks fail together (e.g. a shared resource hiccup).
+	// The jitter is drawn from a per-task RNG derived from this seed,
+	// so a given (seed, task) retries on an exactly reproducible
+	// schedule. 0 keeps the deterministic doubling backoff.
+	RetrySeed int64
 	// RetryIf decides whether a failed attempt is retried; nil means
 	// IsTransient (panics and plain errors are never retried by
 	// default: a deterministic simulator fails deterministically).
@@ -135,6 +143,7 @@ func Map[T any](ctx context.Context, n int, opt MapOptions, fn func(ctx context.
 // runTask runs one task with recovery, timeout and retry.
 func runTask[T any](ctx context.Context, i int, opt MapOptions, retryIf func(error) bool, fn func(ctx context.Context, i int) (T, error)) (v T, attempts int, err error) {
 	backoff := opt.RetryBackoff
+	var rng *rand.Rand // created lazily: most tasks never retry
 	for {
 		attempts++
 		v, err = attempt(ctx, i, opt.TaskTimeout, fn)
@@ -148,14 +157,34 @@ func runTask[T any](ctx context.Context, i int, opt MapOptions, retryIf func(err
 			return v, attempts, err
 		}
 		if backoff > 0 {
+			if opt.RetrySeed != 0 && rng == nil {
+				rng = rand.New(rand.NewSource(retryTaskSeed(opt.RetrySeed, i)))
+			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jitterBackoff(rng, backoff)):
 			case <-ctx.Done():
 				return v, attempts, err
 			}
 			backoff *= 2
 		}
 	}
+}
+
+// retryTaskSeed derives a per-task RNG seed: tasks retrying off the
+// same base seed must not share a jitter stream (that would re-align
+// the very storms jitter exists to break up).
+func retryTaskSeed(seed int64, i int) int64 {
+	return seed + int64(i)*-4392928118023941123 // odd 64-bit multiplier spreads adjacent tasks
+}
+
+// jitterBackoff randomizes one backoff sleep to a uniform duration in
+// [d/2, 3d/2), keeping the expected sleep equal to the deterministic
+// schedule. A nil rng (RetrySeed 0) returns d unchanged.
+func jitterBackoff(rng *rand.Rand, d time.Duration) time.Duration {
+	if rng == nil || d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
 }
 
 // attempt runs fn once, recovering panics and enforcing the timeout.

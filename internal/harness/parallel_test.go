@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -219,5 +220,64 @@ func TestRecover(t *testing.T) {
 	}
 	if StackOf(err) == nil {
 		t.Error("StackOf must find the recovered stack")
+	}
+}
+
+// TestJitterBackoffPinned pins the jitter schedule: for a fixed
+// (RetrySeed, task) pair the sleeps are exactly reproducible, distinct
+// tasks draw distinct streams, and every draw stays within the
+// documented [d/2, 3d/2) envelope of the doubling schedule.
+func TestJitterBackoffPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(retryTaskSeed(42, 0)))
+	d := 100 * time.Millisecond
+	want := []time.Duration{81278675, 243856411, 301878760, 526624009}
+	for k, w := range want {
+		if got := jitterBackoff(rng, d); got != w {
+			t.Errorf("seed 42 task 0 draw %d: %v, want %v", k, got, w)
+		}
+		d *= 2
+	}
+
+	rng1 := rand.New(rand.NewSource(retryTaskSeed(42, 1)))
+	if got := jitterBackoff(rng1, 100*time.Millisecond); got != 102859459 {
+		t.Errorf("seed 42 task 1 draw 0: %v, want 102859459ns", got)
+	}
+
+	// Envelope: many seeds, many doublings, all within [d/2, 3d/2).
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(retryTaskSeed(seed, int(seed))))
+		for d := 10 * time.Millisecond; d <= 160*time.Millisecond; d *= 2 {
+			got := jitterBackoff(rng, d)
+			if got < d/2 || got >= d+d/2 {
+				t.Fatalf("seed %d: jitter %v outside [%v, %v)", seed, got, d/2, d+d/2)
+			}
+		}
+	}
+
+	// RetrySeed 0 (nil rng) keeps the exact deterministic backoff.
+	if got := jitterBackoff(nil, 100*time.Millisecond); got != 100*time.Millisecond {
+		t.Errorf("nil rng altered backoff: %v", got)
+	}
+}
+
+// TestMapRetryWithJitter: jittered retries still converge — the
+// behavior change is only in the sleep durations.
+func TestMapRetryWithJitter(t *testing.T) {
+	var tries atomic.Int32
+	out, err := Map(context.Background(), 4,
+		MapOptions{Workers: 2, Retries: 2, RetryBackoff: time.Millisecond, RetrySeed: 7},
+		func(_ context.Context, i int) (int, error) {
+			if tries.Add(1)%3 == 0 {
+				return 0, Transient(errors.New("flaky"))
+			}
+			return i * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
 	}
 }

@@ -1,0 +1,209 @@
+// Chaos detection matrix for the durable result cache: every
+// filesystem fault class internal/faultinject can produce must be
+// DETECTED (quarantined or degraded), COUNTED in the cache's stats,
+// and must NEVER cause a corrupted entry to be served as a result.
+// The injector is seeded, so a failing case reproduces exactly.
+package resultcache_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fvcache/internal/faultinject"
+	"fvcache/internal/resultcache"
+)
+
+// chaosOutcome is what a fault scenario must prove.
+type chaosOutcome struct {
+	// quarantined / degradations are the minimum counter values after
+	// the scenario ran.
+	quarantined  uint64
+	degradations uint64
+	// served reports whether the final Get may still hit (from an
+	// unaffected tier). When it hits, the harness separately asserts
+	// the payload is bit-identical to the original — a corrupted
+	// result must never surface.
+	served bool
+}
+
+// promoteThrough drives one entry through admission onto disk.
+func promoteThrough(t *testing.T, c *resultcache.Cache, i int) {
+	t.Helper()
+	c.Put(testKey(i), testResults(i))
+	c.Get(testKey(i))
+	c.Get(testKey(i))
+	if st := c.Stats(); st.Promotes == 0 && st.Degradations == 0 {
+		t.Fatalf("setup: entry %d neither promoted nor degraded: %+v", i, st)
+	}
+}
+
+func TestChaosMatrix(t *testing.T) {
+	cases := []struct {
+		class faultinject.Class
+		want  chaosOutcome
+		run   func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache
+	}{
+		{
+			// Torn write: the promotion write persists only a prefix.
+			// A restart's recovery scan must quarantine the torn file.
+			class: faultinject.FSTornWrite,
+			want:  chaosOutcome{quarantined: 1, served: false},
+			run: func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache {
+				c, err := resultcache.Open(resultcache.Options{Dir: dir, FS: ffs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.Arm(faultinject.FSTornWrite, 1)
+				promoteThrough(t, c, 0)
+				// "Crash" and restart over the same directory.
+				c2, err := resultcache.Open(resultcache.Options{Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c2
+			},
+		},
+		{
+			// Bit flip on the read path: CRC32C must reject the entry
+			// and quarantine it; the caller sees a miss.
+			class: faultinject.FSBitFlip,
+			want:  chaosOutcome{quarantined: 1, served: false},
+			run: func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache {
+				seed, err := resultcache.Open(resultcache.Options{Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				promoteThrough(t, seed, 0)
+				c, err := resultcache.Open(resultcache.Options{Dir: dir, FS: ffs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.Arm(faultinject.FSBitFlip, 1)
+				return c
+			},
+		},
+		{
+			// Short read: the frame length check must reject the
+			// truncated bytes and quarantine the entry.
+			class: faultinject.FSShortRead,
+			want:  chaosOutcome{quarantined: 1, served: false},
+			run: func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache {
+				seed, err := resultcache.Open(resultcache.Options{Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				promoteThrough(t, seed, 0)
+				c, err := resultcache.Open(resultcache.Options{Dir: dir, FS: ffs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.Arm(faultinject.FSShortRead, 1)
+				return c
+			},
+		},
+		{
+			// ENOSPC: the promotion write fails; the disk tier must
+			// degrade to memory-only immediately and the memory tier
+			// must keep serving the (correct) result.
+			class: faultinject.FSENOSPC,
+			want:  chaosOutcome{degradations: 1, served: true},
+			run: func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache {
+				c, err := resultcache.Open(resultcache.Options{Dir: dir, FS: ffs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.Arm(faultinject.FSENOSPC, 1)
+				promoteThrough(t, c, 0)
+				if !c.Degraded() {
+					t.Error("ENOSPC did not degrade the disk tier")
+				}
+				if n := entryFiles(t, dir); len(n) != 0 {
+					t.Errorf("entry landed on disk despite ENOSPC: %v", n)
+				}
+				return c
+			},
+		},
+		{
+			// Slow I/O: a disk read over the slow-op threshold counts
+			// as a fault and trips degradation; the read itself still
+			// returns valid (verified) bytes.
+			class: faultinject.FSSlowIO,
+			want:  chaosOutcome{degradations: 1, served: true},
+			run: func(t *testing.T, dir string, in *faultinject.Injector, ffs *faultinject.FaultFS) *resultcache.Cache {
+				seed, err := resultcache.Open(resultcache.Options{Dir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				promoteThrough(t, seed, 0)
+				c, err := resultcache.Open(resultcache.Options{
+					Dir: dir, FS: ffs, SlowOp: 5 * time.Millisecond, DegradeAfter: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ffs.SlowDelay = 25 * time.Millisecond
+				ffs.Arm(faultinject.FSSlowIO, 1)
+				return c
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(string(tc.class), func(t *testing.T) {
+			in := faultinject.New(42)
+			ffs := in.WrapFS(resultcache.OSFS)
+			c := tc.run(t, t.TempDir(), in, ffs)
+
+			got, ok := c.Get(testKey(0))
+			if ok != tc.want.served {
+				t.Errorf("final get served=%v, want %v", ok, tc.want.served)
+			}
+			if ok && !reflect.DeepEqual(got, testResults(0)) {
+				t.Errorf("CORRUPTED RESULT SERVED: got %+v, want %+v", got, testResults(0))
+			}
+			st := c.Stats()
+			if st.Quarantined < tc.want.quarantined {
+				t.Errorf("quarantined = %d, want >= %d", st.Quarantined, tc.want.quarantined)
+			}
+			if st.Degradations < tc.want.degradations {
+				t.Errorf("degradations = %d, want >= %d", st.Degradations, tc.want.degradations)
+			}
+			if len(in.Faults()) == 0 {
+				t.Fatalf("scenario injected no fault; detection proves nothing")
+			}
+			t.Logf("injected: %v; stats: %+v", in.Faults(), st)
+		})
+	}
+}
+
+// TestChaosSlowIOServesValidResult pins the slow-I/O contract in
+// isolation: degradation is a performance response, and the slow read
+// that triggered it still delivers the validated entry.
+func TestChaosSlowIOServesValidResult(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := resultcache.Open(resultcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoteThrough(t, seed, 0)
+
+	in := faultinject.New(7)
+	ffs := in.WrapFS(resultcache.OSFS)
+	ffs.SlowDelay = 25 * time.Millisecond
+	c, err := resultcache.Open(resultcache.Options{
+		Dir: dir, FS: ffs, SlowOp: 5 * time.Millisecond, DegradeAfter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(faultinject.FSSlowIO, 1)
+	got, ok := c.Get(testKey(0))
+	if !ok || !reflect.DeepEqual(got, testResults(0)) {
+		t.Fatalf("slow read did not deliver the valid entry: ok=%v", ok)
+	}
+	st := c.Stats()
+	if st.SlowOps != 1 || st.Degradations != 1 || !st.Degraded {
+		t.Fatalf("slow op not detected/degraded: %+v", st)
+	}
+}

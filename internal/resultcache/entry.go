@@ -1,0 +1,160 @@
+package resultcache
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"fvcache/internal/sim"
+)
+
+// On-disk entry format (one measurement result per file):
+//
+//	magic    [4]byte  "FVR1"
+//	version  byte     1
+//	length   uint32le payload byte count
+//	crc32c   uint32le CRC-32C (Castagnoli) over the payload
+//	payload  []byte   JSON of entryJSON
+//
+// The frame is validated on every read: wrong magic, unknown version,
+// an implausible length, a CRC mismatch, or a payload that does not
+// decode back to the key it is filed under all yield a *CorruptError.
+// Like the hardened trace.Reader, the codec fails loudly with an
+// offset and never returns silently wrong stats — JSON float64
+// round-trips are exact (Go emits the shortest representation that
+// parses back to the same bits), and every stats field is an integer
+// counter, so a decoded entry is bit-identical to what was stored.
+
+var entryMagic = [4]byte{'F', 'V', 'R', '1'}
+
+const (
+	entryVersion = 1
+	// entryHeaderLen is magic + version + length + crc.
+	entryHeaderLen = 4 + 1 + 4 + 4
+	// maxEntryPayload caps the payload length field. A result entry is
+	// a few hundred bytes of JSON; anything beyond this is corruption,
+	// not data.
+	maxEntryPayload = 1 << 20
+)
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated
+// CRC32C on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports an on-disk result entry that failed validation:
+// a truncated frame, a bad magic or version, a CRC mismatch, or a
+// payload that decodes to the wrong key. Offset locates the first
+// byte the check failed at, so a damaged cache file can be inspected
+// with a hex editor instead of guessed at.
+type CorruptError struct {
+	// Path is the file the entry was read from ("" for in-memory
+	// decodes).
+	Path string
+	// Offset is the byte offset at which validation failed.
+	Offset int64
+	// Cause classifies the corruption (io.ErrUnexpectedEOF for
+	// truncation, a descriptive error otherwise).
+	Cause error
+}
+
+// Error formats the corruption with its location.
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("resultcache: corrupt entry at byte %d: %v", e.Offset, e.Cause)
+	}
+	return fmt.Sprintf("resultcache: corrupt entry %s at byte %d: %v", e.Path, e.Offset, e.Cause)
+}
+
+// Unwrap exposes the cause so errors.Is(err, io.ErrUnexpectedEOF)
+// keeps working for truncation checks.
+func (e *CorruptError) Unwrap() error { return e.Cause }
+
+// corrupt builds a *CorruptError.
+func corrupt(off int64, cause error) error { return &CorruptError{Offset: off, Cause: cause} }
+
+// Entry is one cached measurement: the key it answers and the results
+// it carries (one sim.MeasureResult per requested configuration;
+// today the serving layer stores exactly one per entry).
+type Entry struct {
+	Key     Key
+	Results []sim.MeasureResult
+}
+
+// entryJSON is the payload schema. Field names are spelled out so the
+// on-disk format is self-describing and survives struct renames.
+type entryJSON struct {
+	Workload string              `json:"workload"`
+	Scale    string              `json:"scale"`
+	ConfigFP string              `json:"config_fp"`
+	Engine   string              `json:"engine"`
+	Results  []sim.MeasureResult `json:"results"`
+}
+
+// EncodeEntry frames e for disk.
+func EncodeEntry(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(entryJSON{
+		Workload: e.Key.Workload,
+		Scale:    e.Key.Scale,
+		ConfigFP: e.Key.ConfigFP,
+		Engine:   e.Key.Engine,
+		Results:  e.Results,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: encoding entry: %w", err)
+	}
+	if len(payload) > maxEntryPayload {
+		return nil, fmt.Errorf("resultcache: entry payload %d bytes exceeds cap %d", len(payload), maxEntryPayload)
+	}
+	buf := make([]byte, entryHeaderLen+len(payload))
+	copy(buf, entryMagic[:])
+	buf[4] = entryVersion
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[9:13], crc32.Checksum(payload, crcTable))
+	copy(buf[entryHeaderLen:], payload)
+	return buf, nil
+}
+
+// DecodeEntry validates a framed entry and returns it. Every failure
+// mode — truncation, bad magic/version, length out of range, CRC
+// mismatch, malformed JSON, or an empty key — is a *CorruptError; no
+// input can make it panic (see FuzzResultEntry).
+func DecodeEntry(data []byte) (Entry, error) {
+	if len(data) < entryHeaderLen {
+		return Entry{}, corrupt(int64(len(data)), io.ErrUnexpectedEOF)
+	}
+	if [4]byte(data[:4]) != entryMagic {
+		return Entry{}, corrupt(0, errors.New("bad magic (not a FVR1 result entry)"))
+	}
+	if data[4] != entryVersion {
+		return Entry{}, corrupt(4, fmt.Errorf("unknown entry version %d", data[4]))
+	}
+	length := binary.LittleEndian.Uint32(data[5:9])
+	if length > maxEntryPayload {
+		return Entry{}, corrupt(5, fmt.Errorf("payload length %d exceeds cap %d", length, maxEntryPayload))
+	}
+	if int(length) != len(data)-entryHeaderLen {
+		// Torn write or short read: the frame promises more (or less)
+		// than the file holds.
+		return Entry{}, corrupt(int64(len(data)), fmt.Errorf("payload length %d, have %d bytes: %w",
+			length, len(data)-entryHeaderLen, io.ErrUnexpectedEOF))
+	}
+	payload := data[entryHeaderLen:]
+	want := binary.LittleEndian.Uint32(data[9:13])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return Entry{}, corrupt(9, fmt.Errorf("crc32c mismatch: stored %#08x, computed %#08x", want, got))
+	}
+	var ej entryJSON
+	if err := json.Unmarshal(payload, &ej); err != nil {
+		return Entry{}, corrupt(entryHeaderLen, fmt.Errorf("payload JSON: %w", err))
+	}
+	if ej.Workload == "" || ej.ConfigFP == "" || ej.Engine == "" || len(ej.Results) == 0 {
+		return Entry{}, corrupt(entryHeaderLen, errors.New("payload decodes to an incomplete entry"))
+	}
+	return Entry{
+		Key:     Key{Workload: ej.Workload, Scale: ej.Scale, ConfigFP: ej.ConfigFP, Engine: ej.Engine},
+		Results: ej.Results,
+	}, nil
+}

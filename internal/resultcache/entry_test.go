@@ -1,0 +1,113 @@
+package resultcache_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"fvcache/internal/core"
+	"fvcache/internal/resultcache"
+	"fvcache/internal/sim"
+)
+
+func testKey(i int) resultcache.Key {
+	return resultcache.Key{
+		Workload: "goboard",
+		Scale:    "test",
+		ConfigFP: "m16384/32/1 f256/3b o0 vprofile" + string(rune('a'+i)),
+		Engine:   "fvcache-engine/test",
+	}
+}
+
+func testResults(i int) []sim.MeasureResult {
+	return []sim.MeasureResult{{
+		Stats: core.Stats{
+			Loads: uint64(1000 + i), Stores: uint64(500 + i),
+			MainHits: uint64(900 + i), FVCHits: uint64(50 + i), Misses: uint64(550 + i),
+			LineFetches: uint64(550 + i), LineWritebacks: uint64(100 + i),
+			TrafficWords: uint64(5200 + i),
+		},
+		FVCFreqFrac:  0.421875 + float64(i)/1024,
+		FVCOccupancy: 0.75,
+	}}
+}
+
+// TestEntryRoundTrip: encode -> decode must reproduce the entry
+// bit-identically, floats included.
+func TestEntryRoundTrip(t *testing.T) {
+	e := resultcache.Entry{Key: testKey(0), Results: testResults(0)}
+	data, err := resultcache.EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resultcache.DecodeEntry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+// TestEntryCorruptionDetected walks the frame's failure modes: every
+// damaged variant must decode to a *CorruptError, never to data.
+func TestEntryCorruptionDetected(t *testing.T) {
+	valid, err := resultcache.EncodeEntry(resultcache.Entry{Key: testKey(0), Results: testResults(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"empty":          func(b []byte) []byte { return nil },
+		"header only":    func(b []byte) []byte { return b[:8] },
+		"truncated tail": func(b []byte) []byte { return b[:len(b)-3] },
+		"bad magic":      func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":    func(b []byte) []byte { b[4] = 99; return b },
+		"length too long": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[5:9], uint32(len(b)))
+			return b
+		},
+		"length over cap": func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[5:9], 1<<30)
+			return b
+		},
+		"payload bit flip": func(b []byte) []byte { b[len(b)-5] ^= 0x10; return b },
+		"crc field flip":   func(b []byte) []byte { b[9] ^= 0x01; return b },
+		"appended bytes":   func(b []byte) []byte { return append(b, 0xde, 0xad) },
+	}
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			b := f(append([]byte(nil), valid...))
+			_, err := resultcache.DecodeEntry(b)
+			var ce *resultcache.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("damaged entry decoded without CorruptError: %v", err)
+			}
+			if ce.Error() == "" {
+				t.Error("empty corruption message")
+			}
+		})
+	}
+	// Truncation specifically must stay recognizable as an unexpected
+	// EOF, mirroring trace.CorruptError's contract.
+	_, err = resultcache.DecodeEntry(valid[:len(valid)-1])
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation does not unwrap to io.ErrUnexpectedEOF: %v", err)
+	}
+}
+
+// TestEntryIncompletePayload: a frame whose JSON validates but names
+// no key must be rejected, not filed under an empty address.
+func TestEntryIncompletePayload(t *testing.T) {
+	e := resultcache.Entry{Key: resultcache.Key{}, Results: nil}
+	if _, err := resultcache.EncodeEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := resultcache.EncodeEntry(e)
+	_, err := resultcache.DecodeEntry(data)
+	var ce *resultcache.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("incomplete entry accepted: %v", err)
+	}
+}

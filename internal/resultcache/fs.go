@@ -1,0 +1,80 @@
+package resultcache
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the disk tier runs on. Production uses
+// OSFS; internal/faultinject wraps an FS to inject torn writes, bit
+// flips, short reads, ENOSPC and slow I/O for the chaos detection
+// matrix. All paths are absolute (the cache joins its root itself).
+type FS interface {
+	// ReadFile returns the named file's contents.
+	ReadFile(name string) ([]byte, error)
+	// WriteFileAtomic durably writes data to name: temp file in the
+	// same directory, fsync, rename over name. After it returns nil
+	// the file holds either the complete new contents or (on a crash
+	// mid-call) the previous state — never a visible prefix.
+	WriteFileAtomic(name string, data []byte) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically moves a file (used to quarantine corrupt
+	// entries into the corrupt/ subdirectory).
+	Rename(oldname, newname string) error
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(dir string) error
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+}
+
+// OSFS is the real-filesystem FS.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) Rename(oldname, newname string) error      { return os.Rename(oldname, newname) }
+func (osFS) MkdirAll(dir string) error                 { return os.MkdirAll(dir, 0o755) }
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// tmpSuffix marks in-flight atomic writes. The recovery scan treats a
+// leftover *.tmp as evidence of a crash mid-write and quarantines it.
+const tmpSuffix = ".tmp"
+
+func (osFS) WriteFileAtomic(name string, data []byte) error {
+	tmp := name + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Durability of the rename itself: fsync the directory. Best
+	// effort — a failure here cannot tear the entry (the rename is
+	// atomic), it only widens the crash window to "entry missing",
+	// which the recovery scan tolerates by design.
+	if d, err := os.Open(filepath.Dir(name)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package resultcache_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fvcache/internal/resultcache"
+)
+
+// FuzzResultEntry hardens the on-disk entry codec the same way
+// FuzzReader hardens the trace codec: no input may panic the decoder,
+// every accepted input must re-encode to bytes that decode to the
+// same entry, and every rejected input must carry a located
+// *CorruptError.
+func FuzzResultEntry(f *testing.F) {
+	for i := 0; i < 3; i++ {
+		valid, err := resultcache.EncodeEntry(resultcache.Entry{Key: testKey(i), Results: testResults(i)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		mutated := append([]byte(nil), valid...)
+		mutated[len(mutated)-1-i] ^= 0x40
+		f.Add(mutated)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FVR1"))
+	f.Add([]byte("FVT1 not a result entry"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ent, err := resultcache.DecodeEntry(data)
+		if err != nil {
+			var ce *resultcache.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is not a *CorruptError: %v", err)
+			}
+			return
+		}
+		// Accepted input: the entry must survive a round trip so the
+		// cache can re-persist what it read.
+		re, rerr := resultcache.EncodeEntry(ent)
+		if rerr != nil {
+			t.Fatalf("accepted entry does not re-encode: %v", rerr)
+		}
+		ent2, derr := resultcache.DecodeEntry(re)
+		if derr != nil {
+			t.Fatalf("re-encoded entry does not decode: %v", derr)
+		}
+		if ent2.Key != ent.Key || len(ent2.Results) != len(ent.Results) {
+			t.Fatalf("round trip drifted: %+v vs %+v", ent, ent2)
+		}
+		if !bytes.Equal(re, mustEncode(t, ent2)) {
+			t.Fatal("encoding is not deterministic")
+		}
+	})
+}
+
+func mustEncode(t *testing.T, e resultcache.Entry) []byte {
+	t.Helper()
+	data, err := resultcache.EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

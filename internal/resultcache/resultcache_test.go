@@ -1,0 +1,249 @@
+package resultcache_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"fvcache/internal/resultcache"
+)
+
+// entryFiles lists the *.fvr entries currently in dir (quarantine
+// excluded).
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, de := range des {
+		if !de.IsDir() && filepath.Ext(de.Name()) == ".fvr" {
+			out = append(out, de.Name())
+		}
+	}
+	return out
+}
+
+// TestMemoryTierRoundTrip: Put then Get must return the stored slice;
+// an absent key must miss.
+func TestMemoryTierRoundTrip(t *testing.T) {
+	c, err := resultcache.Open(resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(0)
+	want := testResults(0)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, want)
+	got, ok := c.Get(k)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("get after put: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.MemEntries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses / 1 entry", st)
+	}
+}
+
+// TestMemoryTierLRUEviction: a byte-budgeted memory tier must evict
+// least-recently-used entries first.
+func TestMemoryTierLRUEviction(t *testing.T) {
+	c, err := resultcache.Open(resultcache.Options{MemBytes: 1600}) // fits ~3 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(testKey(i), testResults(i))
+	}
+	// Touch 0 so 1 is the LRU, then overflow.
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("key 0 evicted prematurely")
+	}
+	c.Put(testKey(3), testResults(3))
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if st := c.Stats(); st.MemBytes > 1600 {
+		t.Errorf("memory tier over budget: %d > 1600", st.MemBytes)
+	}
+}
+
+// TestAdmissionPromotesOnSecondHit pins the Flashield admission rule:
+// a fresh result stays memory-only through its first reuse and earns
+// its durable write on the second hit.
+func TestAdmissionPromotesOnSecondHit(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.Open(resultcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, want := testKey(0), testResults(0)
+	c.Put(k, want)
+	if n := entryFiles(t, dir); len(n) != 0 {
+		t.Fatalf("entry written at Put time (admission bypassed): %v", n)
+	}
+	c.Get(k)
+	if n := entryFiles(t, dir); len(n) != 0 {
+		t.Fatalf("entry written after first hit (admission bypassed): %v", n)
+	}
+	c.Get(k)
+	if n := entryFiles(t, dir); len(n) != 1 {
+		t.Fatalf("second hit did not promote: %v", n)
+	}
+	if st := c.Stats(); st.Promotes != 1 {
+		t.Fatalf("promotes = %d, want 1", st.Promotes)
+	}
+
+	// A fresh process over the same directory must serve the entry
+	// from disk, bit-identically.
+	c2, err := resultcache.Open(resultcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk tier get: ok=%v got=%+v want=%+v", ok, got, want)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st.DiskHits)
+	}
+	// Now memory-resident: the next hit must not touch the disk again.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("re-get after disk fault-in missed")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("disk hits after memory re-get = %d, want 1", st.DiskHits)
+	}
+}
+
+// TestRecoveryScanQuarantines: a boot-time scan over a directory with
+// torn, garbled and leftover-temp files must quarantine all of them
+// into corrupt/ and index only the survivors.
+func TestRecoveryScanQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	c, err := resultcache.Open(resultcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two promoted entries.
+	for i := 0; i < 2; i++ {
+		c.Put(testKey(i), testResults(i))
+		c.Get(testKey(i))
+		c.Get(testKey(i))
+	}
+	files := entryFiles(t, dir)
+	if len(files) != 2 {
+		t.Fatalf("want 2 entries, have %v", files)
+	}
+	// Tear the first entry, drop a stray temp file and a garbage entry.
+	torn := filepath.Join(dir, files[0])
+	data, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "inflight.fvr.tmp"), data[:8], 0o644)
+	os.WriteFile(filepath.Join(dir, "garbage.fvr"), []byte("not an entry"), 0o644)
+
+	c2, err := resultcache.Open(resultcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Quarantined != 3 {
+		t.Errorf("quarantined = %d, want 3 (torn, tmp, garbage)", st.Quarantined)
+	}
+	if st.DiskEntries != 1 {
+		t.Errorf("disk entries after recovery = %d, want 1", st.DiskEntries)
+	}
+	if got, ok := c2.Get(testKey(1)); !ok || !reflect.DeepEqual(got, testResults(1)) {
+		t.Errorf("surviving entry not served: ok=%v", ok)
+	}
+	if _, ok := c2.Get(testKey(0)); ok {
+		t.Error("torn entry served after recovery")
+	}
+	qdir, err := os.ReadDir(filepath.Join(dir, "corrupt"))
+	if err != nil || len(qdir) != 3 {
+		t.Errorf("corrupt/ holds %d files (err %v), want 3", len(qdir), err)
+	}
+	if n := entryFiles(t, dir); len(n) != 1 {
+		t.Errorf("cache root still holds %v", n)
+	}
+}
+
+// TestDiskBudgetEviction: the disk tier must stay within its byte
+// budget by deleting the oldest entries.
+func TestDiskBudgetEviction(t *testing.T) {
+	dir := t.TempDir()
+	one, err := resultcache.EncodeEntry(resultcache.Entry{Key: testKey(0), Results: testResults(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(len(one))*2 + int64(len(one))/2 // fits two entries
+	c, err := resultcache.Open(resultcache.Options{Dir: dir, DiskBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(testKey(i), testResults(i))
+		c.Get(testKey(i))
+		c.Get(testKey(i))
+		time.Sleep(2 * time.Millisecond) // distinct mtimes for the rescan below
+	}
+	st := c.Stats()
+	if st.Promotes != 4 {
+		t.Fatalf("promotes = %d, want 4", st.Promotes)
+	}
+	if st.DiskBytes > budget {
+		t.Errorf("disk tier over budget: %d > %d", st.DiskBytes, budget)
+	}
+	files := entryFiles(t, dir)
+	if len(files) != st.DiskEntries {
+		t.Errorf("index says %d entries, directory holds %d", st.DiskEntries, len(files))
+	}
+	if len(files) >= 4 {
+		t.Errorf("no disk eviction happened: %d files", len(files))
+	}
+	// A recovery scan over an over-budget directory also trims.
+	small := int64(len(one)) + int64(len(one))/2 // fits one entry
+	c2, err := resultcache.Open(resultcache.Options{Dir: dir, DiskBytes: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.DiskBytes > small {
+		t.Errorf("recovery scan left tier over budget: %d > %d", st.DiskBytes, small)
+	}
+}
+
+// TestResultCacheHitZeroAllocs is the telemetry-overhead gate for the
+// serving fast path: a steady-state memory-tier hit must not allocate.
+func TestResultCacheHitZeroAllocs(t *testing.T) {
+	c, err := resultcache.Open(resultcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(0)
+	c.Put(k, testResults(0))
+	c.Get(k)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("steady-state miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-key circuit breaker over batch executions. A key is
+// one (workload, scale) pair: when that pair's executor keeps failing
+// (panics recovered by harness.Recover, deadline blowouts), the
+// breaker opens and the service sheds that key's traffic with 503 +
+// Retry-After while every healthy key keeps serving. After the
+// cooldown one probe request is admitted (half-open); its outcome
+// decides between closing the breaker and re-opening it for another
+// cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int       // consecutive failures
+	openUntil time.Time // zero while closed
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, states: make(map[string]*breakerState)}
+}
+
+// allow reports whether a request for key may execute now. When it may
+// not, retryAfter is how long the caller should tell the client to
+// back off.
+func (b *breaker) allow(key string) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || st.fails < b.threshold {
+		return true, 0
+	}
+	now := time.Now()
+	if now.Before(st.openUntil) {
+		return false, st.openUntil.Sub(now)
+	}
+	// Cooldown elapsed: admit exactly one probe; everyone else keeps
+	// backing off until the probe reports.
+	if st.probing {
+		return false, b.cooldown
+	}
+	st.probing = true
+	return true, 0
+}
+
+// report records one execution outcome for key. Success closes the
+// breaker; failure counts toward the threshold and (re)opens it once
+// reached.
+func (b *breaker) report(key string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if ok {
+		if st != nil {
+			delete(b.states, key)
+		}
+		return
+	}
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	st.probing = false
+	st.fails++
+	if st.fails >= b.threshold {
+		st.openUntil = time.Now().Add(b.cooldown)
+	}
+}

@@ -258,16 +258,35 @@ func TestGracefulDrain(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if resp, _ := postJSON(t, ts.URL+"/v1/measure", `{"workload":"goboard"}`); resp.StatusCode != http.StatusServiceUnavailable {
+	resp, data := postJSON(t, ts.URL+"/v1/measure", `{"workload":"goboard"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("measure during drain: status %d, want 503", resp.StatusCode)
 	}
+	// The refusal must tell clients it is worth retrying, and when.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 during drain carries no Retry-After header")
+	}
+	var e errorWire
+	if err := json.Unmarshal(data, &e); err != nil || !e.Retryable {
+		t.Errorf("503 body not marked retryable: %s", data)
+	}
+	// Liveness stays green through the drain (the process is healthy,
+	// just leaving the pool); readiness goes red so routing stops.
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz during drain: status %d, want 503", hresp.StatusCode)
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: status %d, want 200 (liveness)", hresp.StatusCode)
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503", rresp.StatusCode)
 	}
 
 	close(release) // let the in-flight batch finish

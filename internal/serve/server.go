@@ -11,6 +11,22 @@
 // (backpressure) instead of piling up. Shutdown drains: in-flight
 // requests complete, open coalescing windows flush, and only then do
 // the workers exit.
+//
+// The serving path is fault-hardened (see DESIGN.md, "Durability &
+// degradation model"):
+//
+//   - A durable result cache (internal/resultcache) in front of the
+//     replay engine makes repeat traffic O(1) and survives restarts.
+//   - Per-request deadlines (?deadline_ms= or the body's deadline_ms)
+//     propagate into the batch context and cancel replays at chunk
+//     boundaries; an expired request gets 504.
+//   - A per-(workload, scale) circuit breaker sheds traffic for keys
+//     whose executor keeps panicking or timing out, with 503 +
+//     Retry-After, while healthy keys keep serving.
+//   - Every retryable rejection (429/503/504) carries a Retry-After
+//     header and a machine-readable {"retryable": true} body.
+//   - /healthz is pure liveness (200 while the process runs); /readyz
+//     is readiness and goes 503 during boot recovery and drain.
 package serve
 
 import (
@@ -21,12 +37,15 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fvcache"
+	"fvcache/internal/harness"
 	"fvcache/internal/obs"
+	"fvcache/internal/resultcache"
 )
 
 // Service metrics, exported on /debug/metrics and in the telemetry
@@ -41,6 +60,9 @@ var (
 	requestMS      = obs.Default.Histogram("serve_request_ms")
 	queueDepth     = obs.Default.Gauge("serve_queue_depth")
 	inflightReqs   = obs.Default.Gauge("serve_inflight_requests")
+
+	deadlineExceeded = obs.Default.Counter("serve_deadline_exceeded")
+	breakerOpenTotal = obs.Default.Counter("serve_breaker_open")
 )
 
 // Options configures a Server.
@@ -61,6 +83,27 @@ type Options struct {
 	MaxBatchConfigs int
 	// MaxSweeps bounds concurrent /v1/sweep executions (<=0 means 2).
 	MaxSweeps int
+
+	// DefaultDeadline is the per-request deadline applied when a
+	// request carries none of its own (<=0 means no default; the batch
+	// is still bounded by RequestTimeout).
+	DefaultDeadline time.Duration
+	// BreakerThreshold is how many consecutive executor failures
+	// (panics, timeouts) open a (workload, scale) key's circuit
+	// breaker (<=0 means 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds that key's
+	// traffic before admitting a probe (<=0 means 5s).
+	BreakerCooldown time.Duration
+	// ResultCache, when non-nil, serves repeat measurements without
+	// re-simulating. It can also be attached after New with
+	// SetResultCache (fvcached opens it during the boot recovery scan,
+	// while the listener is already up but /readyz reports 503).
+	ResultCache *resultcache.Cache
+	// StartUnready makes /readyz report 503 until SetReady(true);
+	// use it when boot work (the cache recovery scan) runs after the
+	// listener is accepting.
+	StartUnready bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +124,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSweeps <= 0 {
 		o.MaxSweeps = 2
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
 	}
 	return o
 }
@@ -107,11 +156,23 @@ type batch struct {
 	workload string
 	scale    fvcache.Scale
 	opts     fvcache.Options
+	optsFP   string // canonical options JSON, part of the cache key
 
 	configs []ConfigWire
 	fps     map[string]int
 	subs    []*call
 	timer   *time.Timer
+
+	// deadline is the latest member deadline; the batch context must
+	// outlive every coalesced request. unbounded is set when any member
+	// carries no deadline at all (the batch then runs under
+	// RequestTimeout only).
+	deadline  time.Time
+	unbounded bool
+
+	// cacheHits is filled by the executor: how many configs the result
+	// cache answered.
+	cacheHits int
 }
 
 // failAll delivers an error to every coalesced request of the batch.
@@ -135,7 +196,11 @@ type Server struct {
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	draining atomic.Bool
+	ready    atomic.Bool
 	sweepSem chan struct{}
+
+	cache atomic.Pointer[resultcache.Cache]
+	brk   *breaker
 
 	// exec runs one batch's measurements; tests stub it to control
 	// worker timing. Defaults to execBatch.
@@ -160,6 +225,11 @@ func New(opt Options) *Server {
 		baseCtx:  ctx,
 		stop:     cancel,
 		sweepSem: make(chan struct{}, opt.MaxSweeps),
+		brk:      newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+	}
+	s.ready.Store(!opt.StartUnready)
+	if opt.ResultCache != nil {
+		s.cache.Store(opt.ResultCache)
 	}
 	s.exec = s.execBatch
 	s.mux = http.NewServeMux()
@@ -168,6 +238,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
@@ -181,6 +252,15 @@ func New(opt Options) *Server {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetResultCache attaches (or replaces) the durable result cache.
+// Safe to call while serving: fvcached attaches the cache after its
+// boot recovery scan finishes, while the listener is already up.
+func (s *Server) SetResultCache(c *resultcache.Cache) { s.cache.Store(c) }
+
+// SetReady flips the /readyz readiness signal (boot work finished, or
+// the process is about to drain).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Stats is a point-in-time snapshot of this server's coalescing
 // counters (test observability; the process-wide metrics are on
@@ -246,8 +326,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // submit coalesces a parsed request into an open batch (or opens one)
-// and returns the caller's seat.
-func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Options, cfgs []ConfigWire) (*call, error) {
+// and returns the caller's seat. deadline is the request's absolute
+// deadline (zero = none); the batch runs until its latest member
+// deadline so one impatient client cannot cancel its seat-mates.
+func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Options, cfgs []ConfigWire, deadline time.Time) (*call, error) {
 	optsFP, err := json.Marshal(opts)
 	if err != nil {
 		return nil, err
@@ -261,7 +343,7 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 	}
 	b := s.pending[key]
 	if b == nil {
-		b = s.newBatchLocked(key, workload, scale, opts)
+		b = s.newBatchLocked(key, workload, scale, opts, string(optsFP))
 	} else {
 		s.nCoalesced.Add(1)
 		coalescedTotal.Inc()
@@ -279,7 +361,7 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 				// it alone exceeds the cap, in which case it waits on the
 				// last batch it joined.
 				s.dispatchLocked(b)
-				nb := s.newBatchLocked(key, workload, scale, opts)
+				nb := s.newBatchLocked(key, workload, scale, opts, string(optsFP))
 				if len(c.idx) > 0 {
 					// This caller already holds seats in the dispatched
 					// batch; it cannot wait on two. Refuse rather than
@@ -294,13 +376,19 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 		}
 		c.idx = append(c.idx, i)
 	}
+	// Merge the caller's deadline into whichever batch it ended up in.
+	if deadline.IsZero() {
+		b.unbounded = true
+	} else if deadline.After(b.deadline) {
+		b.deadline = deadline
+	}
 	b.subs = append(b.subs, c)
 	return c, nil
 }
 
 // newBatchLocked opens a batch and arms its coalescing window.
-func (s *Server) newBatchLocked(key, workload string, scale fvcache.Scale, opts fvcache.Options) *batch {
-	b := &batch{key: key, workload: workload, scale: scale, opts: opts, fps: make(map[string]int)}
+func (s *Server) newBatchLocked(key, workload string, scale fvcache.Scale, opts fvcache.Options, optsFP string) *batch {
+	b := &batch{key: key, workload: workload, scale: scale, opts: opts, optsFP: optsFP, fps: make(map[string]int)}
 	s.pending[key] = b
 	b.timer = time.AfterFunc(s.opt.CoalesceWindow, func() { s.dispatch(b) })
 	return b
@@ -382,8 +470,25 @@ func (s *Server) runBatch(b *batch) {
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opt.RequestTimeout)
 	defer cancel()
+	if !b.unbounded && !b.deadline.IsZero() {
+		// Every member carries a deadline: bound the replay by the
+		// latest one (RequestTimeout still caps it above). Cancellation
+		// lands at the replay's next chunk boundary.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, b.deadline)
+		defer dcancel()
+	}
 
-	results, err := s.exec(ctx, b)
+	// harness.Recover contains executor panics (a poisoned workload or
+	// config must fail its own batch, not the process); the breaker
+	// then counts them toward opening that (workload, scale) key.
+	var results []fvcache.MeasureResult
+	err := harness.Recover(func() error {
+		var execErr error
+		results, execErr = s.exec(ctx, b)
+		return execErr
+	})
+	s.brk.report(b.workload+"|"+b.scale.String(), err == nil || errors.Is(err, context.Canceled))
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -401,6 +506,7 @@ func (s *Server) runBatch(b *batch) {
 		Requests:  len(b.subs),
 		Configs:   len(b.configs),
 		Coalesced: len(b.subs) > 1,
+		CacheHits: b.cacheHits,
 	}
 	for _, c := range b.subs {
 		rs := make([]fvcache.MeasureResult, len(c.idx))
@@ -412,12 +518,44 @@ func (s *Server) runBatch(b *batch) {
 	obs.Log.Debug("batch served", "workload", b.workload, "requests", len(b.subs), "configs", len(b.configs))
 }
 
-// execBatch materializes the batch's configurations (resolving
+// execBatch serves the batch's configurations from the durable result
+// cache where possible, then materializes the remainder (resolving
 // profile-derived FVTs from the shared profile cache) and drives one
-// fused replay for all of them.
+// fused replay for them. Fresh results are offered back to the cache;
+// its admission policy decides what becomes durable.
 func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error) {
-	cfgs := make([]fvcache.Config, len(b.configs))
-	for i, cw := range b.configs {
+	cache := s.cache.Load()
+	results := make([]fvcache.MeasureResult, len(b.configs))
+	missing := make([]int, 0, len(b.configs))
+	var keys []resultcache.Key
+	if cache != nil {
+		keys = make([]resultcache.Key, len(b.configs))
+		for i, cw := range b.configs {
+			keys[i] = resultcache.Key{
+				Workload: b.workload,
+				Scale:    b.scale.String(),
+				ConfigFP: cw.fingerprint() + "|opts:" + b.optsFP,
+				Engine:   fvcache.EngineVersion,
+			}
+			if rs, ok := cache.Get(keys[i]); ok && len(rs) == 1 {
+				results[i] = rs[0]
+				continue
+			}
+			missing = append(missing, i)
+		}
+	} else {
+		for i := range b.configs {
+			missing = append(missing, i)
+		}
+	}
+	b.cacheHits = len(b.configs) - len(missing)
+	if len(missing) == 0 {
+		return results, nil
+	}
+
+	cfgs := make([]fvcache.Config, len(missing))
+	for j, i := range missing {
+		cw := b.configs[i]
 		var values []uint32
 		if cw.needsProfile() {
 			var err error
@@ -428,11 +566,21 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 				return nil, err
 			}
 		}
-		cfgs[i] = cw.toConfig(values)
+		cfgs[j] = cw.toConfig(values)
 	}
-	return fvcache.MeasureBatch(ctx, fvcache.MeasureBatchRequest{
+	fresh, err := fvcache.MeasureBatch(ctx, fvcache.MeasureBatchRequest{
 		Workload: b.workload, Scale: b.scale, Configs: cfgs, Options: b.opts,
 	})
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missing {
+		results[i] = fresh[j]
+		if cache != nil {
+			cache.Put(keys[i], []fvcache.MeasureResult{fresh[j]})
+		}
+	}
+	return results, nil
 }
 
 // maxBodyBytes bounds request bodies; a measurement request is a few
@@ -485,8 +633,24 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	deadline, err := requestDeadline(r, req.DeadlineMS, start, s.opt.DefaultDeadline)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
-	c, err := s.submit(req.Workload, scale, req.Options, cfgs)
+	// Keys whose executor keeps failing are shed here, before they can
+	// occupy a batch seat; healthy keys are unaffected.
+	brkKey := req.Workload + "|" + scale.String()
+	if ok, retryAfter := s.brk.allow(brkKey); !ok {
+		breakerOpenTotal.Inc()
+		writeErrorFull(w, http.StatusServiceUnavailable,
+			fmt.Errorf("circuit breaker open for %s after repeated failures", brkKey),
+			true, "breaker_open", retryAfter)
+		return
+	}
+
+	c, err := s.submit(req.Workload, scale, req.Options, cfgs, deadline)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errDraining) {
@@ -495,9 +659,20 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	var deadlineCh <-chan time.Time
+	if !deadline.IsZero() {
+		tm := time.NewTimer(time.Until(deadline))
+		defer tm.Stop()
+		deadlineCh = tm.C
+	}
 	select {
 	case res := <-c.done:
 		if res.err != nil {
+			if res.status == http.StatusGatewayTimeout {
+				deadlineExceeded.Inc()
+				writeErrorFull(w, res.status, res.err, true, "deadline_exceeded", 0)
+				return
+			}
 			writeError(w, res.status, res.err)
 			return
 		}
@@ -511,10 +686,43 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			out.Results[i] = toResultWire(mr)
 		}
 		writeJSON(w, http.StatusOK, out)
+	case <-deadlineCh:
+		// This request's own deadline fired first. The batch keeps
+		// running for its seat-mates (its context outlives us); the
+		// worker's buffered send still completes.
+		deadlineExceeded.Inc()
+		writeErrorFull(w, http.StatusGatewayTimeout,
+			fmt.Errorf("deadline of %s exceeded", time.Since(start).Round(time.Millisecond)),
+			true, "deadline_exceeded", 0)
 	case <-r.Context().Done():
 		// Client went away; the worker's buffered send still completes.
 		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
 	}
+}
+
+// requestDeadline resolves a request's absolute deadline from the
+// ?deadline_ms= query parameter (which wins), the body's deadline_ms,
+// or the server default. Zero means unbounded (RequestTimeout still
+// applies to the batch).
+func requestDeadline(r *http.Request, bodyMS int64, start time.Time, def time.Duration) (time.Time, error) {
+	ms := bodyMS
+	if q := r.URL.Query().Get("deadline_ms"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("deadline_ms: %w", err)
+		}
+		ms = v
+	}
+	if ms < 0 {
+		return time.Time{}, fmt.Errorf("deadline_ms must be >= 0, got %d", ms)
+	}
+	if ms > 0 {
+		return start.Add(time.Duration(ms) * time.Millisecond), nil
+	}
+	if def > 0 {
+		return start.Add(def), nil
+	}
+	return time.Time{}, nil
 }
 
 // handleSweep serves POST /v1/sweep, streaming one JSON line per
@@ -600,15 +808,29 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 	}{fvcache.Artifacts()})
 }
 
-// handleHealthz serves GET /healthz: 200 while serving, 503 while
-// draining (load balancers stop routing before the listener closes).
+// handleHealthz serves GET /healthz: pure liveness. It answers 200 as
+// long as the process can serve HTTP at all — including during boot
+// recovery and drain — so orchestrators don't kill a process that is
+// merely busy. Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz serves GET /readyz: readiness. 503 while boot work
+// (the result-cache recovery scan) is still running and from the
+// first drain signal on, so load balancers stop routing before the
+// listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
-		return
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "starting\n")
+	default:
+		io.WriteString(w, "ready\n")
 	}
-	io.WriteString(w, "ok\n")
 }
 
 // parseScale maps the wire scale (default "test") to a Scale.
@@ -625,8 +847,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders err with the status's default retry semantics:
+// 429/503/504 are retryable (with a Retry-After for the backpressure
+// statuses), everything else is the request's or the server's fault
+// and retrying verbatim cannot help.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorWire{Error: err.Error()})
+	var retryAfter time.Duration
+	var reason string
+	switch status {
+	case http.StatusTooManyRequests:
+		retryAfter, reason = time.Second, "overloaded"
+	case http.StatusServiceUnavailable:
+		retryAfter, reason = 5*time.Second, "draining"
+	}
+	retryable := status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+	writeErrorFull(w, status, err, retryable, reason, retryAfter)
+}
+
+// writeErrorFull is the explicit form: callers that know the cause
+// (breaker, deadline) pass their own reason and Retry-After.
+func writeErrorFull(w http.ResponseWriter, status int, err error, retryable bool, reason string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, errorWire{Error: err.Error(), Retryable: retryable, Reason: reason})
 }
 
 // inflight tracks the in-flight request gauge without a registry

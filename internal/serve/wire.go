@@ -173,6 +173,10 @@ type measureWire struct {
 	Config  *ConfigWire     `json:"config,omitempty"`
 	Configs []ConfigWire    `json:"configs,omitempty"`
 	Options fvcache.Options `json:"options,omitempty"`
+	// DeadlineMS bounds this request in milliseconds (also settable via
+	// the ?deadline_ms= query parameter, which wins when both are
+	// present). 0 means the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // resultWire is one configuration's measurement in a response.
@@ -206,6 +210,9 @@ type batchInfoWire struct {
 	// Coalesced is true when the request shared its execution with at
 	// least one other request.
 	Coalesced bool `json:"coalesced"`
+	// CacheHits is how many of the batch's configs were served from the
+	// durable result cache instead of being re-simulated.
+	CacheHits int `json:"cache_hits,omitempty"`
 }
 
 // measureRespWire is the POST /v1/measure response body.
@@ -226,7 +233,14 @@ type sweepWire struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// errorWire is every non-2xx JSON body.
+// errorWire is every non-2xx JSON body. Retryable tells clients
+// whether backing off and retrying can succeed (backpressure, drain,
+// open breaker, deadline) or the request itself is at fault; when a
+// retry can succeed, the response also carries a Retry-After header.
 type errorWire struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable"`
+	// Reason is a machine-readable cause for retryable rejections:
+	// "overloaded", "draining", "breaker_open" or "deadline_exceeded".
+	Reason string `json:"reason,omitempty"`
 }
