@@ -26,39 +26,49 @@ lint-examples:
 # out), the race-enabled test suite (which includes the fvcached
 # service e2e tests: request coalescing, 429 backpressure, graceful
 # drain, deadlines, the circuit breaker, and the chaos detection
-# matrix over the durable result cache), a short fuzz smoke run over
-# the hardened trace reader and the result-cache entry codec, the
-# telemetry-overhead gate (the steady-state replay loops and the
-# result-cache hit path must stay allocation-free with telemetry
-# compiled in, and the exported telemetry.json must validate end to
-# end), the service smoke and crash-recovery runs (boot fvcached,
-# measure over HTTP, SIGKILL it over a durable cache, restart, prove
-# quarantine + bit-identical recompute), a single-iteration pass over
-# every benchmark so the benchmark corpus cannot rot, and a sanity
-# pass over the committed sweep-engine artifact (it must parse, every
-# speedup layer must be >= 1.0, the steady-state allocation counts
-# must be zero, and its telemetry snapshot must validate).
+# matrix over the durable result cache), a race-enabled rerun of the
+# chunk-parallel seam-equivalence suite (workers racing over shared
+# chunk columns must stay bit-identical to serial), a short fuzz smoke
+# run over the hardened trace reader, the columnar chunk codec, and
+# the result-cache entry codec, the telemetry-overhead gate (the
+# steady-state replay loops — serial, fused batch, and the per-worker
+# parallel chunk loop — and the result-cache hit path must stay
+# allocation-free with telemetry compiled in, and the exported
+# telemetry.json must validate end to end), the service smoke and
+# crash-recovery runs (boot fvcached, measure over HTTP, SIGKILL it
+# over a durable cache, restart, prove quarantine + bit-identical
+# recompute), a single-iteration pass over every benchmark so the
+# benchmark corpus cannot rot, and a sanity pass over the committed
+# sweep-engine artifact (it must parse, every speedup layer must hold
+# its core-count-aware threshold, the steady-state allocation counts
+# must be zero, the compression ratio must beat the raw columns, and
+# its telemetry snapshot must validate).
 check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run='TestChaos' ./internal/resultcache
+	$(GO) test -race -count=1 -run='TestParallelReplayEquivalence|TestParallelReplayChunkSizeSweep' ./internal/sim
 	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzColumnCodec -fuzztime=5s
 	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=5s
-	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs' ./internal/sim
+	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs|TestParallelSteadyReplayZeroAllocs' ./internal/sim
+	$(GO) test -count=1 -run='TestChunkedDecodeZeroAllocsSteadyState' ./internal/trace
 	$(GO) test -count=1 -run='TestResultCacheHitZeroAllocs' ./internal/resultcache
 	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke|TestCrashRecovery' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
 
-# bench measures both sweep-engine layers (per-config replay and the
-# fused batch) against live execution and writes the BENCH_sweep.json
-# artifact, plus the run's telemetry.json snapshot next to it.
+# bench measures the sweep-engine layers (per-config replay, the fused
+# batch, and the chunk-parallel replay) against live execution and
+# writes the BENCH_sweep.json artifact, plus the run's telemetry.json
+# snapshot next to it.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=60s
+	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzColumnCodec -fuzztime=60s
 	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=60s
 
 fmt:

@@ -80,12 +80,15 @@ func run() (code int) {
 	defer cancel()
 
 	sv := serve.New(serve.Options{
-		Workers:         cf.Workers,
-		QueueDepth:      *queue,
-		CoalesceWindow:  *window,
-		RequestTimeout:  *reqLimit,
-		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
-		StartUnready:    true, // ready once the cache recovery scan finishes
+		Workers: cf.Workers,
+		// -workers also sets the chunk-parallel replay width of each
+		// batch execution (0 lets serve default it to the pool size).
+		ReplayParallelism: cf.Workers,
+		QueueDepth:        *queue,
+		CoalesceWindow:    *window,
+		RequestTimeout:    *reqLimit,
+		DefaultDeadline:   time.Duration(*deadlineMS) * time.Millisecond,
+		StartUnready:      true, // ready once the cache recovery scan finishes
 	})
 	httpSrv := &http.Server{Handler: sv.Handler()}
 

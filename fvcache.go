@@ -149,6 +149,14 @@ type Options struct {
 	// AuditEvery re-checks the hierarchy's structural invariants every
 	// N accesses (0 disables auditing).
 	AuditEvery uint64 `json:"audit_every,omitempty"`
+	// Parallelism, when positive, replays the measurement's recording
+	// chunk-parallel on up to that many workers (seeded from per-chunk
+	// memory checkpoints, seam-spliced exactly — results stay
+	// bit-identical to a serial replay). 0 replays serially. Excluded
+	// from JSON serialization on purpose: parallelism does not change
+	// results, so it must not fragment request-coalescing or
+	// result-cache keys derived from these options.
+	Parallelism int `json:"-"`
 }
 
 // simOptions maps public options onto the internal measurement
@@ -161,6 +169,7 @@ func (o Options) simOptions(ctx context.Context, label string) sim.MeasureOption
 		AuditEvery:     o.AuditEvery,
 		Label:          label,
 		Ctx:            ctx,
+		Parallelism:    o.Parallelism,
 	}
 }
 
@@ -188,6 +197,15 @@ func Measure(ctx context.Context, req MeasureRequest) (MeasureResult, error) {
 	rec, err := sim.Recordings.Get(w, req.Scale)
 	if err != nil {
 		return MeasureResult{}, err
+	}
+	if req.Options.Parallelism > 0 {
+		// The chunk-parallel engine lives behind the batch entry point;
+		// a single configuration is a batch of one.
+		out, err := sim.MeasureRecordedBatch(rec, []core.Config{req.Config}, req.Options.simOptions(ctx, ""))
+		if err != nil {
+			return MeasureResult{}, err
+		}
+		return out[0], nil
 	}
 	return sim.MeasureRecorded(rec, req.Config, req.Options.simOptions(ctx, ""))
 }

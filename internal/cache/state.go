@@ -1,0 +1,95 @@
+package cache
+
+// Canonical state snapshots for the chunk-parallel replay engine.
+//
+// Two replays that took different paths to the same behavioral cache
+// state (e.g. a speculatively warmed worker vs. the serial reference)
+// hold different absolute lru stamps and may hold the same lines in
+// different ways of a set. LRU comparisons only ever happen within a
+// set, so what determines future behavior is exactly: the set of
+// (Tag, Dirty) resident per cache set, plus their relative LRU order.
+// CaptureState serializes precisely that — per set, valid lines in
+// oldest-first LRU order with stamps zeroed, padded with zero Lines to
+// the set's associativity — so canonical snapshots compare with plain
+// element equality, and RestoreState re-stamps them to rebuild a cache
+// that behaves identically from that point on.
+
+// captureSet appends set's canonical form to dst: valid lines
+// oldest-first with lru zeroed, then zero-Line padding. Insertion sort
+// — sets are at most a few ways wide.
+func captureSet(dst []Line, set []Line) []Line {
+	base := len(dst)
+	for i := range set {
+		if !set[i].Valid {
+			continue
+		}
+		ln := set[i]
+		j := len(dst)
+		dst = append(dst, Line{})
+		for j > base && dst[j-1].lru > ln.lru {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = ln
+	}
+	for k := base; k < len(dst); k++ {
+		dst[k].lru = 0
+	}
+	for len(dst)-base < len(set) {
+		dst = append(dst, Line{})
+	}
+	return dst
+}
+
+// restoreSet fills set from its canonical form, stamping valid lines
+// in order with a fresh clock. Returns the advanced clock.
+func restoreSet(set []Line, src []Line, clock uint64) uint64 {
+	for i := range set {
+		ln := src[i]
+		if ln.Valid {
+			clock++
+			ln.lru = clock
+		}
+		set[i] = ln
+	}
+	return clock
+}
+
+// CaptureState appends the cache's canonical state (NumLines entries)
+// to dst and returns the extended slice. Pass dst[:0] of a reused
+// buffer for an allocation-free capture.
+func (c *Cache) CaptureState(dst []Line) []Line {
+	for _, set := range c.sets {
+		dst = captureSet(dst, set)
+	}
+	return dst
+}
+
+// RestoreState overwrites the cache's state from a canonical snapshot
+// produced by CaptureState on a cache of identical geometry. The LRU
+// clock restarts from zero; behavior from this point on is identical
+// to the captured cache's.
+func (c *Cache) RestoreState(src []Line) {
+	if len(src) != len(c.lines) {
+		panic("cache: RestoreState snapshot geometry mismatch")
+	}
+	c.clock = 0
+	for i, set := range c.sets {
+		c.clock = restoreSet(set, src[i*c.p.Assoc:(i+1)*c.p.Assoc], c.clock)
+	}
+}
+
+// CaptureState appends the victim cache's canonical state (Entries()
+// entries, one fully-associative set) to dst.
+func (v *VictimCache) CaptureState(dst []Line) []Line {
+	return captureSet(dst, v.entries)
+}
+
+// RestoreState overwrites the victim cache's state from a canonical
+// snapshot of the same capacity.
+func (v *VictimCache) RestoreState(src []Line) {
+	if len(src) != len(v.entries) {
+		panic("cache: victim RestoreState snapshot capacity mismatch")
+	}
+	v.clock = restoreSet(v.entries, src, 0)
+}

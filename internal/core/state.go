@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+)
+
+// Canonical hierarchy snapshots for the chunk-parallel replay engine
+// (sim.MeasureOptions.Parallelism). A replay worker that speculatively
+// warms its caches over an overlap window captures its state at the
+// range boundary; the splice step compares it against the previous
+// range's exit state and, on a match, accepts the speculated stats
+// wholesale. Snapshots are canonical (per-set LRU-rank order, absolute
+// clocks erased — see cache.CaptureState), so two hierarchies that
+// would behave identically from here on always compare equal.
+//
+// Snapshots cover cache metadata only: the architectural memory image
+// is reconstructed exactly from the recording's checkpoint deltas and
+// never needs comparing.
+
+// SystemState is one hierarchy's canonical cache state.
+type SystemState struct {
+	main   []cache.Line
+	victim []cache.Line
+	l2     []cache.Line
+	fv     fvc.State
+	hasFVC bool
+}
+
+// Equal reports canonical-state equality.
+func (s *SystemState) Equal(o *SystemState) bool {
+	if len(s.main) != len(o.main) || len(s.victim) != len(o.victim) ||
+		len(s.l2) != len(o.l2) || s.hasFVC != o.hasFVC {
+		return false
+	}
+	for i := range s.main {
+		if s.main[i] != o.main[i] {
+			return false
+		}
+	}
+	for i := range s.victim {
+		if s.victim[i] != o.victim[i] {
+			return false
+		}
+	}
+	for i := range s.l2 {
+		if s.l2[i] != o.l2[i] {
+			return false
+		}
+	}
+	return !s.hasFVC || s.fv.Equal(&o.fv)
+}
+
+// CaptureState writes the system's canonical cache state into dst,
+// reusing its buffers. It panics when online FVT identification is
+// enabled: the Space-Saving sketch accumulates over the full prefix
+// and cannot be reconstructed from a warm-up window, so such configs
+// are not checkpointable (the parallel scheduler falls back to serial
+// for them).
+func (s *System) CaptureState(dst *SystemState) {
+	if s.sketch != nil {
+		panic("core: CaptureState with online FVT identification")
+	}
+	dst.main = s.main.CaptureState(dst.main[:0])
+	if s.vc != nil {
+		dst.victim = s.vc.CaptureState(dst.victim[:0])
+	} else {
+		dst.victim = dst.victim[:0]
+	}
+	if s.l2 != nil {
+		dst.l2 = s.l2.CaptureState(dst.l2[:0])
+	} else {
+		dst.l2 = dst.l2[:0]
+	}
+	dst.hasFVC = s.fv != nil
+	if s.fv != nil {
+		s.fv.CaptureState(&dst.fv)
+	}
+}
+
+// RestoreState overwrites the system's cache state from a snapshot
+// captured on a system of identical configuration.
+func (s *System) RestoreState(src *SystemState) {
+	if s.sketch != nil {
+		panic("core: RestoreState with online FVT identification")
+	}
+	s.main.RestoreState(src.main)
+	if s.vc != nil {
+		s.vc.RestoreState(src.victim)
+	}
+	if s.l2 != nil {
+		s.l2.RestoreState(src.l2)
+	}
+	if s.fv != nil {
+		s.fv.RestoreState(&src.fv)
+	}
+}
+
+// SetState is the canonical state of every member of a SystemSet.
+type SetState struct {
+	members []SystemState
+}
+
+// CaptureState writes the set's canonical state into dst, reusing its
+// buffers.
+func (ss *SystemSet) CaptureState(dst *SetState) {
+	if cap(dst.members) < len(ss.systems) {
+		dst.members = make([]SystemState, len(ss.systems))
+	}
+	dst.members = dst.members[:len(ss.systems)]
+	for i, s := range ss.systems {
+		s.CaptureState(&dst.members[i])
+	}
+}
+
+// RestoreState overwrites every member's cache state from a snapshot
+// captured on a set of identical configurations. The set's transposed
+// probe filter resynchronizes automatically: ReplayColumns rebuilds it
+// from the authoritative lines at every entry.
+func (ss *SystemSet) RestoreState(src *SetState) {
+	if len(src.members) != len(ss.systems) {
+		panic("core: SetState member count mismatch")
+	}
+	for i, s := range ss.systems {
+		s.RestoreState(&src.members[i])
+	}
+}
+
+// Equal reports canonical-state equality of two set snapshots.
+func (s *SetState) Equal(o *SetState) bool {
+	if len(s.members) != len(o.members) {
+		return false
+	}
+	for i := range s.members {
+		if !s.members[i].Equal(&o.members[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpointable reports whether the configuration's cache state is
+// fully captured by CaptureState — false when online FVT
+// identification is enabled (the sketch spans the whole prefix).
+func (c Config) Checkpointable() bool {
+	return c.FVC == nil || c.OnlineFVTEvery == 0
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+)
+
+// stateTestConfigs covers every capturable structure combination:
+// plain DM, assoc, FVC, victim, L2.
+func stateTestConfigs() []Config {
+	main := cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 1}
+	fvp := &fvc.Params{Entries: 64, Bits: 3, LineBytes: 32}
+	l2 := &cache.Params{SizeBytes: 1 << 14, LineBytes: 32, Assoc: 4}
+	return []Config{
+		{Main: main},
+		{Main: cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 2}},
+		{Main: main, FVC: fvp, FrequentValues: []uint32{0, 1, 0xffffffff, 7, 42, 9, 13}},
+		{Main: main, VictimEntries: 8},
+		{Main: main, L2: l2},
+	}
+}
+
+func driveAccesses(s *System, n int, seed uint64) {
+	x := seed | 1
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		op := trace.Load
+		if x&3 == 0 {
+			op = trace.Store
+		}
+		addr := uint32(x>>20) % 8192 &^ 3
+		val := uint32(0)
+		if x&7 == 7 {
+			val = uint32(x >> 40)
+		}
+		s.Access(op, addr, val)
+	}
+}
+
+// TestSystemStateRoundTrip drives a system mid-run, captures it,
+// restores the snapshot into a fresh system, and checks the two behave
+// identically (equal stats deltas and equal canonical exit states)
+// over a further access stream.
+func TestSystemStateRoundTrip(t *testing.T) {
+	for ci, cfg := range stateTestConfigs() {
+		a := MustNew(cfg)
+		driveAccesses(a, 5000, uint64(ci)*977+3)
+
+		var snap SystemState
+		a.CaptureState(&snap)
+
+		b := MustNew(cfg)
+		b.RestoreState(&snap)
+		// The restored system needs the same architectural image for
+		// value-dependent paths (FVC footprints).
+		for addr := uint32(0); addr < 8192; addr += 4 {
+			if v := a.MemWord(addr); v != 0 {
+				b.mem.StoreWord(addr, v)
+			}
+		}
+
+		var sa, sb SystemState
+		a.CaptureState(&sa)
+		b.CaptureState(&sb)
+		if !sa.Equal(&sb) {
+			t.Fatalf("config %d: restored state not canonically equal to source", ci)
+		}
+
+		preA, preB := a.Stats(), b.Stats()
+		driveAccesses(a, 5000, uint64(ci)*977+4)
+		driveAccesses(b, 5000, uint64(ci)*977+4)
+		da, db := a.Stats().Minus(preA), b.Stats().Minus(preB)
+		if da != db {
+			t.Fatalf("config %d: stats diverged after restore:\n a=%+v\n b=%+v", ci, da, db)
+		}
+		a.CaptureState(&sa)
+		b.CaptureState(&sb)
+		if !sa.Equal(&sb) {
+			t.Fatalf("config %d: exit states diverged after restore", ci)
+		}
+	}
+}
+
+func TestSystemStateDetectsDifference(t *testing.T) {
+	cfg := stateTestConfigs()[0]
+	a, b := MustNew(cfg), MustNew(cfg)
+	driveAccesses(a, 1000, 1)
+	driveAccesses(b, 1000, 2)
+	var sa, sb SystemState
+	a.CaptureState(&sa)
+	b.CaptureState(&sb)
+	if sa.Equal(&sb) {
+		t.Fatal("different histories captured to equal states")
+	}
+}
+
+func TestStatsPlusMinus(t *testing.T) {
+	a := Stats{Loads: 10, Stores: 5, MainHits: 7, Misses: 8, TrafficWords: 100, L2Hits: 3}
+	b := Stats{Loads: 1, Stores: 2, MainHits: 3, Misses: 4, TrafficWords: 50, L2Hits: 1}
+	if got := a.Plus(b).Minus(b); got != a {
+		t.Fatalf("Plus/Minus not inverse: %+v", got)
+	}
+}
+
+func TestCheckpointable(t *testing.T) {
+	main := cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 1}
+	fvp := &fvc.Params{Entries: 64, Bits: 3, LineBytes: 32}
+	if !(Config{Main: main}).Checkpointable() {
+		t.Fatal("plain config should be checkpointable")
+	}
+	if !(Config{Main: main, FVC: fvp, FrequentValues: []uint32{0}}).Checkpointable() {
+		t.Fatal("offline FVC config should be checkpointable")
+	}
+	if (Config{Main: main, FVC: fvp, OnlineFVTEvery: 1000}).Checkpointable() {
+		t.Fatal("online FVT config must not be checkpointable")
+	}
+}

@@ -1,0 +1,105 @@
+package fvc
+
+import "bytes"
+
+// Canonical FVC state snapshots for the chunk-parallel replay engine,
+// mirroring cache.CaptureState: per set, valid entries in oldest-first
+// LRU order with absolute stamps erased, invalid ways zero-padded, so
+// two behaviorally identical FVCs — reached by different execution
+// paths — capture to equal snapshots.
+
+// EntryState is one entry's canonical metadata; its codes live in the
+// State's flat Codes buffer at the matching index.
+type EntryState struct {
+	Tag   uint32
+	Valid bool
+	Dirty bool
+}
+
+// State is a canonical FVC snapshot. Reuse one across captures to
+// avoid allocation (the buffers grow once to the FVC's size); a State
+// must not be shared across goroutines while being written.
+type State struct {
+	Entries []EntryState
+	Codes   []uint8 // WordsPerLine codes per entry, invalid ways zeroed
+	order   []int32 // capture scratch: source way per canonical slot
+}
+
+// Equal reports canonical-state equality.
+func (s *State) Equal(o *State) bool {
+	if len(s.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range s.Entries {
+		if s.Entries[i] != o.Entries[i] {
+			return false
+		}
+	}
+	return bytes.Equal(s.Codes, o.Codes)
+}
+
+// CaptureState writes the FVC's canonical state into dst.
+func (f *FVC) CaptureState(dst *State) {
+	wpl := f.p.WordsPerLine()
+	n := len(f.entries)
+	if cap(dst.Entries) < n {
+		dst.Entries = make([]EntryState, n)
+		dst.Codes = make([]uint8, n*wpl)
+		dst.order = make([]int32, n)
+	}
+	dst.Entries = dst.Entries[:n]
+	dst.Codes = dst.Codes[:n*wpl]
+	dst.order = dst.order[:n]
+
+	a := f.p.assoc()
+	for base := 0; base < n; base += a {
+		set := f.entries[base : base+a]
+		// Insertion-sort the set's valid ways oldest-first (by lru) into
+		// order[base:fill]; sets are at most a few ways wide.
+		fill := base
+		for i := range set {
+			if !set[i].Valid {
+				continue
+			}
+			j := fill
+			for j > base && f.entries[dst.order[j-1]].lru > set[i].lru {
+				dst.order[j] = dst.order[j-1]
+				j--
+			}
+			dst.order[j] = int32(base + i)
+			fill++
+		}
+		for k := base; k < fill; k++ {
+			src := &f.entries[dst.order[k]]
+			dst.Entries[k] = EntryState{Tag: src.Tag, Valid: true, Dirty: src.Dirty}
+			copy(dst.Codes[k*wpl:(k+1)*wpl], src.Codes)
+		}
+		for k := fill; k < base+a; k++ {
+			dst.Entries[k] = EntryState{}
+			clear(dst.Codes[k*wpl : (k+1)*wpl])
+		}
+	}
+}
+
+// RestoreState overwrites the FVC's state from a canonical snapshot of
+// identical geometry; the LRU clock restarts from zero, so behavior
+// from this point on matches the captured FVC's.
+func (f *FVC) RestoreState(src *State) {
+	wpl := f.p.WordsPerLine()
+	if len(src.Entries) != len(f.entries) || len(src.Codes) != len(f.entries)*wpl {
+		panic("fvc: RestoreState snapshot geometry mismatch")
+	}
+	f.clock = 0
+	for i := range f.entries {
+		e := &f.entries[i]
+		st := src.Entries[i]
+		e.Tag, e.Valid, e.Dirty = st.Tag, st.Valid, st.Dirty
+		copy(e.Codes, src.Codes[i*wpl:(i+1)*wpl])
+		if st.Valid {
+			f.clock++
+			e.lru = f.clock
+		} else {
+			e.lru = 0
+		}
+	}
+}

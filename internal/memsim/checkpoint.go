@@ -1,0 +1,49 @@
+package memsim
+
+// Checkpoint helpers for the chunk-parallel replay engine: a replay
+// worker seeds its shared memory image from the store-set deltas of
+// the chunks preceding its range (trace.ChunkedRecording.VisitDelta),
+// so it needs an empty image it can populate and, in tests, a way to
+// compare images for architectural equality.
+
+// Reset drops every materialized page and translation memo entry,
+// returning the memory to the all-zero state while keeping the
+// instance (and its map) for reuse.
+func (m *Memory) Reset() {
+	clear(m.pages)
+	m.tlb = [tlbSize]tlbEntry{}
+}
+
+// Clone returns an independent deep copy of the memory image.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pid, p := range m.pages {
+		cp := new(page)
+		*cp = *p
+		c.pages[pid] = cp
+	}
+	return c
+}
+
+// EqualContent reports whether the two images hold the same
+// architectural content. A page missing on one side equals an all-zero
+// page on the other: unbacked addresses read as zero, so a store of
+// zero to a fresh page materializes a page without changing content.
+func (m *Memory) EqualContent(o *Memory) bool {
+	var zero page
+	for pid, p := range m.pages {
+		q := o.pages[pid]
+		if q == nil {
+			q = &zero
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	for pid, q := range o.pages {
+		if m.pages[pid] == nil && *q != zero {
+			return false
+		}
+	}
+	return true
+}

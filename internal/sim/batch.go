@@ -30,6 +30,14 @@ func MeasureRecordedBatch(rec *trace.Recording, cfgs []core.Config, opt MeasureO
 	if err := ctxErr(opt.Ctx, "batch replay"); err != nil {
 		return nil, err
 	}
+	if opt.Parallelism > 0 {
+		out, handled, err := measureRecordedParallel(rec, cfgs, opt)
+		if handled || err != nil {
+			return out, err
+		}
+		// Not checkpointable (online FVT) or empty: serial fused path.
+		obs.ParallelFallbacks.Inc()
+	}
 	start := time.Now()
 	if opt.Label != "" {
 		span := obs.Begin(fmt.Sprintf("batch:%s[%d]", opt.Label, len(cfgs)))

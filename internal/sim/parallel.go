@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fvcache/internal/core"
+	"fvcache/internal/harness"
+	"fvcache/internal/obs"
+	"fvcache/internal/trace"
+)
+
+// Chunk-parallel replay engine (MeasureOptions.Parallelism).
+//
+// The recording's compressed chunk stream (trace.ChunkedRecording)
+// carries one architectural-memory checkpoint delta per chunk, so the
+// exact memory image at any chunk boundary is reconstructible without
+// replaying the prefix. Cache state is not checkpointed — it depends
+// on the entire access history — so workers recover it speculatively:
+//
+//  1. Plan: split the chunks into up to Parallelism contiguous ranges.
+//  2. Speculate (parallel): each worker builds its own core.SystemSet,
+//     seeds the shared memory image from the checkpoint deltas, warms
+//     its caches by replaying a short overlap window before its range,
+//     captures the canonical cache state at the range boundary
+//     (core.SetState), replays its range with full hook parity, and
+//     captures its exit state.
+//  3. Splice (sequential): range 0 ran from a cold start and is exact
+//     by construction. Each later range is accepted iff its captured
+//     entry state equals the previous accepted range's exit state —
+//     canonical snapshots erase absolute LRU clocks, so behavioral
+//     equality is plain comparison. On a mismatch the range is re-run
+//     inline, seeded from the true prior exit state, which is exact by
+//     induction; the worst case degenerates to serial replay, never to
+//     wrong results.
+//  4. Merge: per-range stats partials sum with Stats.Plus; warmup
+//     subtraction, FVC sample averages (re-summed in global boundary
+//     order so float non-associativity cannot perturb them) and the
+//     final audit reproduce MeasureRecordedBatch's semantics exactly.
+//
+// Epsilon mode (SeamEpsilon) skips steps 2's captures and 3's
+// validation: the speculative results are accepted as-is, trading a
+// documented, bounded miss-count error for zero validation cost.
+
+// seamRange is one worker's chunk assignment: replay chunks
+// [first, end), warming up over [warm, first).
+type seamRange struct {
+	warm, first, end int
+}
+
+// planRanges splits c chunks into up to w contiguous near-even ranges,
+// each preceded by at most warmChunks of warm-up overlap. Range 0
+// starts cold at chunk 0 (its prefix is empty, so it is always exact).
+func planRanges(c, w, warmChunks int) []seamRange {
+	if w > c {
+		w = c
+	}
+	ranges := make([]seamRange, 0, w)
+	base, rem := c/w, c%w
+	first := 0
+	for i := 0; i < w; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		warm := first - warmChunks
+		if warm < 0 || i == 0 {
+			warm = 0
+		}
+		if i == 0 {
+			warm = first // range 0 has no warm-up: it starts exact
+		}
+		ranges = append(ranges, seamRange{warm: warm, first: first, end: first + n})
+		first += n
+	}
+	return ranges
+}
+
+// rangeOutcome is one range's speculative replay result.
+type rangeOutcome struct {
+	set        *core.SystemSet
+	entry      core.SetState // canonical state at range start (exact mode)
+	exit       core.SetState // canonical state at range end (exact mode)
+	partial    []core.Stats  // stats delta over the range, per system
+	warmPart   []core.Stats  // stats delta to the warmup boundary, if inside
+	warmHit    bool
+	fracs      []float64 // k FVC frequent-fraction values per sample boundary
+	occs       []float64 // k occupancy values per sample boundary
+	samples    int
+	startStats []core.Stats
+}
+
+// parallelEligible reports whether every configuration's cache state
+// can be checkpointed (no online FVT identification).
+func parallelEligible(cfgs []core.Config) bool {
+	for _, c := range cfgs {
+		if !c.Checkpointable() {
+			return false
+		}
+	}
+	return true
+}
+
+// adaptiveOverlap returns the default warm-up window in accesses: 8x
+// the largest configured cache-state line count, enough that the LRU
+// state a range inherits from its true prefix is overwhelmingly
+// reconstructed by the overlap replay. L2 lines are weighted by a
+// coarse inverse-miss-rate factor — the L2 only observes L1 misses, so
+// refreshing its state takes far more accesses per line.
+func adaptiveOverlap(cfgs []core.Config) uint64 {
+	maxLines := 0
+	for _, c := range cfgs {
+		lines := c.Main.NumLines() + c.VictimEntries
+		if c.FVC != nil {
+			lines += c.FVC.Entries
+		}
+		if c.L2 != nil {
+			lines += 16 * c.L2.NumLines()
+		}
+		if lines > maxLines {
+			maxLines = lines
+		}
+	}
+	return 8 * uint64(maxLines)
+}
+
+// buildSeededSet constructs a SystemSet for cc and seeds its shared
+// memory image with the checkpoint deltas of chunks [0, uptoChunk):
+// the exact architectural image at that chunk's entry boundary.
+func buildSeededSet(cc []core.Config, ch *trace.ChunkedRecording, uptoChunk int) (*core.SystemSet, error) {
+	set, err := core.NewSet(cc)
+	if err != nil {
+		return nil, err
+	}
+	mem := set.Memory()
+	for i := 0; i < uptoChunk; i++ {
+		if err := ch.VisitDelta(i, mem.StoreWord); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// replayChunkSpan replays chunks [first, end) through set with no hook
+// boundaries: decode into the reused scratch, one ReplayColumns call
+// per chunk. This is the steady-state worker loop — it performs zero
+// allocations once the scratch is warm — used for warm-up windows and
+// for hook-free range bodies.
+func replayChunkSpan(ctx context.Context, set *core.SystemSet, ch *trace.ChunkedRecording, first, end int, scratch *trace.ChunkScratch) error {
+	for ci := first; ci < end; ci++ {
+		if err := ctxErr(ctx, "parallel replay"); err != nil {
+			return err
+		}
+		ops, addrs, vals, err := ch.DecodeChunk(ci, scratch)
+		if err != nil {
+			return err
+		}
+		obs.ReplayChunks.Inc()
+		set.ReplayColumns(ops, addrs, vals)
+	}
+	return nil
+}
+
+// runRange replays range r through set — which the caller has already
+// positioned at r.first (memory image and cache state) — recording the
+// per-system stats partial and every hook observation that falls in
+// (rangeStart, rangeEnd]. Hook boundaries use global access indexes,
+// so the observations are the ones the serial fused replay would make.
+func runRange(ctx context.Context, set *core.SystemSet, ch *trace.ChunkedRecording, r seamRange, opt MeasureOptions, sampleHook bool, scratch *trace.ChunkScratch, out *rangeOutcome) error {
+	systems := set.Systems()
+	k := len(systems)
+	out.set = set
+	out.startStats = make([]core.Stats, k)
+	for i, s := range systems {
+		out.startStats[i] = s.Stats()
+	}
+
+	hooked := sampleHook || opt.AuditEvery > 0 ||
+		(opt.WarmupAccesses > ch.ChunkStart(r.first) && opt.WarmupAccesses <= ch.ChunkStart(r.end))
+	if !hooked {
+		if err := replayChunkSpan(ctx, set, ch, r.first, r.end, scratch); err != nil {
+			return err
+		}
+	} else {
+		n := ch.ChunkStart(r.first)
+		for ci := r.first; ci < r.end; ci++ {
+			ops, addrs, vals, err := ch.DecodeChunk(ci, scratch)
+			if err != nil {
+				return err
+			}
+			obs.ReplayChunks.Inc()
+			cstart := ch.ChunkStart(ci)
+			cend := cstart + uint64(len(ops))
+			for n < cend {
+				if err := ctxErr(ctx, "parallel replay"); err != nil {
+					return err
+				}
+				next := cend
+				if opt.WarmupAccesses > n && opt.WarmupAccesses < next {
+					next = opt.WarmupAccesses
+				}
+				if sampleHook {
+					if b := n - n%opt.SampleEvery + opt.SampleEvery; b < next {
+						next = b
+					}
+				}
+				if opt.AuditEvery > 0 {
+					if b := n - n%opt.AuditEvery + opt.AuditEvery; b < next {
+						next = b
+					}
+				}
+				set.ReplayColumns(ops[n-cstart:next-cstart], addrs[n-cstart:next-cstart], vals[n-cstart:next-cstart])
+				n = next
+				if opt.WarmupAccesses > 0 && n == opt.WarmupAccesses {
+					out.warmPart = make([]core.Stats, k)
+					for i, s := range systems {
+						out.warmPart[i] = s.Stats().Minus(out.startStats[i])
+					}
+					out.warmHit = true
+				}
+				if sampleHook && n%opt.SampleEvery == 0 {
+					for _, s := range systems {
+						var frac, occ float64
+						if f := s.FVC(); f != nil {
+							frac = f.FrequentFraction()
+							occ = float64(f.ValidEntries()) / float64(f.Params().Entries)
+						}
+						out.fracs = append(out.fracs, frac)
+						out.occs = append(out.occs, occ)
+					}
+					out.samples++
+				}
+				if opt.AuditEvery > 0 && n%opt.AuditEvery == 0 {
+					for i, s := range systems {
+						if aerr := s.AuditInvariants(); aerr != nil {
+							return fmt.Errorf("config %d: %w", i, aerr)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out.partial = make([]core.Stats, k)
+	for i, s := range systems {
+		out.partial[i] = s.Stats().Minus(out.startStats[i])
+	}
+	return nil
+}
+
+// measureRecordedParallel is the chunk-parallel MeasureRecordedBatch.
+// handled is false when the batch cannot run parallel (online-FVT
+// configs, or an empty recording) and the caller should take the
+// serial path.
+func measureRecordedParallel(rec *trace.Recording, cfgs []core.Config, opt MeasureOptions) (out []MeasureResult, handled bool, err error) {
+	if !parallelEligible(cfgs) {
+		return nil, false, nil
+	}
+	ch := rec.Chunked(opt.ChunkAccesses)
+	if ch.Chunks() == 0 {
+		return nil, false, nil
+	}
+	start := time.Now()
+	if opt.Label != "" {
+		span := obs.Begin(fmt.Sprintf("parallel:%s[%d]", opt.Label, len(cfgs)))
+		defer span.Done()
+	}
+	obs.ParallelReplays.Inc()
+
+	cc := make([]core.Config, len(cfgs))
+	copy(cc, cfgs)
+	for i := range cc {
+		cc[i].VerifyValues = opt.VerifyValues
+	}
+	// sampleHook mirrors the serial batch: armed only when some config
+	// has an FVC to sample.
+	anyFVC := false
+	for _, c := range cc {
+		if c.FVC != nil {
+			anyFVC = true
+		}
+	}
+	sampleHook := opt.SampleEvery > 0 && anyFVC
+
+	overlap := opt.SeamOverlap
+	if overlap == 0 && !opt.SeamEpsilon {
+		overlap = adaptiveOverlap(cc)
+	}
+	warmChunks := int((overlap + uint64(ch.ChunkTarget()) - 1) / uint64(ch.ChunkTarget()))
+	// A warm-up longer than the range it precedes costs more than the
+	// re-run it is trying to avoid: cap it at half a range.
+	if w := opt.Parallelism; w > 0 {
+		if maxWarm := ch.Chunks() / w / 2; warmChunks > maxWarm && opt.SeamOverlap == 0 {
+			warmChunks = maxWarm
+		}
+	}
+	ranges := planRanges(ch.Chunks(), opt.Parallelism, warmChunks)
+	exact := !opt.SeamEpsilon
+
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Speculative phase: every range replays concurrently. harness.Map
+	// recovers worker panics (simulator asserts) into errors and
+	// cancels siblings on first failure.
+	outcomes, merr := harness.Map(ctx, len(ranges), harness.MapOptions{Workers: opt.Parallelism},
+		func(ctx context.Context, ri int) (*rangeOutcome, error) {
+			r := ranges[ri]
+			obs.ParallelRanges.Inc()
+			set, err := buildSeededSet(cc, ch, r.warm)
+			if err != nil {
+				return nil, err
+			}
+			var scratch trace.ChunkScratch
+			if err := replayChunkSpan(ctx, set, ch, r.warm, r.first, &scratch); err != nil {
+				return nil, err
+			}
+			oc := &rangeOutcome{}
+			if exact && ri > 0 {
+				set.CaptureState(&oc.entry)
+			}
+			if err := runRange(ctx, set, ch, r, opt, sampleHook, &scratch, oc); err != nil {
+				return nil, err
+			}
+			if exact {
+				set.CaptureState(&oc.exit)
+			}
+			return oc, nil
+		})
+	if merr != nil {
+		return nil, true, fmt.Errorf("sim: parallel replay aborted: %w", merr)
+	}
+
+	// Splice phase: walk the seams in order, re-running any range whose
+	// speculated entry state does not match its predecessor's exit.
+	if exact {
+		for ri := 1; ri < len(ranges); ri++ {
+			if outcomes[ri].entry.Equal(&outcomes[ri-1].exit) {
+				obs.SeamMatches.Inc()
+				continue
+			}
+			obs.SeamReruns.Inc()
+			r := ranges[ri]
+			oc := &rangeOutcome{}
+			rerun := func() error {
+				set, err := buildSeededSet(cc, ch, r.first)
+				if err != nil {
+					return err
+				}
+				set.RestoreState(&outcomes[ri-1].exit)
+				var scratch trace.ChunkScratch
+				if err := runRange(ctx, set, ch, r, opt, sampleHook, &scratch, oc); err != nil {
+					return err
+				}
+				oc.set.CaptureState(&oc.exit)
+				return nil
+			}
+			if rerr := harness.Recover(rerun); rerr != nil {
+				return nil, true, fmt.Errorf("sim: parallel replay aborted (seam re-run %d): %w", ri, rerr)
+			}
+			outcomes[ri] = oc
+		}
+	}
+
+	// Merge phase: sum the partials in range order; the warmup
+	// subtraction and sample averages reproduce the serial loop's
+	// arithmetic exactly.
+	k := len(cc)
+	total := make([]core.Stats, k)
+	warmAbs := make([]core.Stats, k)
+	fracSum := make([]float64, k)
+	occSum := make([]float64, k)
+	samples := 0
+	for _, oc := range outcomes {
+		if oc.warmHit {
+			for i := range warmAbs {
+				warmAbs[i] = total[i].Plus(oc.warmPart[i])
+			}
+		}
+		for i := range total {
+			total[i] = total[i].Plus(oc.partial[i])
+		}
+		for s := 0; s < oc.samples; s++ {
+			for i := 0; i < k; i++ {
+				fracSum[i] += oc.fracs[s*k+i]
+				occSum[i] += oc.occs[s*k+i]
+			}
+		}
+		samples += oc.samples
+	}
+	if opt.AuditEvery > 0 {
+		last := outcomes[len(outcomes)-1]
+		for i, s := range last.set.Systems() {
+			if aerr := s.AuditInvariants(); aerr != nil {
+				return nil, true, fmt.Errorf("sim: final audit (config %d): %w", i, aerr)
+			}
+		}
+	}
+
+	out = make([]MeasureResult, k)
+	for i := range out {
+		out[i].Stats = total[i].Minus(warmAbs[i])
+		if samples > 0 && cc[i].FVC != nil {
+			out[i].FVCFreqFrac = fracSum[i] / float64(samples)
+			out[i].FVCOccupancy = occSum[i] / float64(samples)
+		}
+	}
+	if opt.Label != "" {
+		if d := time.Since(start); d > 0 {
+			obs.Default.Gauge(obs.Labeled("parallel_events_per_sec", "workload", opt.Label)).
+				Set(float64(ch.Accesses()) * float64(k) / d.Seconds())
+		}
+	}
+	return out, true, nil
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"testing"
+
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
+	"fvcache/internal/fvc"
+	"fvcache/internal/trace"
+	"fvcache/internal/workload"
+)
+
+// parallelConfigs is batchConfigs minus the online-FVT shape (which
+// the parallel engine rejects — covered by the fallback test).
+func parallelConfigs(w workload.Workload) []core.Config {
+	cfgs := batchConfigs(w)
+	out := cfgs[:0:0]
+	for _, c := range cfgs {
+		if c.Checkpointable() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestParallelReplayEquivalence is the tentpole contract: exact-mode
+// chunk-parallel replay is bit-identical to the serial fused batch for
+// every registered workload, across worker counts and chunk sizes
+// (including a prime one, so seams land at awkward offsets).
+func TestParallelReplayEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			rec, err := Recordings.Get(w, workload.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs := parallelConfigs(w)
+			want, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				for _, chunk := range []int{0, 50021} {
+					got, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{
+						Parallelism:   workers,
+						ChunkAccesses: chunk,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("workers=%d chunk=%d config %d: parallel diverges\npar:    %+v\nserial: %+v",
+								workers, chunk, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// synthRecording builds a small deterministic recording directly, so
+// the extreme chunk-size sweep (chunk=1 means thousands of probe
+// rebuilds) stays fast.
+func synthRecording(n int, seed uint64) *trace.Recording {
+	rec := trace.NewRecording()
+	x := seed | 1
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		op := trace.Load
+		if x&3 == 0 {
+			op = trace.Store
+		}
+		addr := uint32(x>>20) % 16384 &^ 3
+		val := uint32(0)
+		if x&7 == 7 {
+			val = uint32(x >> 40)
+		}
+		rec.Append(op, addr, val)
+	}
+	return rec
+}
+
+// smallConfigs are hierarchies small enough that a 10k-access synthetic
+// stream exercises evictions in every structure.
+func smallConfigs() []core.Config {
+	main := cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 1}
+	return []core.Config{
+		{Main: main},
+		{Main: main, FVC: &fvc.Params{Entries: 64, LineBytes: 32, Bits: 3},
+			FrequentValues: []uint32{0, 1, 0xffffffff, 7, 42, 9, 13}},
+		{Main: main, VictimEntries: 4},
+		{Main: cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 2}},
+		{Main: main, L2: &cache.Params{SizeBytes: 1 << 14, LineBytes: 32, Assoc: 4}},
+	}
+}
+
+// TestParallelReplayChunkSizeSweep sweeps degenerate chunk sizes —
+// single-access chunks, tiny chunks, a prime, and one chunk holding
+// the whole stream — across worker counts, pinning bit-identity at
+// every seam geometry.
+func TestParallelReplayChunkSizeSweep(t *testing.T) {
+	rec := synthRecording(10_000, 77)
+	cfgs := smallConfigs()
+	want, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 3, 97, 1 << 20} {
+		for _, workers := range []int{2, 5} {
+			got, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{
+				Parallelism:   workers,
+				ChunkAccesses: chunk,
+			})
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("chunk=%d workers=%d config %d: diverges\npar:    %+v\nserial: %+v",
+						chunk, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelReplayHookParity checks full MeasureResult equality —
+// warmup exclusion, FVC sampling averages (float-exact), audits,
+// value verification — between hooked parallel and serial replays.
+func TestParallelReplayHookParity(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := parallelConfigs(w)
+	base := MeasureOptions{
+		WarmupAccesses: 10_000,
+		SampleEvery:    5_000,
+		AuditEvery:     50_000,
+		VerifyValues:   true,
+	}
+	want, err := MeasureRecordedBatch(rec, cfgs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		opt := base
+		opt.Parallelism = workers
+		opt.ChunkAccesses = 30_000 // misaligned with every hook period
+		got, err := MeasureRecordedBatch(rec, cfgs, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d config %d: hooked parallel result diverges\npar:    %+v\nserial: %+v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelReplayOnlineFVTFallback: a batch containing an online-FVT
+// config cannot be checkpointed and must fall back to the serial fused
+// path — same results, no error.
+func TestParallelReplayOnlineFVTFallback(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := batchConfigs(w) // includes the OnlineFVTEvery shape
+	want, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("config %d: fallback result diverges", i)
+		}
+	}
+}
+
+// TestParallelReplayEpsilonBound documents epsilon mode's contract on
+// a direct-mapped hierarchy: loads and stores are exact, and with zero
+// overlap the absolute miss-count error is bounded by
+// (workers-1) x NumSets — each worker can misjudge each of its cold
+// sets' first probe at most once relative to the exact replay, and
+// each such misjudgment shifts Misses/MainHits by at most one.
+func TestParallelReplayEpsilonBound(t *testing.T) {
+	rec := synthRecording(50_000, 123)
+	main := cache.Params{SizeBytes: 1 << 12, LineBytes: 32, Assoc: 1}
+	cfgs := []core.Config{{Main: main}}
+	exact, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	eps, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{
+		Parallelism:   workers,
+		ChunkAccesses: 2048,
+		SeamEpsilon:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, x := eps[0].Stats, exact[0].Stats
+	if e.Loads != x.Loads || e.Stores != x.Stores {
+		t.Fatalf("epsilon mode perturbed load/store counts: %+v vs %+v", e, x)
+	}
+	bound := uint64((workers - 1) * main.NumSets())
+	diff := e.Misses - x.Misses
+	if x.Misses > e.Misses {
+		diff = x.Misses - e.Misses
+	}
+	if diff > bound {
+		t.Fatalf("epsilon miss error %d exceeds bound %d (eps %d, exact %d)", diff, bound, e.Misses, x.Misses)
+	}
+	// With warm-up overlap the error should collapse to zero here: the
+	// overlap replays far more accesses than the cache has sets.
+	warm, err := MeasureRecordedBatch(rec, cfgs, MeasureOptions{
+		Parallelism:   workers,
+		ChunkAccesses: 2048,
+		SeamEpsilon:   true,
+		SeamOverlap:   8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0].Stats != x {
+		t.Logf("note: epsilon+overlap still differs (allowed): %+v vs %+v", warm[0].Stats, x)
+	}
+}
+
+// TestParallelSteadyReplayZeroAllocs pins the per-worker steady replay
+// loop: decode-into-scratch plus fused ReplayColumns must not allocate
+// once the scratch and the set's frames are warm.
+func TestParallelSteadyReplayZeroAllocs(t *testing.T) {
+	w, err := workload.Get("ccomp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recordings.Get(w, workload.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := rec.Chunked(0)
+	main := cache.Params{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 1}
+	set, err := core.NewSet([]core.Config{
+		{Main: main},
+		{Main: main, FVC: &fvc.Params{Entries: 256, LineBytes: main.LineBytes, Bits: 3},
+			FrequentValues: ProfileTopAccessed(w, workload.Test, 7)},
+		{Main: main, VictimEntries: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch trace.ChunkScratch
+	if err := replayChunkSpan(nil, set, ch, 0, ch.Chunks(), &scratch); err != nil {
+		t.Fatal(err) // warm pass: pages, frames and scratch exist now
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := replayChunkSpan(nil, set, ch, 0, ch.Chunks(), &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state parallel worker loop allocated %.0f times per pass, want 0", allocs)
+	}
+}
+
+// TestPlanRanges sanity-checks the partition: contiguous cover, no
+// empty ranges, warm-up clamped at zero and absent for range 0.
+func TestPlanRanges(t *testing.T) {
+	for _, tc := range []struct{ c, w, warm int }{
+		{10, 4, 2}, {1, 8, 3}, {7, 7, 1}, {100, 3, 0}, {5, 1, 10},
+	} {
+		ranges := planRanges(tc.c, tc.w, tc.warm)
+		if len(ranges) == 0 || len(ranges) > tc.w {
+			t.Fatalf("%+v: %d ranges", tc, len(ranges))
+		}
+		next := 0
+		for i, r := range ranges {
+			if r.first != next || r.end <= r.first {
+				t.Fatalf("%+v: bad range %d: %+v", tc, i, r)
+			}
+			if i == 0 && r.warm != r.first {
+				t.Fatalf("%+v: range 0 has warm-up: %+v", tc, r)
+			}
+			if r.warm > r.first || r.warm < 0 {
+				t.Fatalf("%+v: bad warm %d: %+v", tc, i, r)
+			}
+			next = r.end
+		}
+		if next != tc.c {
+			t.Fatalf("%+v: ranges cover %d of %d chunks", tc, next, tc.c)
+		}
+	}
+}

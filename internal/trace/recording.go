@@ -27,6 +27,12 @@ type Recording struct {
 	// AccessColumns). The sync.Once makes the first materialization
 	// safe under concurrent replays of an immutable recording.
 	acc accessCols
+
+	// chunked caches compressed+checkpointed forms by chunk size (see
+	// Chunked). Guarded by chunkMu: unlike acc there can be several
+	// granularities alive at once.
+	chunkMu sync.Mutex
+	chunked map[int]*ChunkedRecording
 }
 
 // accessCols is the packed access-only projection of the columns.
@@ -103,6 +109,30 @@ func (r *Recording) AccessColumns() (ops []Op, addrs, values []uint32) {
 	return r.acc.ops, r.acc.addrs, r.acc.vals
 }
 
+// Chunked returns the compressed, checkpointed form of the access
+// columns at the given chunk granularity (<= 0 selects
+// DefaultChunkAccesses), building it on first use and caching it per
+// granularity thereafter. Safe for concurrent callers on an immutable
+// recording; the returned ChunkedRecording is itself immutable and
+// shareable.
+func (r *Recording) Chunked(chunkAccesses int) *ChunkedRecording {
+	if chunkAccesses <= 0 {
+		chunkAccesses = DefaultChunkAccesses
+	}
+	r.chunkMu.Lock()
+	defer r.chunkMu.Unlock()
+	if c, ok := r.chunked[chunkAccesses]; ok {
+		return c
+	}
+	ops, addrs, vals := r.AccessColumns()
+	c := CompressColumns(ops, addrs, vals, chunkAccesses)
+	if r.chunked == nil {
+		r.chunked = make(map[int]*ChunkedRecording)
+	}
+	r.chunked[chunkAccesses] = c
+	return c
+}
+
 // Reset discards all recorded events, keeping the primary buffers for
 // reuse. The caller must have exclusive ownership (no concurrent
 // replays), as with recording itself.
@@ -112,6 +142,9 @@ func (r *Recording) Reset() {
 	r.vals = r.vals[:0]
 	r.accesses = 0
 	r.acc = accessCols{}
+	r.chunkMu.Lock()
+	r.chunked = nil
+	r.chunkMu.Unlock()
 }
 
 // Replay sends every recorded event to dst in order. For Sink
