@@ -40,20 +40,24 @@ lint-examples:
 # recompute), a single-iteration pass over every benchmark so the
 # benchmark corpus cannot rot, and a sanity pass over the committed
 # sweep-engine artifact (it must parse, every speedup layer must hold
-# its core-count-aware threshold, the steady-state allocation counts
-# must be zero, the compression ratio must beat the raw columns, and
-# its telemetry snapshot must validate).
+# its core-count-aware threshold — including the analytic miss-rate-
+# curve pass's 5x bar over the ladder replay — the steady-state
+# allocation counts must be zero, the compression ratio must beat the
+# raw columns, and its telemetry snapshot must validate). The mrc
+# zero-alloc gate pins both analytic hot loops: the banked Mattson
+# stack update and the fused direct-mapped table walk.
 check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run='TestChaos' ./internal/resultcache
 	$(GO) test -race -count=1 -run='TestParallelReplayEquivalence|TestParallelReplayChunkSizeSweep' ./internal/sim
-	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core
+	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core ./internal/mrc
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzColumnCodec -fuzztime=5s
 	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=5s
 	$(GO) test -count=1 -run='TestReplayAccessPathZeroAllocs|TestBatchReplayZeroAllocs|TestParallelSteadyReplayZeroAllocs' ./internal/sim
 	$(GO) test -count=1 -run='TestChunkedDecodeZeroAllocsSteadyState' ./internal/trace
+	$(GO) test -count=1 -run='TestMRCSteadyZeroAllocs|TestMRCDMSteadyZeroAllocs' ./internal/mrc
 	$(GO) test -count=1 -run='TestResultCacheHitZeroAllocs' ./internal/resultcache
 	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke|TestCrashRecovery' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

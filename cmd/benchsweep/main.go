@@ -16,10 +16,19 @@
 // keep at zero), the machine's core count, and the columnar trace's
 // compressed bytes per access.
 //
+// A second pair of lanes races the analytic miss-rate-curve engine
+// (internal/mrc) against the fused batch replay of a fig10-style
+// direct-mapped size ladder — every power-of-two size from 1KB to
+// 64KB at 32B lines. The analytic pass produces every ladder point at
+// once; its miss counts are cross-checked against the replay before
+// either lane is timed, and the artifact records the resulting
+// mrc_speedup and per-access cost.
+//
 // With -verify, benchsweep instead reads an existing artifact and
 // checks it is well-formed: every speedup layer must be >= 1.0, the
 // parallel lane must beat batch on multi-core machines (and stay
-// within bounded overhead on one core), the steady-state allocation
+// within bounded overhead on one core), the analytic pass must beat
+// the ladder replay by at least 5x, the steady-state allocation
 // counts zero, the compression ratio real, and the telemetry snapshot
 // next to it must satisfy obs.ValidateSnapshot. All violations are
 // reported at once, each naming the offending field. make check uses
@@ -41,8 +50,10 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/fvc"
 	"fvcache/internal/harness"
+	"fvcache/internal/mrc"
 	"fvcache/internal/obs"
 	"fvcache/internal/sim"
+	"fvcache/internal/trace"
 	"fvcache/internal/workload"
 )
 
@@ -77,6 +88,18 @@ type report struct {
 	// SteadyBatchAllocs counts heap allocations per full fused replay
 	// into a warm SystemSet driving every sweep configuration.
 	SteadyBatchAllocs float64 `json:"steady_batch_allocs"`
+
+	// The miss-rate-curve lanes compare one analytic reuse-distance
+	// pass (internal/mrc) against the fused batch replay of the same
+	// direct-mapped size ladder — the fig10-style geometry swept over
+	// every power-of-two size. MRCPoints is the ladder length; the
+	// analytic pass produces all of them at once and its miss counts
+	// are cross-checked against the replay in-run before timing.
+	MRCPoints        int     `json:"mrc_points"`
+	LadderNsPerSweep int64   `json:"ladder_ns_per_sweep"` // batch replay of the ladder
+	MRCNsPerSweep    int64   `json:"mrc_ns_per_sweep"`    // one analytic pass
+	MRCNsPerAccess   float64 `json:"mrc_ns_per_access"`
+	MRCSpeedup       float64 `json:"mrc_speedup"` // ladder / mrc
 }
 
 func sweepGrid(values []uint32) []core.Config {
@@ -90,6 +113,40 @@ func sweepGrid(values []uint32) []core.Config {
 		})
 	}
 	return cfgs
+}
+
+// mrcLadder is the fig10-style direct-mapped size sweep the MRC lanes
+// race: every power-of-two size from 1KB to 64KB at the figure's 32B
+// lines, one replay config and one set count per point.
+func mrcLadder() ([]core.Config, []int) {
+	var cfgs []core.Config
+	var sets []int
+	for sz := 1 << 10; sz <= 64<<10; sz <<= 1 {
+		cfgs = append(cfgs, core.Config{Main: cache.Params{SizeBytes: sz, LineBytes: 32, Assoc: 1}})
+		sets = append(sets, sz/32)
+	}
+	return cfgs, sets
+}
+
+// crossCheckMRC asserts the analytic pass and the fused replay agree
+// on every ladder point's miss count before either lane is timed: a
+// speedup over a wrong answer is not a speedup.
+func crossCheckMRC(rec *trace.Recording, cfgs []core.Config, mrcOpt mrc.Options) error {
+	res, err := mrc.Analyze(rec, mrcOpt)
+	if err != nil {
+		return err
+	}
+	replay, err := sim.MeasureRecordedBatch(rec, cfgs, sim.MeasureOptions{})
+	if err != nil {
+		return err
+	}
+	for i, c := range res.Curves {
+		if got, want := c.Points[0].Misses, replay[i].Stats.Misses; got != want {
+			return fmt.Errorf("mrc cross-check: %dB ladder point: analytic %d misses, replay %d",
+				cfgs[i].Main.SizeBytes, got, want)
+		}
+	}
+	return nil
 }
 
 func run(ctx context.Context, out string, workers int) error {
@@ -150,11 +207,32 @@ func run(ctx context.Context, out string, workers int) error {
 		}
 	}
 
+	ladderCfgs, ladderSets := mrcLadder()
+	mrcOpt := mrc.Options{LineBytes: 32, MaxSizeBytes: 64 << 10, SetCounts: ladderSets, MaxAssoc: 1}
+	if err := crossCheckMRC(rec, ladderCfgs, mrcOpt); err != nil {
+		return err
+	}
+	ladderBench := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.MeasureRecordedBatch(rec, ladderCfgs, sim.MeasureOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	mrcBench := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mrc.Analyze(rec, mrcOpt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	// Interleave repetitions and keep the fastest of each side: the
 	// minimum is the standard de-noising estimator for wall-clock
 	// benchmarks on shared machines (noise is strictly additive).
 	const reps = 3
 	liveNs, replayNs, batchNs, parallelNs := int64(0), int64(0), int64(0), int64(0)
+	ladderNs, mrcNs := int64(0), int64(0)
 	bspan := obs.Begin("bench")
 	for r := 0; r < reps; r++ {
 		// The bench loops themselves stay context-free (a ctx check in
@@ -184,6 +262,16 @@ func run(ctx context.Context, out string, workers int) error {
 			parallelNs = ns
 		}
 		cspan.Done()
+		dspan := bspan.Begin("ladder")
+		if ns := testing.Benchmark(ladderBench).NsPerOp(); r == 0 || ns < ladderNs {
+			ladderNs = ns
+		}
+		dspan.Done()
+		mspan := bspan.Begin("mrc")
+		if ns := testing.Benchmark(mrcBench).NsPerOp(); r == 0 || ns < mrcNs {
+			mrcNs = ns
+		}
+		mspan.Done()
 	}
 	bspan.Done()
 
@@ -223,6 +311,11 @@ func run(ctx context.Context, out string, workers int) error {
 		CompressedBytesPerAccess: rec.Chunked(0).BytesPerAccess(),
 		SteadyReplayAllocs:       allocs,
 		SteadyBatchAllocs:        batchAllocs,
+		MRCPoints:                len(ladderCfgs),
+		LadderNsPerSweep:         ladderNs,
+		MRCNsPerSweep:            mrcNs,
+		MRCNsPerAccess:           float64(mrcNs) / float64(rec.Accesses()),
+		MRCSpeedup:               float64(ladderNs) / float64(mrcNs),
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -239,6 +332,10 @@ func run(ctx context.Context, out string, workers int) error {
 		r.Speedup, r.BatchSpeedup, r.TotalSpeedup, r.ParallelSpeedup,
 		r.CompressedBytesPerAccess,
 		r.SteadyReplayAllocs, r.SteadyBatchAllocs)
+	fmt.Printf("%-10s %d-point DM ladder: batch %.1fms  mrc %.1fms (%.2f ns/access)  mrc speedup %.2fx\n",
+		r.Workload, r.MRCPoints,
+		float64(r.LadderNsPerSweep)/1e6, float64(r.MRCNsPerSweep)/1e6,
+		r.MRCNsPerAccess, r.MRCSpeedup)
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }
@@ -280,6 +377,9 @@ func verify(path string) error {
 	if r.Cores < 1 {
 		badf("cores is %d, want >= 1", r.Cores)
 	}
+	if r.MRCPoints < 2 {
+		badf("mrc_points is %d, want >= 2", r.MRCPoints)
+	}
 	for _, c := range []struct {
 		name string
 		v    int64
@@ -288,6 +388,8 @@ func verify(path string) error {
 		{"replay_ns_per_sweep", r.ReplayNsPerSweep},
 		{"batch_ns_per_sweep", r.BatchNsPerSweep},
 		{"parallel_ns_per_sweep", r.ParallelNsPerSweep},
+		{"ladder_ns_per_sweep", r.LadderNsPerSweep},
+		{"mrc_ns_per_sweep", r.MRCNsPerSweep},
 	} {
 		if c.v <= 0 {
 			badf("%s is %d, want > 0", c.name, c.v)
@@ -313,6 +415,15 @@ func verify(path string) error {
 		badf("parallel_speedup is %.2f, want >= %.1f on %d cores",
 			r.ParallelSpeedup, minParallel, r.Cores)
 	}
+	// The analytic engine's bar is absolute: one reuse-distance pass
+	// must beat the fused batch replay of the same size ladder by 5x
+	// on any core count (the pass is serial).
+	if r.MRCSpeedup < 5.0 {
+		badf("mrc_speedup is %.2f, want >= 5.0", r.MRCSpeedup)
+	}
+	if r.MRCNsPerAccess <= 0 {
+		badf("mrc_ns_per_access is %.2f, want > 0", r.MRCNsPerAccess)
+	}
 	if r.CompressedBytesPerAccess <= 0 || r.CompressedBytesPerAccess >= 9 {
 		badf("compressed_bytes_per_access is %.2f, want in (0, 9): raw columns cost 9 bytes",
 			r.CompressedBytesPerAccess)
@@ -335,8 +446,9 @@ func verify(path string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", tpath, err)
 	}
-	fmt.Printf("%s ok: live/replay %.2fx, replay/batch %.2fx, live/batch %.2fx, batch/parallel %.2fx on %d cores, %.2f B/access, zero steady-state allocs\n",
-		path, r.Speedup, r.BatchSpeedup, r.TotalSpeedup, r.ParallelSpeedup, r.Cores, r.CompressedBytesPerAccess)
+	fmt.Printf("%s ok: live/replay %.2fx, replay/batch %.2fx, live/batch %.2fx, batch/parallel %.2fx on %d cores, mrc %.2fx over the %d-point ladder, %.2f B/access, zero steady-state allocs\n",
+		path, r.Speedup, r.BatchSpeedup, r.TotalSpeedup, r.ParallelSpeedup, r.Cores,
+		r.MRCSpeedup, r.MRCPoints, r.CompressedBytesPerAccess)
 	fmt.Printf("%s ok: %s, %d counters, %d phases\n",
 		tpath, snap.Schema, len(snap.Counters), len(snap.Phases.Children))
 	return nil

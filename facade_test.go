@@ -158,6 +158,83 @@ func TestFacadeCharacterize(t *testing.T) {
 	if len(top) != 3 || top[0].Count < top[1].Count {
 		t.Errorf("TopValues(3) malformed: %v", top)
 	}
+	if c.MRC != nil {
+		t.Error("MRC stanza computed without MRCLineBytes")
+	}
+}
+
+func TestFacadeMissRateCurves(t *testing.T) {
+	ctx := context.Background()
+	res, err := fvcache.MissRateCurves(ctx, fvcache.MRCRequest{
+		Workload: "goboard", Scale: fvcache.Test,
+		LineBytes: 32, MaxSizeBytes: 32 << 10, SetCounts: []int{1, 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 2 || res.Accesses == 0 {
+		t.Fatalf("malformed result: %+v", res)
+	}
+	// Each curve point names an exact LRU geometry; spot-check the
+	// direct-mapped point of the 256-set family against a replay.
+	dm := res.Curves[1].Points[0]
+	if dm.Assoc != 1 || dm.SizeBytes != 256*32 {
+		t.Fatalf("unexpected DM point: %+v", dm)
+	}
+	m, err := fvcache.Measure(ctx, fvcache.MeasureRequest{
+		Workload: "goboard", Scale: fvcache.Test,
+		Config: fvcache.Config{Main: fvcache.CacheParams{SizeBytes: dm.SizeBytes, LineBytes: 32, Assoc: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Misses != dm.Misses {
+		t.Errorf("DM point misses %d, replay %d", dm.Misses, m.Stats.Misses)
+	}
+	// Miss counts are monotone non-increasing along each curve.
+	for _, c := range res.Curves {
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Misses > c.Points[i-1].Misses {
+				t.Errorf("sets=%d: misses not monotone at %d: %+v", c.Sets, i, c.Points)
+			}
+		}
+	}
+	// Bad requests and cancellation.
+	if _, err := fvcache.MissRateCurves(ctx, fvcache.MRCRequest{Workload: "nope", Scale: fvcache.Test, LineBytes: 32}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := fvcache.MissRateCurves(ctx, fvcache.MRCRequest{Workload: "goboard", Scale: fvcache.Test, LineBytes: 24}); err == nil {
+		t.Error("invalid line size accepted")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := fvcache.MissRateCurves(cctx, fvcache.MRCRequest{Workload: "goboard", Scale: fvcache.Test, LineBytes: 32}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeCharacterizeMRCStanza(t *testing.T) {
+	ctx := context.Background()
+	c, err := fvcache.Characterize(ctx, fvcache.CharacterizeRequest{
+		Workload: "goboard", Scale: fvcache.Test, MRCLineBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MRC == nil {
+		t.Fatal("MRCLineBytes set but no MRC stanza")
+	}
+	if c.MRC.Accesses != c.Accesses {
+		t.Errorf("MRC accesses %d != characterization accesses %d", c.MRC.Accesses, c.Accesses)
+	}
+	if len(c.MRC.Curves) != 1 || c.MRC.Curves[0].Sets != 1 {
+		t.Fatalf("want the fully-associative curve, got %+v", c.MRC.Curves)
+	}
+	if _, err := fvcache.Characterize(ctx, fvcache.CharacterizeRequest{
+		Workload: "goboard", Scale: fvcache.Test, MRCLineBytes: 24,
+	}); err == nil {
+		t.Error("invalid MRCLineBytes accepted")
+	}
 }
 
 func TestFacadeSweepStreamsArtifacts(t *testing.T) {

@@ -13,6 +13,9 @@
 //   - Measure: one configuration measured over one workload.
 //   - MeasureBatch: many configurations fused into a single replay
 //     pass over one shared recording (the sweep engine).
+//   - MissRateCurves: exact LRU miss-rate curves from one Mattson
+//     reuse-distance pass (every power-of-two size at once, no
+//     per-point replay).
 //   - Sweep: the paper's experiment artifacts (see sweep.go).
 //
 // Every operation takes a context and honors cancellation at replay
@@ -30,6 +33,7 @@ import (
 	"fvcache/internal/core"
 	"fvcache/internal/fvc"
 	"fvcache/internal/memsim"
+	"fvcache/internal/mrc"
 	"fvcache/internal/sim"
 	"fvcache/internal/trace"
 	"fvcache/internal/workload"
@@ -268,10 +272,104 @@ func Profile(ctx context.Context, req ProfileRequest) ([]uint32, error) {
 	return sim.ProfileTopAccessed(w, req.Scale, req.K), nil
 }
 
+// MRCResult is the output of one Mattson reuse-distance pass: exact
+// miss-rate curves for every requested set-indexed LRU geometry
+// family, every power-of-two size at once.
+type MRCResult = mrc.Result
+
+// MRCCurve is one geometry family's curve (fixed set count,
+// associativity doubling per point).
+type MRCCurve = mrc.Curve
+
+// MRCPoint is one exact (size, associativity, miss count) sample.
+type MRCPoint = mrc.Point
+
+// DefaultMRCMaxSizeBytes is the top of the size ladder when a request
+// leaves MaxSizeBytes zero.
+const DefaultMRCMaxSizeBytes = mrc.DefaultMaxSizeBytes
+
+// MRCRequest asks for a workload's miss-rate curves.
+type MRCRequest struct {
+	Workload string `json:"workload"`
+	Scale    Scale  `json:"scale"`
+	// LineBytes is the cache-line size of every modeled geometry; a
+	// power of two >= 4. Required.
+	LineBytes int `json:"line_bytes"`
+	// MaxSizeBytes is the inclusive top of the size ladder; 0 means
+	// DefaultMRCMaxSizeBytes.
+	MaxSizeBytes int `json:"max_size_bytes,omitempty"`
+	// SetCounts selects the set-indexed geometry families (powers of
+	// two; 1 = fully associative). Empty means fully associative only.
+	SetCounts []int `json:"set_counts,omitempty"`
+	// Shards bounds intra-pass parallelism (per-set stack sharding).
+	// Excluded from JSON on purpose, like Options.Parallelism: it does
+	// not change results, so it must not fragment coalescing or
+	// result-cache keys.
+	Shards int `json:"-"`
+}
+
+// Validate checks the request's geometry (the workload name is checked
+// at execution time) and returns it normalized: defaults applied,
+// SetCounts sorted and deduplicated. The normalized form is canonical
+// — the fvcached service derives coalescing and result-cache keys
+// from it.
+func (r MRCRequest) Validate() (MRCRequest, error) {
+	o, err := mrc.Options{
+		LineBytes:    r.LineBytes,
+		MaxSizeBytes: r.MaxSizeBytes,
+		SetCounts:    r.SetCounts,
+	}.Normalize()
+	if err != nil {
+		return r, err
+	}
+	r.LineBytes = o.LineBytes
+	r.MaxSizeBytes = o.MaxSizeBytes
+	r.SetCounts = o.SetCounts
+	return r, nil
+}
+
+// LadderPoints returns how many (size, associativity) points a
+// normalized request yields per set-count family; the curve shapes
+// are fully determined by the request.
+func (r MRCRequest) LadderPoints() []int {
+	return mrc.Options{LineBytes: r.LineBytes, MaxSizeBytes: r.MaxSizeBytes, SetCounts: r.SetCounts}.LadderPoints()
+}
+
+// MissRateCurves runs one single-pass reuse-distance analysis over the
+// workload's shared recording and returns the exact miss-rate curve of
+// every requested LRU geometry family — the analytic replacement for a
+// K-point size sweep wherever the geometry is pure set-indexed LRU
+// (no FVC, no victim cache; those still need Measure/MeasureBatch).
+// Miss counts are bit-identical to fused replays of each point.
+func MissRateCurves(ctx context.Context, req MRCRequest) (*MRCResult, error) {
+	w, err := workload.Get(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := sim.Recordings.Get(w, req.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return mrc.Analyze(rec, mrc.Options{
+		LineBytes:    req.LineBytes,
+		MaxSizeBytes: req.MaxSizeBytes,
+		SetCounts:    req.SetCounts,
+		Shards:       req.Shards,
+		Ctx:          ctx,
+	})
+}
+
 // CharacterizeRequest asks for a workload's value-locality profile.
 type CharacterizeRequest struct {
 	Workload string
 	Scale    Scale
+	// MRCLineBytes, when positive, additionally computes the
+	// workload's fully-associative LRU miss-rate curve at that line
+	// size (one extra Mattson pass) into Characterization.MRC.
+	MRCLineBytes int
 }
 
 // Characterization summarizes a workload's frequent value locality
@@ -283,6 +381,11 @@ type Characterization struct {
 	Accesses uint64
 	// DistinctValues counts distinct 32-bit values accessed.
 	DistinctValues int
+	// MRC is the fully-associative LRU miss-rate curve at the request's
+	// MRCLineBytes (nil when the request left it zero): how the
+	// workload's temporal locality translates to cache sizes, next to
+	// the value locality above.
+	MRC *MRCResult
 
 	hist *trace.ValueHistogram
 }
@@ -311,11 +414,19 @@ func Characterize(ctx context.Context, req CharacterizeRequest) (*Characterizati
 	}
 	hist := trace.NewValueHistogram()
 	rec.Replay(hist)
-	return &Characterization{
+	c := &Characterization{
 		Workload:       w.Name(),
 		Scale:          req.Scale,
 		Accesses:       hist.Total(),
 		DistinctValues: hist.Distinct(),
 		hist:           hist,
-	}, nil
+	}
+	if req.MRCLineBytes > 0 {
+		res, err := mrc.Analyze(rec, mrc.Options{LineBytes: req.MRCLineBytes, Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+		c.MRC = res
+	}
+	return c, nil
 }

@@ -120,19 +120,45 @@ func runFig12(opt Options, out io.Writer) error {
 		}
 	}
 
-	// One job per workload: all 12 geometries x (baseline + 3 value
-	// counts) = 48 configurations share one fused replay pass.
+	// One job per workload. The 12 plain-DMC baselines come from the
+	// analytic path — one Mattson pass per line size yields every size
+	// point at once (bit-identical to replay) — so the fused replay
+	// only carries the 36 FVC configurations the stack model cannot
+	// express. Results keep the original interleaved order (baseline,
+	// then the three value counts, per geometry).
 	res, err := pmap(opt, len(suite), func(i int) ([]float64, error) {
 		w := suite[i]
 		var batch []core.Config
 		for ci := range cfgs {
 			main := cache.Params{SizeBytes: cfgs[ci].szKB << 10, LineBytes: cfgs[ci].line, Assoc: 1}
-			batch = append(batch, core.Config{Main: main})
 			for _, bits := range bitsList {
 				batch = append(batch, withFVC(w, opt.Scale, main, 512, bits))
 			}
 		}
-		return missPcts(w, opt.Scale, batch)
+		aug, err := missPcts(w, opt.Scale, batch)
+		if err != nil {
+			return nil, err
+		}
+		base := make(map[cfgKey]float64, len(cfgs))
+		for _, l := range lines {
+			sizes := make([]int, len(sizesKB))
+			for si, s := range sizesKB {
+				sizes[si] = s << 10
+			}
+			m, err := dmcMissPcts(opt, w, l, sizes)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range sizesKB {
+				base[cfgKey{s, l}] = m[s<<10]
+			}
+		}
+		out := make([]float64, 0, len(cfgs)*(1+len(bitsList)))
+		for ci := range cfgs {
+			out = append(out, base[cfgs[ci]])
+			out = append(out, aug[ci*len(bitsList):(ci+1)*len(bitsList)]...)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return err
@@ -184,10 +210,11 @@ func runFig13(opt Options, out io.Writer) error {
 		return err
 	}
 
-	// One job per workload: every (line, size, bits) augmented config
-	// plus every (line, size) doubled baseline — 64 configurations —
-	// rides a single fused replay pass, instead of one replay per cell
-	// (which also re-measured each doubled DMC once per value count).
+	// One job per workload. The doubled-DMC baselines (bits == 0 cells)
+	// come from the analytic path — one Mattson pass per line size
+	// yields the whole doubled-size ladder at once, bit-identical to
+	// replay — so the fused replay carries only the FVC-augmented
+	// cells the stack model cannot express.
 	type cell struct{ line, szKB, bits int } // bits == 0 is the doubled DMC
 	var cells []cell
 	for _, line := range lines {
@@ -200,23 +227,36 @@ func runFig13(opt Options, out io.Writer) error {
 	}
 	res, err := pmap(opt, len(ws), func(i int) (map[cell]float64, error) {
 		w := ws[i]
-		cfgs := make([]core.Config, 0, len(cells))
+		var cfgs []core.Config
+		var augCells []cell
 		for _, c := range cells {
 			if c.bits == 0 {
-				double := cache.Params{SizeBytes: (c.szKB * 2) << 10, LineBytes: c.line, Assoc: 1}
-				cfgs = append(cfgs, core.Config{Main: double})
 				continue
 			}
 			small := cache.Params{SizeBytes: c.szKB << 10, LineBytes: c.line, Assoc: 1}
 			cfgs = append(cfgs, withFVC(w, opt.Scale, small, 512, c.bits))
+			augCells = append(augCells, c)
 		}
 		pcts, err := missPcts(w, opt.Scale, cfgs)
 		if err != nil {
 			return nil, err
 		}
 		m := make(map[cell]float64, len(cells))
-		for ci, c := range cells {
+		for ci, c := range augCells {
 			m[c] = pcts[ci]
+		}
+		for _, line := range lines {
+			doubled := make([]int, len(sizesKB))
+			for si, szKB := range sizesKB {
+				doubled[si] = (szKB * 2) << 10
+			}
+			byTotal, err := dmcMissPcts(opt, w, line, doubled)
+			if err != nil {
+				return nil, err
+			}
+			for _, szKB := range sizesKB {
+				m[cell{line, szKB, 0}] = byTotal[(szKB*2)<<10]
+			}
 		}
 		return m, nil
 	})

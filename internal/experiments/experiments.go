@@ -14,6 +14,7 @@ import (
 
 	"fvcache/internal/core"
 	"fvcache/internal/harness"
+	"fvcache/internal/mrc"
 	"fvcache/internal/report"
 	"fvcache/internal/sim"
 	"fvcache/internal/trace"
@@ -176,6 +177,46 @@ func missPcts(w workload.Workload, scale workload.Scale, cfgs []core.Config) ([]
 	out := make([]float64, len(res))
 	for i, r := range res {
 		out[i] = r.Stats.MissRate() * 100
+	}
+	return out, nil
+}
+
+// dmcMissPcts computes plain direct-mapped-cache miss percentages
+// analytically: ONE Mattson reuse-distance pass per line size replaces
+// one fused-replay lane per size point. The result is keyed by cache
+// size in bytes and is bit-identical (in miss counts) to a replay of
+// each geometry — exact because a plain DMC is pure set-indexed LRU;
+// FVC, victim-cache and L2 configurations stay on the replay engine.
+func dmcMissPcts(opt Options, w workload.Workload, lineBytes int, sizesBytes []int) (map[int]float64, error) {
+	rec, err := recording(w, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	maxSize := 0
+	sets := make([]int, 0, len(sizesBytes))
+	for _, sz := range sizesBytes {
+		if sz > maxSize {
+			maxSize = sz
+		}
+		sets = append(sets, sz/lineBytes)
+	}
+	res, err := mrc.Analyze(rec, mrc.Options{
+		LineBytes:    lineBytes,
+		MaxSizeBytes: maxSize,
+		SetCounts:    sets,
+		// Only the direct-mapped point of each geometry is consumed, so
+		// MaxAssoc 1 selects the fused last-line-table fast path (which
+		// needs no Shards fan-out — see mrc's dmtable.go).
+		MaxAssoc: 1,
+		Ctx:      opt.context(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mrc pass %s: %w", w.Name(), err)
+	}
+	out := make(map[int]float64, len(res.Curves))
+	for _, c := range res.Curves {
+		// The direct-mapped point of each per-set curve is assoc 1.
+		out[c.Sets*lineBytes] = c.Points[0].MissRatio * 100
 	}
 	return out, nil
 }

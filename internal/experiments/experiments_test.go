@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"fvcache/internal/cache"
+	"fvcache/internal/core"
 	"fvcache/internal/workload"
 )
 
@@ -217,4 +219,35 @@ func TestXL2(t *testing.T) {
 
 func TestXFVCAssoc(t *testing.T) {
 	runAndCheck(t, "xfvcassoc", "associativity", "2-way FVC red.", "4-way FVC red.")
+}
+
+// TestDMCMissPctsMatchesReplay pins the analytic baseline path the
+// DMC-size sweeps (fig12/fig13) now use: the Mattson-pass miss
+// percentages must equal fused-replay measurements of the same plain
+// direct-mapped geometries.
+func TestDMCMissPctsMatchesReplay(t *testing.T) {
+	w, err := workload.Get("goboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOpts()
+	const line = 32
+	sizes := []int{4 << 10, 8 << 10, 16 << 10, 64 << 10}
+	analytic, err := dmcMissPcts(opt, w, line, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []core.Config
+	for _, sz := range sizes {
+		cfgs = append(cfgs, core.Config{Main: cache.Params{SizeBytes: sz, LineBytes: line, Assoc: 1}})
+	}
+	replay, err := missPcts(w, opt.Scale, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sz := range sizes {
+		if analytic[sz] != replay[i] {
+			t.Errorf("%dKB: analytic %v%%, replay %v%%", sz>>10, analytic[sz], replay[i])
+		}
+	}
 }

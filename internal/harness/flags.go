@@ -14,7 +14,7 @@ type FlagSet uint
 const (
 	// FlagScale registers -scale (input scale: test, train or ref).
 	FlagScale FlagSet = 1 << iota
-	// FlagWorkers registers -workers (parallel simulations).
+	// FlagWorkers registers -workers (simulation/replay parallelism).
 	FlagWorkers
 	// FlagTimeout registers -timeout (abort after this duration).
 	FlagTimeout
@@ -33,7 +33,9 @@ const (
 type CommonFlags struct {
 	// ScaleName is the raw -scale value; resolve it with Scale().
 	ScaleName string
-	// Workers is -workers (0 = all cores).
+	// Workers is -workers (0 = all cores): the worker-pool width for
+	// simulation fan-out, chunk-parallel replay, and MRC per-set stack
+	// sharding alike.
 	Workers int
 	// Timeout is -timeout (0 = none).
 	Timeout time.Duration
@@ -50,7 +52,8 @@ func AddCommonFlags(fs *flag.FlagSet, which FlagSet, scaleDefault string) *Commo
 		fs.StringVar(&cf.ScaleName, "scale", scaleDefault, "input scale: test, train or ref")
 	}
 	if which&FlagWorkers != 0 {
-		fs.IntVar(&cf.Workers, "workers", 0, "parallel simulations (0 = all cores)")
+		fs.IntVar(&cf.Workers, "workers", 0,
+			"parallelism: simulation fan-out, chunk-parallel replay, and MRC stack sharding (0 = all cores)")
 	}
 	if which&FlagTimeout != 0 {
 		fs.DurationVar(&cf.Timeout, "timeout", 0, "abort the run after this duration (0 = none)")

@@ -95,6 +95,12 @@ var (
 	// exit state vs. ranges that had to be re-run exactly.
 	SeamMatches = Default.Counter("replay_seam_matches_total")
 	SeamReruns  = Default.Counter("replay_seam_reruns_total")
+	// MRCPasses counts single-pass reuse-distance analyses
+	// (mrc.Analyze calls); MRCLines counts line-address accesses fed
+	// through the Mattson stacks, summed across every model and shard
+	// of a pass (incremented at chunk boundaries, never per access).
+	MRCPasses = Default.Counter("mrc_passes")
+	MRCLines  = Default.Counter("mrc_lines_processed")
 )
 
 // Begin opens a child span of the Default registry's root phase tree.

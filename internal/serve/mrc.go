@@ -1,0 +1,389 @@
+package serve
+
+// POST /v1/mrc: miss-rate curves from one Mattson reuse-distance pass.
+//
+// The endpoint mirrors /v1/measure's serving discipline at analytic
+// cost: identical concurrent requests are coalesced (singleflight on
+// the normalized request key — the first request executes, late
+// arrivals wait on the same flight), results are served from and
+// offered to the durable result cache, the per-(workload, scale)
+// circuit breaker and per-request deadlines apply, and the response
+// streams one NDJSON line per curve point followed by a summary line.
+//
+// Cache encoding: resultcache stores []fvcache.MeasureResult, so a
+// curve is framed into that shape losslessly — entry 0 is a header
+// (Loads/Stores totals, DistinctLines in LineFetches) and each further
+// entry carries one point's miss count in Stats.Misses. Every other
+// coordinate of every point (set count, size, associativity, miss
+// ratio) is derived from the normalized request, which is part of the
+// cache key, so a warm hit reconstructs the response bit for bit.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fvcache"
+	"fvcache/internal/harness"
+	"fvcache/internal/obs"
+	"fvcache/internal/resultcache"
+)
+
+var (
+	mrcRequests  = obs.Default.Counter("serve_mrc_requests_total")
+	mrcCoalesced = obs.Default.Counter("serve_mrc_coalesced_total")
+	mrcCacheHits = obs.Default.Counter("serve_mrc_cache_hits_total")
+)
+
+// mrcWire is the POST /v1/mrc request body.
+type mrcWire struct {
+	Workload string `json:"workload"`
+	// Scale is "test", "train" or "ref" (default "test").
+	Scale string `json:"scale,omitempty"`
+	// LineBytes is the modeled line size (default 32).
+	LineBytes int `json:"line_bytes,omitempty"`
+	// MaxSizeBytes is the top of the size ladder (default 1MiB).
+	MaxSizeBytes int `json:"max_size_bytes,omitempty"`
+	// SetCounts selects the set-indexed LRU families (powers of two,
+	// 1 = fully associative; default [1]).
+	SetCounts []int `json:"set_counts,omitempty"`
+	// DeadlineMS bounds this request in milliseconds (the
+	// ?deadline_ms= query parameter wins when both are present).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// mrcPointWire is one streamed curve point.
+type mrcPointWire struct {
+	Sets      int     `json:"sets"`
+	SizeBytes int     `json:"size_bytes"`
+	Assoc     int     `json:"assoc"`
+	Misses    uint64  `json:"misses"`
+	MissRatio float64 `json:"miss_ratio"`
+}
+
+// mrcSummaryWire is the trailing NDJSON line.
+type mrcSummaryWire struct {
+	Workload      string `json:"workload"`
+	Scale         string `json:"scale"`
+	LineBytes     int    `json:"line_bytes"`
+	Accesses      uint64 `json:"accesses"`
+	Loads         uint64 `json:"loads"`
+	Stores        uint64 `json:"stores"`
+	DistinctLines uint64 `json:"distinct_lines"`
+	Curves        int    `json:"curves"`
+	Points        int    `json:"points"`
+	// Requests is how many coalesced clients this flight served;
+	// Coalesced is true when it was more than one.
+	Requests  int  `json:"requests"`
+	Coalesced bool `json:"coalesced"`
+	// CacheHit is true when the curve came from the durable result
+	// cache instead of a fresh analysis pass.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// mrcFlight is one in-flight analysis shared by every identical
+// concurrent request (singleflight: no coalescing window — the pass is
+// fast enough that the first request executes immediately and late
+// arrivals join it mid-run).
+type mrcFlight struct {
+	done     chan struct{}
+	requests int
+
+	res      *fvcache.MRCResult
+	cacheHit bool
+	status   int
+	err      error
+}
+
+// mrcCacheKey derives the durable-cache key from a normalized request.
+// The geometry is folded into ConfigFP, so curve shape is recoverable
+// from the key's request alone.
+func mrcCacheKey(req fvcache.MRCRequest) resultcache.Key {
+	return resultcache.Key{
+		Workload: req.Workload,
+		Scale:    req.Scale.String(),
+		ConfigFP: fmt.Sprintf("mrc|line:%d|max:%d|sets:%v", req.LineBytes, req.MaxSizeBytes, req.SetCounts),
+		Engine:   fvcache.EngineVersion,
+	}
+}
+
+// encodeMRC frames a curve set into the result cache's entry shape.
+func encodeMRC(res *fvcache.MRCResult) []fvcache.MeasureResult {
+	out := make([]fvcache.MeasureResult, 0, 1)
+	var header fvcache.MeasureResult
+	header.Stats.Loads = res.Loads
+	header.Stats.Stores = res.Stores
+	header.Stats.LineFetches = res.DistinctLines
+	out = append(out, header)
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			var e fvcache.MeasureResult
+			e.Stats.Misses = p.Misses
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// decodeMRC rebuilds the full curve set from a cache entry and the
+// normalized request it was stored under. ok is false when the entry's
+// shape does not match the request (e.g. an entry admitted under a
+// colliding key by an older build); callers then recompute.
+func decodeMRC(rs []fvcache.MeasureResult, req fvcache.MRCRequest) (*fvcache.MRCResult, bool) {
+	ladder := req.LadderPoints()
+	want := 1
+	for _, n := range ladder {
+		want += n
+	}
+	if len(rs) != want {
+		return nil, false
+	}
+	header := rs[0]
+	res := &fvcache.MRCResult{
+		LineBytes:     req.LineBytes,
+		Loads:         header.Stats.Loads,
+		Stores:        header.Stats.Stores,
+		Accesses:      header.Stats.Loads + header.Stats.Stores,
+		DistinctLines: header.Stats.LineFetches,
+		Curves:        make([]fvcache.MRCCurve, len(req.SetCounts)),
+	}
+	next := 1
+	for i, sets := range req.SetCounts {
+		c := fvcache.MRCCurve{Sets: sets, Points: make([]fvcache.MRCPoint, ladder[i])}
+		for j := range c.Points {
+			misses := rs[next].Stats.Misses
+			next++
+			p := fvcache.MRCPoint{
+				SizeBytes: sets * (1 << uint(j)) * req.LineBytes,
+				Assoc:     1 << uint(j),
+				Misses:    misses,
+			}
+			if res.Accesses > 0 {
+				p.MissRatio = float64(misses) / float64(res.Accesses)
+			}
+			c.Points[j] = p
+		}
+		res.Curves[i] = c
+	}
+	return res, true
+}
+
+// runMRCFlight executes one flight: durable cache first, then the
+// analysis pass via the (stub-able) execMRC hook, offering fresh
+// curves back to the cache. Runs under the server's base context so
+// one impatient client cannot cancel its seat-mates.
+func (s *Server) runMRCFlight(f *mrcFlight, key string, req fvcache.MRCRequest) {
+	defer func() {
+		s.mrcMu.Lock()
+		if s.mrcFlights[key] == f {
+			delete(s.mrcFlights, key)
+		}
+		s.mrcMu.Unlock()
+		close(f.done)
+	}()
+
+	span := obs.Begin("serve:mrc:" + req.Workload)
+	defer span.Done()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opt.RequestTimeout)
+	defer cancel()
+
+	cache := s.cache.Load()
+	ck := mrcCacheKey(req)
+	if cache != nil {
+		if rs, ok := cache.Get(ck); ok {
+			if res, ok := decodeMRC(rs, req); ok {
+				mrcCacheHits.Inc()
+				f.res, f.cacheHit = res, true
+				return
+			}
+		}
+	}
+
+	err := harness.Recover(func() error {
+		var execErr error
+		f.res, execErr = s.execMRC(ctx, req)
+		return execErr
+	})
+	s.brk.report(req.Workload+"|"+req.Scale.String(), err == nil || errors.Is(err, context.Canceled))
+	if err != nil {
+		f.status = http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			f.status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			f.status = http.StatusServiceUnavailable
+		}
+		f.err = err
+		obs.Log.Warn("mrc flight failed", "workload", req.Workload, "err", err.Error())
+		return
+	}
+	if cache != nil {
+		cache.Put(ck, encodeMRC(f.res))
+	}
+}
+
+// execMRCPass is the default execMRC hook: one sharded Mattson pass
+// through the public facade.
+func (s *Server) execMRCPass(ctx context.Context, req fvcache.MRCRequest) (*fvcache.MRCResult, error) {
+	req.Shards = s.opt.ReplayParallelism
+	return fvcache.MissRateCurves(ctx, req)
+}
+
+// handleMRC serves POST /v1/mrc.
+func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	reqTotal.Inc()
+	mrcRequests.Inc()
+	inflightReqs.Set(inflightDelta(1))
+	defer inflightReqs.Set(inflightDelta(-1))
+	start := time.Now()
+	defer func() { requestMS.Observe(uint64(time.Since(start).Milliseconds())) }()
+
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	var req mrcWire
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if _, err := fvcache.LookupWorkload(req.Workload); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.LineBytes == 0 {
+		req.LineBytes = 32
+	}
+	mreq, err := fvcache.MRCRequest{
+		Workload: req.Workload, Scale: scale,
+		LineBytes: req.LineBytes, MaxSizeBytes: req.MaxSizeBytes, SetCounts: req.SetCounts,
+	}.Validate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	deadline, err := requestDeadline(r, req.DeadlineMS, start, s.opt.DefaultDeadline)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	brkKey := mreq.Workload + "|" + scale.String()
+	if ok, retryAfter := s.brk.allow(brkKey); !ok {
+		breakerOpenTotal.Inc()
+		writeErrorFull(w, http.StatusServiceUnavailable,
+			fmt.Errorf("circuit breaker open for %s after repeated failures", brkKey),
+			true, "breaker_open", retryAfter)
+		return
+	}
+
+	// Singleflight on the normalized request: the first arrival starts
+	// the pass, identical concurrent requests wait on the same flight.
+	key := fmt.Sprintf("%s|%s|%s", mreq.Workload, scale, mrcCacheKey(mreq).ConfigFP)
+	s.mrcMu.Lock()
+	f := s.mrcFlights[key]
+	if f == nil {
+		f = &mrcFlight{done: make(chan struct{}), requests: 1}
+		s.mrcFlights[key] = f
+		s.mrcMu.Unlock()
+		go s.runMRCFlight(f, key, mreq)
+	} else {
+		f.requests++
+		s.mrcMu.Unlock()
+		mrcCoalesced.Inc()
+		coalescedTotal.Inc()
+		s.nCoalesced.Add(1)
+	}
+
+	var deadlineCh <-chan time.Time
+	if !deadline.IsZero() {
+		tm := time.NewTimer(time.Until(deadline))
+		defer tm.Stop()
+		deadlineCh = tm.C
+	}
+	select {
+	case <-f.done:
+	case <-deadlineCh:
+		// This request's own deadline fired; the flight keeps running
+		// for its seat-mates.
+		deadlineExceeded.Inc()
+		writeErrorFull(w, http.StatusGatewayTimeout,
+			fmt.Errorf("deadline of %s exceeded", time.Since(start).Round(time.Millisecond)),
+			true, "deadline_exceeded", 0)
+		return
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	if f.err != nil {
+		reqErrors.Inc()
+		if f.status == http.StatusGatewayTimeout {
+			deadlineExceeded.Inc()
+			writeErrorFull(w, f.status, f.err, true, "deadline_exceeded", 0)
+			return
+		}
+		writeError(w, f.status, f.err)
+		return
+	}
+
+	// Stream: one NDJSON line per point, then the summary.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	res := f.res
+	points := 0
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			enc.Encode(struct {
+				Point mrcPointWire `json:"point"`
+			}{mrcPointWire{Sets: c.Sets, SizeBytes: p.SizeBytes, Assoc: p.Assoc, Misses: p.Misses, MissRatio: p.MissRatio}})
+			points++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// requests is racy against late joiners only until done closes; by
+	// now the flight is removed from the map, so the count is final.
+	enc.Encode(struct {
+		Summary mrcSummaryWire `json:"summary"`
+	}{mrcSummaryWire{
+		Workload:      mreq.Workload,
+		Scale:         scale.String(),
+		LineBytes:     res.LineBytes,
+		Accesses:      res.Accesses,
+		Loads:         res.Loads,
+		Stores:        res.Stores,
+		DistinctLines: res.DistinctLines,
+		Curves:        len(res.Curves),
+		Points:        points,
+		Requests:      f.requests,
+		Coalesced:     f.requests > 1,
+		CacheHit:      f.cacheHit,
+	}})
+}
+
+// mrcState carries the endpoint's server fields (declared here to keep
+// the feature self-contained; embedded in Server).
+type mrcState struct {
+	mrcMu      sync.Mutex
+	mrcFlights map[string]*mrcFlight
+
+	// execMRC runs one analysis pass; tests stub it to control flight
+	// timing and count executions. Defaults to execMRCPass.
+	execMRC func(ctx context.Context, req fvcache.MRCRequest) (*fvcache.MRCResult, error)
+}

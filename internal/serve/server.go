@@ -210,6 +210,10 @@ type Server struct {
 	cache atomic.Pointer[resultcache.Cache]
 	brk   *breaker
 
+	// mrcState holds the /v1/mrc singleflight table and exec hook
+	// (see mrc.go).
+	mrcState
+
 	// exec runs one batch's measurements; tests stub it to control
 	// worker timing. Defaults to execBatch.
 	exec func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error)
@@ -240,8 +244,11 @@ func New(opt Options) *Server {
 		s.cache.Store(opt.ResultCache)
 	}
 	s.exec = s.execBatch
+	s.mrcFlights = make(map[string]*mrcFlight)
+	s.execMRC = s.execMRCPass
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
+	s.mux.HandleFunc("/v1/mrc", s.handleMRC)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
