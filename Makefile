@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fuzz vet fmt bench lint-examples
+.PHONY: all build test check fuzz vet fmt bench bench-serve lint-examples
 
 all: build
 
@@ -45,13 +45,19 @@ lint-examples:
 # allocation counts must be zero, the compression ratio must beat the
 # raw columns, and its telemetry snapshot must validate). The mrc
 # zero-alloc gate pins both analytic hot loops: the banked Mattson
-# stack update and the fused direct-mapped table walk.
+# stack update and the fused direct-mapped table walk. The request-
+# observability additions gate here too: an obsoff build + test of the
+# reqtrace layer, the span hot path's zero-alloc pin with telemetry
+# compiled in, the race-enabled flight-recorder test, a serveload
+# smoke against a booted fvcached (TestServeLoadSmoke), and schema
+# validation of the committed BENCH_serve.json artifact.
 check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run='TestChaos' ./internal/resultcache
 	$(GO) test -race -count=1 -run='TestParallelReplayEquivalence|TestParallelReplayChunkSizeSweep' ./internal/sim
-	$(GO) test -tags obsoff ./internal/obs ./internal/sim ./internal/core ./internal/mrc
+	$(GO) test -race -count=1 -run='TestRecorderConcurrency' ./internal/obs/reqtrace
+	$(GO) test -tags obsoff ./internal/obs ./internal/obs/reqtrace ./internal/serve ./internal/sim ./internal/core ./internal/mrc
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzColumnCodec -fuzztime=5s
 	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=5s
@@ -59,9 +65,11 @@ check: vet lint-examples build
 	$(GO) test -count=1 -run='TestChunkedDecodeZeroAllocsSteadyState' ./internal/trace
 	$(GO) test -count=1 -run='TestMRCSteadyZeroAllocs|TestMRCDMSteadyZeroAllocs' ./internal/mrc
 	$(GO) test -count=1 -run='TestResultCacheHitZeroAllocs' ./internal/resultcache
-	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke|TestCrashRecovery' .
+	$(GO) test -count=1 -run='TestSpanHotPathZeroAllocs' ./internal/obs/reqtrace
+	$(GO) test -count=1 -run='TestTelemetry|TestServiceSmoke|TestCrashRecovery|TestServeLoadSmoke' .
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchsweep -verify BENCH_sweep.json
+	$(GO) run ./cmd/serveload -verify BENCH_serve.json
 
 # bench measures the sweep-engine layers (per-config replay, the fused
 # batch, and the chunk-parallel replay) against live execution and
@@ -69,6 +77,14 @@ check: vet lint-examples build
 # snapshot next to it.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+
+# bench-serve replays the seeded production-style request mix against
+# a spawned fvcached and regenerates BENCH_serve.json (latency
+# quantiles per endpoint, hit/coalesce ratios, per-stage time
+# attribution), plus the drained server's telemetry_serve.json next to
+# it.
+bench-serve:
+	$(GO) run ./cmd/serveload -o BENCH_serve.json
 
 fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=60s

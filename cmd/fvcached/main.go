@@ -12,6 +12,8 @@
 //	GET  /healthz       liveness (200 while the process serves HTTP)
 //	GET  /readyz        readiness (503 during boot recovery and drain)
 //	GET  /debug/metrics telemetry in Prometheus text format
+//	GET  /debug/requests flight recorder: recent request traces as JSON
+//	                    (?n= count, ?slowest=K, ?errors=1 filters)
 //
 // Requests for the same workload and scale arriving within the
 // coalescing window are fused into a single batch replay; the "batch"
@@ -60,6 +62,7 @@ func run() (code int) {
 		cacheMemMB = flag.Int("cache-mem-mb", 64, "result cache memory tier budget in MiB")
 		cacheDisk  = flag.Int("cache-disk-mb", 256, "result cache disk tier budget in MiB")
 		deadlineMS = flag.Int64("deadline-ms", 0, "default per-request deadline in ms (0 = none; requests may override with deadline_ms)")
+		traceRing  = flag.Int("trace-ring", 256, "flight-recorder capacity: most recent N request traces kept for /debug/requests")
 	)
 	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagWorkers|harness.FlagTimeout, "")
 	of := obs.AddFlags(flag.CommandLine)
@@ -88,6 +91,7 @@ func run() (code int) {
 		CoalesceWindow:    *window,
 		RequestTimeout:    *reqLimit,
 		DefaultDeadline:   time.Duration(*deadlineMS) * time.Millisecond,
+		TraceRing:         *traceRing,
 		StartUnready:      true, // ready once the cache recovery scan finishes
 	})
 	httpSrv := &http.Server{Handler: sv.Handler()}

@@ -1,0 +1,704 @@
+// Command serveload is the serving-path load generator behind
+// BENCH_serve.json: it replays a seeded production-style request mix
+// against a spawned fvcached and reports where the service's time
+// went.
+//
+//	serveload -o BENCH_serve.json            # spawn fvcached, run, report
+//	serveload -addr http://127.0.0.1:8080    # drive an already-running server
+//	serveload -verify BENCH_serve.json       # validate a committed artifact
+//
+// The mix is deterministic in structure (request sequence, workload
+// choice, config choice) for a given -seed: workloads are drawn from a
+// Zipf distribution over the full registered set, configurations from
+// a small reused pool (config-fingerprint reuse is what exercises
+// request coalescing and both result-cache tiers), and 15% of
+// requests take the analytic /v1/mrc path. The run moves through five
+// phases:
+//
+//	warmup    closed-loop, results discarded; populates the result cache
+//	closed    N workers back to back — the cache-hit steady state
+//	open      fixed arrival rate, latency under unsynchronized load
+//	burst     rounds of identical concurrent requests — coalescing
+//	deadline  deadline_ms shorter than the coalescing window — 504s,
+//	          and the circuit breaker they open (503s). Runs LAST so
+//	          breaker fallout cannot pollute the steady-state phases.
+//
+// The artifact records exact (sorted-sample) p50/p90/p99/p999 per
+// endpoint, hit/coalesce ratios, 429/503/504 rates, and per-stage
+// time attribution aggregated from the server's /debug/requests span
+// data. -verify re-reads an artifact and checks every structural
+// invariant (schema, quantile ordering, ratio ranges, stage
+// coverage), plus the telemetry snapshot written next to it on the
+// spawned server's SIGTERM drain; make check uses it to keep the
+// committed artifact honest.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"fvcache"
+	"fvcache/internal/harness"
+	"fvcache/internal/obs"
+)
+
+// Schema identifies the artifact format for forward compatibility.
+const Schema = "fvcache-bench-serve/v1"
+
+type endpointStats struct {
+	Requests int   `json:"requests"`
+	P50US    int64 `json:"p50_us"`
+	P90US    int64 `json:"p90_us"`
+	P99US    int64 `json:"p99_us"`
+	P999US   int64 `json:"p999_us"`
+	MaxUS    int64 `json:"max_us"`
+}
+
+// stageStat aggregates one span name across every trace the server's
+// flight recorder retained — the per-stage time attribution.
+type stageStat struct {
+	Count   int     `json:"count"`
+	MeanUS  float64 `json:"mean_us"`
+	TotalUS int64   `json:"total_us"`
+}
+
+type report struct {
+	Schema     string `json:"schema"`
+	Seed       int64  `json:"seed"`
+	Requests   int    `json:"requests"`
+	DurationMS int64  `json:"duration_ms"`
+
+	// Endpoints holds exact latency quantiles computed from the full
+	// sorted sample set, per endpoint (measure, mrc).
+	Endpoints map[string]endpointStats `json:"endpoints"`
+
+	// Outcomes counts requests by class: hit / coalesced / executed /
+	// 429 / 503 / 504 / error.
+	Outcomes map[string]int `json:"outcomes"`
+
+	// HitRatio and CoalesceRatio are fractions of successful (2xx)
+	// requests; the rates are fractions of all requests.
+	HitRatio      float64 `json:"hit_ratio"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+	Rate429       float64 `json:"rate_429"`
+	Rate503       float64 `json:"rate_503"`
+	Rate504       float64 `json:"rate_504"`
+
+	// StagesUS attributes time to serving stages (parse, coalesce_wait,
+	// queue_wait, cache_probe, replay, encode, ...) from the span trees
+	// at /debug/requests.
+	StagesUS map[string]stageStat `json:"stages_us"`
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	us       int64
+	outcome  string
+}
+
+// recorder collects samples from concurrent workers.
+type recorder struct {
+	mu      sync.Mutex
+	samples []sample
+	discard bool
+}
+
+func (r *recorder) add(s sample) {
+	r.mu.Lock()
+	if !r.discard {
+		r.samples = append(r.samples, s)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) setDiscard(d bool) {
+	r.mu.Lock()
+	r.discard = d
+	r.mu.Unlock()
+}
+
+// configPool is the reused configuration set. Reuse is the point: the
+// same fingerprints recur so the durable result cache and the
+// coalescing window both see repeats, like production clients
+// re-asking the popular questions.
+var configPool = []string{
+	`{}`,
+	`{"fvc_entries":256}`,
+	`{"fvc_entries":1024}`,
+	`{"assoc":2}`,
+	`{"victim_entries":8}`,
+	`{"main_bytes":8192,"fvc_entries":256}`,
+}
+
+// gen drives requests against one server.
+type gen struct {
+	base   string
+	client *http.Client
+	rec    *recorder
+	names  []string // workload names, Zipf-ranked
+}
+
+func newGen(base string) *gen {
+	wls := fvcache.Workloads()
+	names := make([]string, len(wls))
+	for i, w := range wls {
+		names[i] = w.Name
+	}
+	return &gen{
+		base:   base,
+		client: &http.Client{Timeout: 2 * time.Minute},
+		rec:    &recorder{},
+		names:  names,
+	}
+}
+
+// pick returns the next request's endpoint, workload and config from
+// the worker's deterministic stream.
+func (g *gen) pick(rng *rand.Rand, zipf *rand.Zipf) (endpoint, body string) {
+	wl := g.names[int(zipf.Uint64())%len(g.names)]
+	if rng.Intn(100) < 15 {
+		return "mrc", fmt.Sprintf(`{"workload":%q,"scale":"test","max_size_bytes":65536}`, wl)
+	}
+	// Favor the head of the config pool so fingerprints repeat.
+	ci := rng.Intn(len(configPool) * 2)
+	if ci >= len(configPool) {
+		ci = 0
+	}
+	return "measure", fmt.Sprintf(`{"workload":%q,"scale":"test","config":%s}`, wl, configPool[ci])
+}
+
+// one issues a single request and records its sample.
+func (g *gen) one(endpoint, body string) {
+	start := time.Now()
+	resp, err := g.client.Post(g.base+"/v1/"+endpoint, "application/json", strings.NewReader(body))
+	if err != nil {
+		g.rec.add(sample{endpoint: endpoint, us: time.Since(start).Microseconds(), outcome: "error"})
+		return
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	us := time.Since(start).Microseconds()
+	g.rec.add(sample{endpoint: endpoint, us: us, outcome: classify(endpoint, resp.StatusCode, data)})
+}
+
+// classify mirrors the server's endpoint × outcome labels from the
+// response alone, so the artifact is computable against any server.
+func classify(endpoint string, status int, body []byte) string {
+	switch status {
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusServiceUnavailable:
+		return "503"
+	case http.StatusGatewayTimeout:
+		return "504"
+	}
+	if status >= 400 {
+		return "error"
+	}
+	switch endpoint {
+	case "measure":
+		var out struct {
+			Batch struct {
+				Configs   int  `json:"configs"`
+				CacheHits int  `json:"cache_hits"`
+				Coalesced bool `json:"coalesced"`
+			} `json:"batch"`
+		}
+		if json.Unmarshal(body, &out) == nil {
+			switch {
+			case out.Batch.Configs > 0 && out.Batch.CacheHits == out.Batch.Configs:
+				return "hit"
+			case out.Batch.Coalesced:
+				return "coalesced"
+			}
+		}
+	case "mrc":
+		// The summary is the last NDJSON line.
+		lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+		var sum struct {
+			Summary struct {
+				CacheHit  bool `json:"cache_hit"`
+				Coalesced bool `json:"coalesced"`
+			} `json:"summary"`
+		}
+		if json.Unmarshal([]byte(lines[len(lines)-1]), &sum) == nil {
+			switch {
+			case sum.Summary.CacheHit:
+				return "hit"
+			case sum.Summary.Coalesced:
+				return "coalesced"
+			}
+		}
+	}
+	return "executed"
+}
+
+// closedLoop runs workers back to back until d elapses.
+func (g *gen) closedLoop(workers int, d time.Duration, seed int64) {
+	var wg sync.WaitGroup
+	stop := time.Now().Add(d)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(g.names)-1))
+			for time.Now().Before(stop) {
+				g.one(g.pick(rng, zipf))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// openLoop fires rate requests/second regardless of completion times.
+func (g *gen) openLoop(rate int, d time.Duration, seed int64) {
+	if rate <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(g.names)-1))
+	tick := time.NewTicker(time.Second / time.Duration(rate))
+	defer tick.Stop()
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for time.Now().Before(stop) {
+		<-tick.C
+		endpoint, body := g.pick(rng, zipf)
+		wg.Add(1)
+		go func() { defer wg.Done(); g.one(endpoint, body) }()
+	}
+	wg.Wait()
+}
+
+// burst fires rounds of identical concurrent requests: every member
+// lands inside one coalescing window, so the fused-batch path gets a
+// directed workout.
+func (g *gen) burst(rounds, width int, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 7))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(g.names)-1))
+	for r := 0; r < rounds; r++ {
+		wl := g.names[int(zipf.Uint64())%len(g.names)]
+		body := fmt.Sprintf(`{"workload":%q,"scale":"test","config":%s}`, wl, configPool[rng.Intn(len(configPool))])
+		var wg sync.WaitGroup
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); g.one("measure", body) }()
+		}
+		wg.Wait()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// deadlines issues requests whose deadline is shorter than the
+// server's coalescing window: every one times out (504), and the
+// failures open the per-workload circuit breaker (503). Must run last.
+func (g *gen) deadlines(d time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 13))
+	wl := g.names[rng.Intn(len(g.names))]
+	stop := time.Now().Add(d)
+	for time.Now().Before(stop) {
+		body := fmt.Sprintf(`{"workload":%q,"scale":"test","deadline_ms":1}`, wl)
+		g.one("measure", body)
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// scrapeStages aggregates span durations by name from the server's
+// flight recorder.
+func (g *gen) scrapeStages() (map[string]stageStat, error) {
+	resp, err := g.client.Get(g.base + "/debug/requests?n=100000")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Traces []obs.RequestTrace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	agg := map[string]stageStat{}
+	for _, tr := range out.Traces {
+		for _, sp := range tr.Spans {
+			s := agg[sp.Name]
+			s.Count++
+			s.TotalUS += sp.DurationUS
+			agg[sp.Name] = s
+		}
+	}
+	for name, s := range agg {
+		s.MeanUS = float64(s.TotalUS) / float64(s.Count)
+		agg[name] = s
+	}
+	return agg, nil
+}
+
+// quantileUS returns the exact q-quantile of sorted microsecond
+// latencies (nearest-rank).
+func quantileUS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// build assembles the artifact from the recorded samples.
+func (g *gen) build(seed int64, elapsed time.Duration) report {
+	rep := report{
+		Schema:     Schema,
+		Seed:       seed,
+		DurationMS: elapsed.Milliseconds(),
+		Endpoints:  map[string]endpointStats{},
+		Outcomes:   map[string]int{},
+	}
+	byEndpoint := map[string][]int64{}
+	g.rec.mu.Lock()
+	samples := g.rec.samples
+	g.rec.mu.Unlock()
+	rep.Requests = len(samples)
+	ok := 0
+	for _, s := range samples {
+		rep.Outcomes[s.outcome]++
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.us)
+		switch s.outcome {
+		case "hit", "coalesced", "executed":
+			ok++
+		}
+	}
+	for ep, lat := range byEndpoint {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.Endpoints[ep] = endpointStats{
+			Requests: len(lat),
+			P50US:    quantileUS(lat, 0.50),
+			P90US:    quantileUS(lat, 0.90),
+			P99US:    quantileUS(lat, 0.99),
+			P999US:   quantileUS(lat, 0.999),
+			MaxUS:    lat[len(lat)-1],
+		}
+	}
+	if ok > 0 {
+		rep.HitRatio = float64(rep.Outcomes["hit"]) / float64(ok)
+		rep.CoalesceRatio = float64(rep.Outcomes["coalesced"]) / float64(ok)
+	}
+	if rep.Requests > 0 {
+		n := float64(rep.Requests)
+		rep.Rate429 = float64(rep.Outcomes["429"]) / n
+		rep.Rate503 = float64(rep.Outcomes["503"]) / n
+		rep.Rate504 = float64(rep.Outcomes["504"]) / n
+	}
+	return rep
+}
+
+// child is a spawned fvcached process.
+type child struct {
+	cmd    *exec.Cmd
+	base   string
+	exited chan error
+}
+
+// spawn builds (when bin is empty) and boots fvcached with a fresh
+// cache directory, waiting until /readyz reports ready.
+func spawn(bin, workDir, telemetryOut string, ring int) (*child, error) {
+	if bin == "" {
+		bin = filepath.Join(workDir, "fvcached")
+		if out, err := exec.Command("go", "build", "-o", bin, "fvcache/cmd/fvcached").CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("building fvcached: %v\n%s", err, out)
+		}
+	}
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-coalesce", "2ms",
+		"-cache-dir", filepath.Join(workDir, "cache"),
+		"-trace-ring", fmt.Sprint(ring),
+		"-telemetry-out", telemetryOut,
+	}
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	c := &child{cmd: cmd, exited: make(chan error, 1)}
+	go func() { c.exited <- cmd.Wait() }()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("fvcached produced no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("startup line %q carries no address", line)
+	}
+	c.base = "http://" + strings.TrimSpace(line[i+len(marker):])
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(c.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return c, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, fmt.Errorf("fvcached never became ready at %s", c.base)
+}
+
+// stop drains the child with SIGTERM (triggering its telemetry
+// export) and waits for a clean exit.
+func (c *child) stop() error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-c.exited:
+		return err
+	case <-time.After(60 * time.Second):
+		c.cmd.Process.Kill()
+		return fmt.Errorf("fvcached did not exit after SIGTERM")
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out      = flag.String("o", "BENCH_serve.json", "artifact output path")
+		addr     = flag.String("addr", "", "base URL of a running fvcached (empty = spawn one)")
+		bin      = flag.String("fvcached", "", "fvcached binary to spawn (empty = go build it)")
+		seed     = flag.Int64("seed", 1, "request-mix seed")
+		workers  = flag.Int("load-workers", 8, "closed-loop worker count")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warmup phase (results discarded)")
+		closed   = flag.Duration("closed", 3*time.Second, "closed-loop phase duration")
+		open     = flag.Duration("open", 3*time.Second, "open-loop phase duration")
+		rate     = flag.Int("rate", 150, "open-loop arrival rate (requests/second)")
+		bursts   = flag.Int("burst-rounds", 6, "burst rounds")
+		width    = flag.Int("burst", 24, "concurrent requests per burst round")
+		deadline = flag.Duration("deadline-phase", 1*time.Second, "deadline/breaker phase duration (0 disables)")
+		ring     = flag.Int("trace-ring", 8192, "flight-recorder size for the spawned server")
+		verify   = flag.Bool("verify", false, "validate an existing artifact instead of generating one")
+	)
+	flag.Parse()
+
+	if *verify {
+		path := *out
+		if flag.NArg() > 0 {
+			path = flag.Arg(0)
+		}
+		if err := verifyArtifact(path); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload: verify:", err)
+			return harness.ExitFailure
+		}
+		fmt.Printf("serveload: %s verified\n", path)
+		return harness.ExitOK
+	}
+
+	base := *addr
+	var srv *child
+	telemetryOut := filepath.Join(filepath.Dir(*out), "telemetry_serve.json")
+	if base == "" {
+		workDir, err := os.MkdirTemp("", "serveload")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			return harness.ExitFailure
+		}
+		defer os.RemoveAll(workDir)
+		srv, err = spawn(*bin, workDir, telemetryOut, *ring)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serveload:", err)
+			return harness.ExitFailure
+		}
+		base = srv.base
+		fmt.Printf("serveload: fvcached up at %s\n", base)
+	}
+
+	g := newGen(base)
+	start := time.Now()
+
+	g.rec.setDiscard(true)
+	fmt.Printf("serveload: warmup %s...\n", *warmup)
+	g.closedLoop(2, *warmup, *seed+100)
+	g.rec.setDiscard(false)
+
+	fmt.Printf("serveload: closed loop, %d workers for %s...\n", *workers, *closed)
+	g.closedLoop(*workers, *closed, *seed)
+	fmt.Printf("serveload: open loop, %d req/s for %s...\n", *rate, *open)
+	g.openLoop(*rate, *open, *seed)
+	fmt.Printf("serveload: %d burst rounds of %d...\n", *bursts, *width)
+	g.burst(*bursts, *width, *seed)
+	if *deadline > 0 {
+		fmt.Printf("serveload: deadline phase for %s...\n", *deadline)
+		g.deadlines(*deadline, *seed)
+	}
+	elapsed := time.Since(start)
+
+	stages, err := g.scrapeStages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload: scraping /debug/requests:", err)
+		return harness.ExitFailure
+	}
+	rep := g.build(*seed, elapsed)
+	rep.StagesUS = stages
+
+	if srv != nil {
+		if err := srv.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "serveload: stopping fvcached:", err)
+			return harness.ExitFailure
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		return harness.ExitFailure
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		return harness.ExitFailure
+	}
+	fmt.Printf("serveload: %d requests in %s -> %s\n", rep.Requests, elapsed.Truncate(time.Millisecond), *out)
+	for ep, s := range rep.Endpoints {
+		fmt.Printf("  %-8s n=%-6d p50=%dus p99=%dus\n", ep, s.Requests, s.P50US, s.P99US)
+	}
+	fmt.Printf("  hit=%.2f coalesce=%.2f 429=%.3f 503=%.3f 504=%.3f\n",
+		rep.HitRatio, rep.CoalesceRatio, rep.Rate429, rep.Rate503, rep.Rate504)
+	return harness.ExitOK
+}
+
+// verifyArtifact checks the structural invariants of a committed
+// BENCH_serve.json and the telemetry snapshot written next to it. All
+// violations are reported at once.
+func verifyArtifact(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var bad []string
+	fail := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+
+	if rep.Schema != Schema {
+		fail("schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Requests <= 0 {
+		fail("requests = %d, want > 0", rep.Requests)
+	}
+	if rep.DurationMS <= 0 {
+		fail("duration_ms = %d, want > 0", rep.DurationMS)
+	}
+	if _, ok := rep.Endpoints["measure"]; !ok {
+		fail("endpoints carries no measure entry")
+	}
+	for ep, s := range rep.Endpoints {
+		if s.Requests <= 0 {
+			fail("endpoint %s: requests = %d", ep, s.Requests)
+		}
+		if s.P50US <= 0 {
+			fail("endpoint %s: p50_us = %d, want > 0", ep, s.P50US)
+		}
+		if !(s.P50US <= s.P90US && s.P90US <= s.P99US && s.P99US <= s.P999US && s.P999US <= s.MaxUS) {
+			fail("endpoint %s: quantiles not monotone: p50=%d p90=%d p99=%d p999=%d max=%d",
+				ep, s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
+		}
+	}
+	ratio := func(name string, v float64) {
+		if v < 0 || v > 1 {
+			fail("%s = %v outside [0,1]", name, v)
+		}
+	}
+	ratio("hit_ratio", rep.HitRatio)
+	ratio("coalesce_ratio", rep.CoalesceRatio)
+	ratio("rate_429", rep.Rate429)
+	ratio("rate_503", rep.Rate503)
+	ratio("rate_504", rep.Rate504)
+	// The warmed, fingerprint-reusing mix must actually hit the cache
+	// and actually coalesce — a run where neither happens measured the
+	// wrong thing.
+	if rep.HitRatio == 0 {
+		fail("hit_ratio = 0: the warmed mix never hit the result cache")
+	}
+	if rep.CoalesceRatio == 0 {
+		fail("coalesce_ratio = 0: the burst phase never coalesced")
+	}
+	for _, stage := range []string{"parse", "coalesce_wait", "queue_wait", "cache_probe", "replay", "encode"} {
+		s, ok := rep.StagesUS[stage]
+		if !ok || s.Count <= 0 {
+			fail("stages_us missing %q (span data absent from /debug/requests scrape)", stage)
+		} else if s.TotalUS < 0 {
+			fail("stages_us[%q].total_us = %d", stage, s.TotalUS)
+		}
+	}
+
+	// The spawned server's SIGTERM drain exports its telemetry next to
+	// the artifact; it must validate and carry the serving-path
+	// latency histograms and request traces.
+	tpath := filepath.Join(filepath.Dir(path), "telemetry_serve.json")
+	tbuf, err := os.ReadFile(tpath)
+	if err != nil {
+		fail("telemetry snapshot missing next to %s: %v", path, err)
+	} else {
+		snap, err := obs.ValidateSnapshot(tbuf)
+		if err != nil {
+			fail("telemetry snapshot invalid: %v", err)
+		} else {
+			found := false
+			for name := range snap.Latencies {
+				if strings.HasPrefix(name, "serve_latency_us{") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fail("telemetry snapshot carries no serve_latency_us histograms")
+			}
+			if len(snap.Requests) == 0 {
+				fail("telemetry snapshot carries no request traces")
+			}
+		}
+	}
+
+	if len(bad) > 0 {
+		return fmt.Errorf("%s failed %d checks:\n  %s", path, len(bad), strings.Join(bad, "\n  "))
+	}
+	return nil
+}

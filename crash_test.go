@@ -33,7 +33,10 @@ type fvcachedInstance struct {
 // for /readyz to go green.
 func startFVCached(t *testing.T, bin string, extra ...string) *fvcachedInstance {
 	t.Helper()
-	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	// -telemetry-out defaults to ./telemetry.json, which would
+	// overwrite the committed artifact on every run; extra flags
+	// appear later on the command line, so a caller can re-enable it.
+	args := append([]string{"-addr", "127.0.0.1:0", "-telemetry-out", ""}, extra...)
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -235,24 +235,47 @@ func RunSweep(ctx context.Context, tasks []Task, opt SweepOptions) Summary {
 	return sum
 }
 
-// etaNote estimates the remaining sweep time from the average duration
-// of tasks executed this run, falling back to the checkpoint
-// manifest's recorded durations (a resumed sweep knows how long its
-// finished siblings took before any new task completes). Empty when no
-// estimate is available yet.
+// etaSeedWeight is how many virtual tasks the checkpoint manifest's
+// recorded average contributes to the blended ETA: live durations from
+// this run dominate once more than two tasks have finished, so the
+// estimate tightens as the run progresses instead of trusting a stale
+// manifest (or the first, often unrepresentative, task) forever.
+const etaSeedWeight = 2
+
+// etaNote estimates the remaining sweep time by blending the average
+// duration of tasks executed this run with the checkpoint manifest's
+// recorded durations (a resumed sweep knows how long its finished
+// siblings took before any new task completes). Empty when no estimate
+// is available yet. The live estimate is also exported as the
+// sweep_eta_ms gauge.
 func etaNote(ran int, ranMS int64, manifest *Manifest, remaining int) string {
-	avgMS := int64(0)
-	switch {
-	case ran > 0:
-		avgMS = ranMS / int64(ran)
-	case manifest != nil:
-		avgMS = manifest.AvgDurationMS()
-	}
+	avgMS := blendedAvgMS(ran, ranMS, manifestAvgMS(manifest))
 	if avgMS <= 0 || remaining <= 0 {
 		return ""
 	}
 	eta := time.Duration(avgMS*int64(remaining)) * time.Millisecond
+	obs.Default.Gauge("sweep_eta_ms").Set(float64(eta.Milliseconds()))
 	return fmt.Sprintf(" (eta %s)", eta.Truncate(time.Second))
+}
+
+func manifestAvgMS(m *Manifest) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.AvgDurationMS()
+}
+
+// blendedAvgMS folds live per-task durations into the manifest-seeded
+// average, weighting the seed as etaSeedWeight virtual tasks.
+func blendedAvgMS(ran int, ranMS, seedMS int64) int64 {
+	switch {
+	case ran > 0 && seedMS > 0:
+		return (ranMS + seedMS*etaSeedWeight) / int64(ran+etaSeedWeight)
+	case ran > 0:
+		return ranMS / int64(ran)
+	default:
+		return seedMS
+	}
 }
 
 // runOne executes a single task behind the panic boundary, handling

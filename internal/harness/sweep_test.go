@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fvcache/internal/obs"
 )
 
 // sweepTasks builds three tasks; the one named failID panics.
@@ -154,5 +156,45 @@ func TestManifestCorruptFileDegradesToFresh(t *testing.T) {
 	m := LoadManifest(dir, "k")
 	if len(m.Done) != 0 || m.Key != "k" {
 		t.Errorf("corrupt manifest must load fresh, got %+v", m)
+	}
+}
+
+// TestBlendedETA checks the manifest-seeded / live-duration blend: the
+// seed counts as etaSeedWeight virtual tasks, so live measurements take
+// over as a run progresses.
+func TestBlendedETA(t *testing.T) {
+	cases := []struct {
+		name               string
+		ran                int
+		ranMS, seedMS, want int64
+	}{
+		{"no data", 0, 0, 0, 0},
+		{"seed only", 0, 0, 500, 500},
+		{"live only", 4, 400, 0, 100},
+		{"blend weights seed as two tasks", 1, 100, 400, (100 + 800) / 3},
+		{"live dominates with many tasks", 18, 1800, 1000, (1800 + 2000) / 20},
+	}
+	for _, c := range cases {
+		if got := blendedAvgMS(c.ran, c.ranMS, c.seedMS); got != c.want {
+			t.Errorf("%s: blendedAvgMS(%d, %d, %d) = %d, want %d",
+				c.name, c.ran, c.ranMS, c.seedMS, got, c.want)
+		}
+	}
+	// A long-running sweep's estimate must converge toward the live
+	// average even when the seed is wildly off.
+	if got := blendedAvgMS(100, 100*50, 5000); got > 150 {
+		t.Errorf("blend did not converge to live average: %d", got)
+	}
+}
+
+// TestEtaNoteExportsGauge checks the sweep_eta_ms gauge tracks the
+// printed estimate.
+func TestEtaNoteExportsGauge(t *testing.T) {
+	note := etaNote(2, 2000, nil, 3)
+	if note == "" {
+		t.Fatal("no ETA with live data")
+	}
+	if got := obs.Default.Gauge("sweep_eta_ms").Load(); got != 3000 {
+		t.Errorf("sweep_eta_ms = %v, want 3000", got)
 	}
 }

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// QuantileHist is a fixed-bucket HDR-style histogram for exact-error
+// quantile queries: every recorded value lands in a bucket whose width
+// is at most value/10^sigfigs, so any quantile read back is within that
+// relative error of the true sample quantile. Unlike the coarse log2
+// Histogram it answers "what is p99 latency" with configured precision,
+// and two histograms with the same configuration merge by bucket-wise
+// addition — the property fleet-wide latency aggregation needs (merging
+// quantile *estimates* is lossy; merging bucket counts is exact).
+//
+// The layout is the classic HdrHistogram scheme: values below
+// subBucketCount are recorded at unit resolution; each further
+// power-of-two magnitude reuses the top half of the sub-bucket range at
+// doubled bucket width, keeping relative error bounded by
+// 1/subBucketHalfCount <= 10^-sigfigs. Everything is bounded at
+// construction and Observe is two atomic adds plus an atomic increment,
+// so the type is hot-path safe and lock-free.
+type QuantileHist struct {
+	sigfigs int
+	subMag  uint   // log2(subBucketCount)
+	subHalf uint64 // subBucketCount / 2
+	subMask uint64 // subBucketCount - 1
+	maxVal  uint64 // observations clamp here (top bucket)
+
+	counts []atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// QuantileMaxValue is the largest trackable observation; larger values
+// clamp to it. In microseconds this is ~12.7 days — far beyond any
+// request latency worth distinguishing.
+const QuantileMaxValue = 1 << 40
+
+// NewQuantileHist builds a histogram with the given significant
+// decimal digits of quantile precision. sigfigs outside [1, 4] is
+// clamped (4 digits already costs ~2^14 sub-buckets; more precision
+// than that is measurement noise for latencies).
+func NewQuantileHist(sigfigs int) *QuantileHist {
+	if sigfigs < 1 {
+		sigfigs = 1
+	}
+	if sigfigs > 4 {
+		sigfigs = 4
+	}
+	// Smallest power of two >= 2*10^sigfigs, so that
+	// subBucketHalfCount >= 10^sigfigs.
+	largest := uint64(2)
+	for i := 0; i < sigfigs; i++ {
+		largest *= 10
+	}
+	subMag := uint(bits.Len64(largest - 1))
+	subCount := uint64(1) << subMag
+	h := &QuantileHist{
+		sigfigs: sigfigs,
+		subMag:  subMag,
+		subHalf: subCount / 2,
+		subMask: subCount - 1,
+		maxVal:  QuantileMaxValue,
+	}
+	// One half-range per power-of-two magnitude above the first full
+	// range; enough buckets to reach maxVal.
+	bucketCount := bits.Len64(h.maxVal|h.subMask) - int(subMag) + 1
+	h.counts = make([]atomic.Uint64, (bucketCount+1)*int(h.subHalf))
+	return h
+}
+
+// SigFigs returns the configured significant digits.
+func (h *QuantileHist) SigFigs() int { return h.sigfigs }
+
+// countsIndex maps a value to its bucket slot.
+func (h *QuantileHist) countsIndex(v uint64) int {
+	bucket := bits.Len64(v|h.subMask) - int(h.subMag)
+	sub := v >> uint(bucket)
+	return (bucket+1)*int(h.subHalf) + int(sub) - int(h.subHalf)
+}
+
+// highestEquivalent returns the largest value that lands in slot idx.
+// It is strictly increasing in idx, which makes the frozen cumulative
+// buckets monotonic by construction.
+func (h *QuantileHist) highestEquivalent(idx int) uint64 {
+	bucket := idx/int(h.subHalf) - 1
+	sub := uint64(idx%int(h.subHalf)) + h.subHalf
+	if bucket < 0 {
+		sub -= h.subHalf
+		bucket = 0
+	}
+	return ((sub + 1) << uint(bucket)) - 1
+}
+
+// Observe records one value. Values above the trackable maximum clamp
+// to the top bucket rather than being dropped: a pathological tail
+// must stay visible in p999 even if its exact magnitude saturates.
+func (h *QuantileHist) Observe(v uint64) {
+	if !Enabled {
+		return
+	}
+	if v > h.maxVal {
+		v = h.maxVal
+	}
+	h.counts[h.countsIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *QuantileHist) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed (clamped) values.
+func (h *QuantileHist) Sum() uint64 { return h.sum.Load() }
+
+// Quantile returns the q-quantile (q in [0, 1]) of the recorded
+// values: the highest value equivalent to the ceil(q*n)-th smallest
+// observation's bucket. The result is >= the true sample quantile and
+// exceeds it by at most a factor of 10^-sigfigs. Returns 0 when
+// nothing was observed.
+func (h *QuantileHist) Quantile(q float64) uint64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.highestEquivalent(i)
+		}
+	}
+	return h.highestEquivalent(len(h.counts) - 1)
+}
+
+// Merge adds o's observations into h. Both histograms must share a
+// configuration (same sigfigs, hence same bucket layout) — that is
+// what makes the merge exact, and what a fleet aggregator relies on.
+func (h *QuantileHist) Merge(o *QuantileHist) error {
+	if o == nil {
+		return nil
+	}
+	if h.sigfigs != o.sigfigs || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("obs: merging quantile histograms with different layouts (%d vs %d sigfigs)",
+			h.sigfigs, o.sigfigs)
+	}
+	for i := range h.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.n.Add(o.n.Load())
+	h.sum.Add(o.sum.Load())
+	return nil
+}
+
+// reset zeroes the histogram in place (Registry.Reset).
+func (h *QuantileHist) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.n.Store(0)
+	h.sum.Store(0)
+}
+
+// freeze converts the histogram into its snapshot form: cumulative
+// non-empty buckets plus the standard latency quantiles, computed in
+// the same walk.
+func (h *QuantileHist) freeze() QuantileSnapshot {
+	out := QuantileSnapshot{SigFigs: h.sigfigs, Count: h.Count(), Sum: h.Sum()}
+	if out.Count == 0 {
+		return out
+	}
+	ranks := [4]uint64{
+		uint64(math.Ceil(0.50 * float64(out.Count))),
+		uint64(math.Ceil(0.90 * float64(out.Count))),
+		uint64(math.Ceil(0.99 * float64(out.Count))),
+		uint64(math.Ceil(0.999 * float64(out.Count))),
+	}
+	qs := [4]*uint64{&out.P50, &out.P90, &out.P99, &out.P999}
+	var cum uint64
+	next := 0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := h.highestEquivalent(i)
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: cum})
+		for next < len(ranks) && cum >= max64(ranks[next], 1) {
+			*qs[next] = le
+			next++
+		}
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

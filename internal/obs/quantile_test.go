@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestQuantileOracle checks the HDR error guarantee against a
+// sorted-sample oracle: for every queried q, the histogram answer must
+// be >= the true sample quantile and within the configured relative
+// error above it.
+func TestQuantileOracle(t *testing.T) {
+	if !Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	qs := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	for _, sig := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(42))
+		h := NewQuantileHist(sig)
+		samples := make([]uint64, 0, 20000)
+		// Mix of distributions: uniform small, log-uniform wide, and a
+		// heavy tail — exercises unit-resolution and scaled buckets.
+		for i := 0; i < 5000; i++ {
+			v := uint64(rng.Intn(1000))
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		for i := 0; i < 5000; i++ {
+			v := uint64(math.Exp(rng.Float64() * 20))
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		for i := 0; i < 5000; i++ {
+			v := uint64(1_000_000) + uint64(rng.Intn(50_000_000))
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		relErr := math.Pow(10, -float64(sig))
+		for _, q := range qs {
+			rank := int(math.Ceil(q * float64(len(samples))))
+			if rank < 1 {
+				rank = 1
+			}
+			oracle := samples[rank-1]
+			got := h.Quantile(q)
+			if got < oracle {
+				t.Errorf("sigfigs=%d q=%g: got %d < oracle %d", sig, q, got, oracle)
+			}
+			bound := oracle + uint64(float64(oracle)*relErr) + 1
+			if got > bound {
+				t.Errorf("sigfigs=%d q=%g: got %d > bound %d (oracle %d)", sig, q, got, bound, oracle)
+			}
+		}
+		if h.Count() != uint64(len(samples)) {
+			t.Errorf("sigfigs=%d: count %d, want %d", sig, h.Count(), len(samples))
+		}
+	}
+}
+
+// TestQuantileRoundTrip pins the bucket mapping: every representative
+// value must land in a bucket whose highest-equivalent bound is >= the
+// value and within relative error of it.
+func TestQuantileRoundTrip(t *testing.T) {
+	h := NewQuantileHist(2)
+	relErr := 0.01
+	for _, v := range []uint64{0, 1, 2, 99, 100, 127, 128, 255, 256, 1023, 1024,
+		12345, 1 << 20, 1<<30 + 7, QuantileMaxValue - 1, QuantileMaxValue} {
+		idx := h.countsIndex(v)
+		hi := h.highestEquivalent(idx)
+		if hi < v {
+			t.Errorf("v=%d: highestEquivalent %d < v", v, hi)
+		}
+		if float64(hi-v) > relErr*float64(v)+1 {
+			t.Errorf("v=%d: highestEquivalent %d too far", v, hi)
+		}
+	}
+}
+
+// TestQuantileClamp checks values above the trackable maximum clamp to
+// the top bucket instead of being dropped or panicking.
+func TestQuantileClamp(t *testing.T) {
+	if !Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	h := NewQuantileHist(2)
+	h.Observe(math.MaxUint64)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(1); got < QuantileMaxValue {
+		t.Fatalf("Quantile(1) = %d, want >= %d", got, uint64(QuantileMaxValue))
+	}
+}
+
+// TestQuantileMerge checks that merging two histograms is equivalent
+// to observing the union, and that mismatched layouts are rejected.
+func TestQuantileMerge(t *testing.T) {
+	if !Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	rng := rand.New(rand.NewSource(7))
+	a, b, both := NewQuantileHist(2), NewQuantileHist(2), NewQuantileHist(2)
+	for i := 0; i < 4000; i++ {
+		v := uint64(math.Exp(rng.Float64() * 15))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != both.Count() || a.Sum() != both.Sum() {
+		t.Fatalf("merged count/sum %d/%d, want %d/%d", a.Count(), a.Sum(), both.Count(), both.Sum())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("q=%g: merged %d != union %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	if err := a.Merge(NewQuantileHist(3)); err == nil {
+		t.Fatal("merging mismatched sigfigs succeeded, want error")
+	}
+}
+
+// TestQuantileSnapshotValid checks the frozen form passes
+// ValidateSnapshot (bucket monotonicity, quantile ordering) and round
+// trips through the registry.
+func TestQuantileSnapshotValid(t *testing.T) {
+	if !Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRegistry()
+	q := r.Quantile(Labeled("serve_latency_us", "endpoint", "measure"), 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		q.Observe(uint64(math.Exp(rng.Float64() * 18)))
+	}
+	r.SetRequestTraces(func() []RequestTrace {
+		return []RequestTrace{{
+			ID: "abc123", Endpoint: "measure", Status: 200, Outcome: "executed",
+			DurationUS: 1500,
+			Spans: []RequestSpan{
+				{Name: "parse", Parent: -1, StartUS: 0, DurationUS: 10},
+				{Name: "batch_wait", Parent: -1, StartUS: 10, DurationUS: 1400},
+				{Name: "replay", Parent: 1, StartUS: 300, DurationUS: 1100},
+			},
+		}}
+	})
+	var buf strings.Builder
+	s := r.Snapshot()
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ValidateSnapshot([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("ValidateSnapshot: %v", err)
+	}
+	ls, ok := parsed.Latencies[Labeled("serve_latency_us", "endpoint", "measure")]
+	if !ok {
+		t.Fatal("latency series missing from snapshot")
+	}
+	if ls.Count != 10000 || ls.P50 == 0 || ls.P50 > ls.P999 {
+		t.Fatalf("bad latency snapshot: %+v", ls)
+	}
+	if len(parsed.Requests) != 1 || parsed.Requests[0].ID != "abc123" {
+		t.Fatalf("request traces not exported: %+v", parsed.Requests)
+	}
+	// Prometheus export must include the latency series as a histogram.
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	// The series labels must survive onto every bucket/sum/count line
+	// (merged with le), not be stripped to a bare ambiguous name.
+	for _, want := range []string{
+		`serve_latency_us_bucket{endpoint="measure",le=`,
+		`serve_latency_us_sum{endpoint="measure"}`,
+		`serve_latency_us_count{endpoint="measure"} 10000`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("prometheus export missing %s:\n%s", want, prom.String())
+		}
+	}
+	if strings.Count(prom.String(), "# TYPE serve_latency_us histogram") != 1 {
+		t.Fatalf("TYPE line not deduplicated per base name:\n%s", prom.String())
+	}
+}
+
+// TestValidateSnapshotRejectsBadTraces checks the new validations fire.
+func TestValidateSnapshotRejectsBadTraces(t *testing.T) {
+	if !Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRegistry()
+	r.SetRequestTraces(func() []RequestTrace {
+		return []RequestTrace{{
+			ID:     "bad",
+			Status: 200,
+			Spans:  []RequestSpan{{Name: "x", Parent: 5}}, // forward parent
+		}}
+	})
+	var buf strings.Builder
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateSnapshot([]byte(buf.String())); err == nil {
+		t.Fatal("snapshot with forward span parent validated, want error")
+	}
+}

@@ -82,8 +82,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	root     *Span
-	start    time.Time
+	quants   map[string]*QuantileHist
+	// reqTraces, when set, supplies recent per-request traces for the
+	// snapshot (a provider hook rather than a direct dependency, so the
+	// flight recorder can live above this package).
+	reqTraces func() []RequestTrace
+	root      *Span
+	start     time.Time
 }
 
 // NewRegistry returns an empty registry whose root span starts now.
@@ -93,6 +98,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		quants:   map[string]*QuantileHist{},
 		root:     &Span{name: "run", start: now},
 		start:    now,
 	}
@@ -134,6 +140,30 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Quantile returns the named exact-quantile histogram, creating it
+// with the given significant digits on first use. Subsequent lookups
+// return the existing histogram regardless of sigfigs — the first
+// registration wins, keeping the layout stable for merging.
+func (r *Registry) Quantile(name string, sigfigs int) *QuantileHist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q := r.quants[name]
+	if q == nil {
+		q = NewQuantileHist(sigfigs)
+		r.quants[name] = q
+	}
+	return q
+}
+
+// SetRequestTraces installs the provider of recent request traces
+// included in snapshots (the flight recorder's export hook). Pass nil
+// to detach.
+func (r *Registry) SetRequestTraces(fn func() []RequestTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reqTraces = fn
+}
+
 // Root returns the registry's root span (the whole run's phase tree).
 func (r *Registry) Root() *Span { return r.root }
 
@@ -158,6 +188,9 @@ func (r *Registry) Reset() {
 		}
 		h.sum.Store(0)
 		h.n.Store(0)
+	}
+	for _, q := range r.quants {
+		q.reset()
 	}
 	r.start = time.Now()
 	r.root = &Span{name: "run", start: r.start}

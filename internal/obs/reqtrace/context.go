@@ -1,0 +1,21 @@
+package reqtrace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t, so layers below the HTTP handler
+// (batch executor, cache probes) can attach spans to the request that
+// reached them.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or a no-op trace if
+// none is attached — callers never need a nil check.
+func FromContext(ctx context.Context) *Trace {
+	if t, ok := ctx.Value(ctxKey{}).(*Trace); ok && t != nil {
+		return t
+	}
+	return noopTrace
+}

@@ -1,0 +1,305 @@
+package reqtrace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fvcache/internal/obs"
+)
+
+func TestTraceIDSources(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRecorder(8)
+
+	h := http.Header{}
+	h.Set("X-Request-Id", "client-id-42")
+	tr := r.Start("measure", h)
+	if got := tr.ID(); got != "client-id-42" {
+		t.Errorf("X-Request-Id: got %q", got)
+	}
+	r.Finish(tr)
+
+	h = http.Header{}
+	h.Set("X-Request-Id", "bad\r\nid with control\x00bytes")
+	tr = r.Start("measure", h)
+	if got := tr.ID(); got != "bad__id_with_control_bytes" {
+		t.Errorf("sanitized X-Request-Id: got %q", got)
+	}
+	r.Finish(tr)
+
+	h = http.Header{}
+	h.Set("traceparent", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	tr = r.Start("measure", h)
+	if got := tr.ID(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("traceparent: got %q", got)
+	}
+	r.Finish(tr)
+
+	h = http.Header{}
+	h.Set("traceparent", "00-NOTHEX6511916cd43dd8448eb211c803-b7ad6b7169203331-01")
+	tr = r.Start("measure", h)
+	if got := tr.ID(); len(got) != 16 {
+		t.Errorf("malformed traceparent should mint a 16-hex id, got %q", got)
+	}
+	r.Finish(tr)
+
+	tr = r.Start("measure", http.Header{})
+	id1 := tr.ID()
+	r.Finish(tr)
+	tr = r.Start("measure", http.Header{})
+	id2 := tr.ID()
+	r.Finish(tr)
+	if id1 == "" || id1 == id2 {
+		t.Errorf("minted ids must be unique and non-empty: %q, %q", id1, id2)
+	}
+}
+
+func TestTraceSpansAndRing(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRecorder(4)
+	tr := r.Start("measure", http.Header{})
+	tr.SetWorkload("ccomp")
+	root := tr.Begin("parse", -1)
+	tr.End(root)
+	wait := tr.Begin("batch_wait", -1)
+	now := time.Now()
+	tr.Add("replay", wait, now.Add(-2*time.Millisecond), now)
+	// Skipped: zero timestamps from a stubbed executor.
+	if idx := tr.Add("bogus", wait, time.Time{}, now); idx != -1 {
+		t.Errorf("Add with zero start returned %d, want -1", idx)
+	}
+	tr.End(wait)
+	tr.SetOutcome(200, "executed")
+	r.Finish(tr)
+
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Workload != "ccomp" || got.Status != 200 || got.Outcome != "executed" {
+		t.Errorf("trace fields: %+v", got)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(got.Spans), got.Spans)
+	}
+	if got.Spans[2].Parent != 1 {
+		t.Errorf("replay span parent = %d, want 1", got.Spans[2].Parent)
+	}
+	for _, sp := range got.Spans {
+		if sp.StartUS < 0 || sp.DurationUS < 0 {
+			t.Errorf("span %q has negative time: %+v", sp.Name, sp)
+		}
+	}
+
+	// Overflow the ring: only the newest 4 remain, newest first.
+	for i := 0; i < 10; i++ {
+		tr := r.Start("mrc", http.Header{})
+		tr.SetOutcome(200, "hit")
+		r.Finish(tr)
+	}
+	traces = r.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Endpoint != "mrc" {
+			t.Errorf("old trace survived ring overflow: %+v", tr)
+		}
+	}
+}
+
+func TestTraceSpanOverflowCounted(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRecorder(2)
+	tr := r.Start("measure", http.Header{})
+	for i := 0; i < MaxSpans+5; i++ {
+		idx := tr.Begin("s", -1)
+		tr.End(idx)
+	}
+	r.Finish(tr)
+	got := r.Traces()[0]
+	if len(got.Spans) != MaxSpans || got.Dropped != 5 {
+		t.Fatalf("spans=%d dropped=%d, want %d/5", len(got.Spans), got.Dropped, MaxSpans)
+	}
+}
+
+// TestRecorderConcurrency hammers the ring with concurrent writers
+// while readers snapshot it and the debug handler serves requests;
+// run under -race this is the flight recorder's safety pin.
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(32)
+	handler := r.Handler()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := r.Start("measure", http.Header{})
+				tr.SetWorkload("go")
+				idx := tr.Begin("parse", -1)
+				tr.End(idx)
+				b := tr.Begin("batch_wait", -1)
+				now := time.Now()
+				tr.Add("replay", b, now.Add(-time.Microsecond), now)
+				tr.End(b)
+				if i%3 == 0 {
+					tr.SetOutcome(503, "503")
+					tr.SetError("queue full")
+				} else {
+					tr.SetOutcome(200, "executed")
+				}
+				r.Finish(tr)
+			}
+		}(w)
+	}
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, tr := range r.Traces() {
+					if tr.ID == "" {
+						t.Error("trace with empty id in ring")
+						return
+					}
+				}
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?slowest=5", nil))
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?errors=1", nil))
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestHandlerFilters(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRecorder(16)
+	for i := 0; i < 10; i++ {
+		tr := r.Start("measure", http.Header{})
+		if i%4 == 0 {
+			tr.SetOutcome(429, "429")
+			tr.SetError("queue full")
+		} else {
+			tr.SetOutcome(200, "hit")
+		}
+		r.Finish(tr)
+	}
+	decode := func(target string) struct {
+		Count  int                `json:"count"`
+		Traces []obs.RequestTrace `json:"traces"`
+	} {
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		var out struct {
+			Count  int                `json:"count"`
+			Traces []obs.RequestTrace `json:"traces"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		return out
+	}
+	if got := decode("/debug/requests"); got.Count != 10 {
+		t.Errorf("unfiltered count = %d, want 10", got.Count)
+	}
+	if got := decode("/debug/requests?n=3"); got.Count != 3 {
+		t.Errorf("n=3 count = %d", got.Count)
+	}
+	errs := decode("/debug/requests?errors=1")
+	if errs.Count != 3 {
+		t.Errorf("errors count = %d, want 3", errs.Count)
+	}
+	for _, tr := range errs.Traces {
+		if tr.Status != 429 {
+			t.Errorf("errors filter leaked status %d", tr.Status)
+		}
+	}
+	slow := decode("/debug/requests?slowest=2")
+	if slow.Count != 2 {
+		t.Errorf("slowest count = %d, want 2", slow.Count)
+	}
+	if len(slow.Traces) == 2 && slow.Traces[0].DurationUS < slow.Traces[1].DurationUS {
+		t.Error("slowest not sorted by duration")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if tr := FromContext(ctx); tr == nil || !tr.noop {
+		t.Fatal("FromContext on bare context must return the noop trace")
+	}
+	// The noop trace absorbs every call without panicking.
+	tr := FromContext(ctx)
+	tr.SetWorkload("x")
+	tr.End(tr.Begin("a", -1))
+	tr.Add("b", -1, time.Now(), time.Now())
+
+	if !obs.Enabled {
+		return
+	}
+	r := NewRecorder(2)
+	real := r.Start("measure", http.Header{})
+	ctx = NewContext(ctx, real)
+	if got := FromContext(ctx); got != real {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+	r.Finish(real)
+}
+
+// TestSpanHotPathZeroAllocs pins the request-span hot path: after the
+// pool and ring warm up, a full Start → spans → Finish cycle must not
+// allocate. This is the serving-path analog of the replay-loop
+// zero-alloc gates.
+func TestSpanHotPathZeroAllocs(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	r := NewRecorder(8)
+	hdr := http.Header{}
+	cycle := func() {
+		tr := r.Start("measure", hdr)
+		tr.SetWorkload("go")
+		p := tr.Begin("parse", -1)
+		tr.End(p)
+		b := tr.Begin("batch_wait", -1)
+		now := time.Now()
+		tr.Add("queue_wait", b, now.Add(-time.Microsecond), now)
+		tr.Add("replay", b, now.Add(-time.Microsecond), now)
+		tr.End(b)
+		e := tr.Begin("encode", -1)
+		tr.End(e)
+		tr.SetOutcome(200, "executed")
+		r.Finish(tr)
+	}
+	// Warm the pool and the ring slots' span slices.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0 {
+		t.Fatalf("request-span hot path allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -25,7 +26,59 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
-	Phases     *PhaseNode                   `json:"phases"`
+	// Latencies holds the exact-quantile (HDR-style) histograms, keyed
+	// like Histograms (Labeled names pass through).
+	Latencies map[string]QuantileSnapshot `json:"latencies,omitempty"`
+	Phases    *PhaseNode                  `json:"phases"`
+	// Requests holds recent per-request span trees from the flight
+	// recorder, newest first, when a provider is installed (at most
+	// maxSnapshotRequests of them, however large the live ring is).
+	Requests []RequestTrace `json:"requests,omitempty"`
+}
+
+// maxSnapshotRequests bounds the request traces embedded in an
+// exported snapshot, keeping telemetry.json reviewable even when the
+// flight recorder is sized for deep /debug/requests history.
+const maxSnapshotRequests = 256
+
+// QuantileSnapshot is one QuantileHist frozen: headline quantiles plus
+// the cumulative non-empty buckets (Le = highest value equivalent to
+// the bucket, so bounds are strictly increasing).
+type QuantileSnapshot struct {
+	SigFigs int      `json:"sigfigs"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	P999    uint64   `json:"p999"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// RequestTrace is one request's frozen span tree as recorded by the
+// flight recorder. Spans are stored flat with parent indices: Parent
+// is -1 for a root span and otherwise indexes an earlier span in the
+// slice (parents always precede children).
+type RequestTrace struct {
+	ID         string        `json:"id"`
+	Endpoint   string        `json:"endpoint"`
+	Workload   string        `json:"workload,omitempty"`
+	Status     int           `json:"status"`
+	Outcome    string        `json:"outcome,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Start      time.Time     `json:"start"`
+	DurationUS int64         `json:"duration_us"`
+	Dropped    int           `json:"dropped,omitempty"`
+	Spans      []RequestSpan `json:"spans,omitempty"`
+}
+
+// RequestSpan is one stage of a request trace. StartUS is the offset
+// from the trace start.
+type RequestSpan struct {
+	Name       string `json:"name"`
+	Parent     int    `json:"parent"`
+	StartUS    int64  `json:"start_us"`
+	DurationUS int64  `json:"duration_us"`
 }
 
 // HistogramSnapshot is one histogram's frozen buckets. Buckets are
@@ -74,8 +127,24 @@ func (r *Registry) Snapshot() *Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.freeze()
 	}
+	if len(r.quants) > 0 {
+		s.Latencies = make(map[string]QuantileSnapshot, len(r.quants))
+		for name, q := range r.quants {
+			s.Latencies[name] = q.freeze()
+		}
+	}
+	reqFn := r.reqTraces
 	root := r.root
 	r.mu.Unlock()
+	if reqFn != nil {
+		s.Requests = reqFn()
+		// Bound the exported artifact: the live flight recorder may be
+		// sized for /debug/requests inspection (thousands of slots), but
+		// a telemetry snapshot keeps only the most recent traces.
+		if len(s.Requests) > maxSnapshotRequests {
+			s.Requests = s.Requests[:maxSnapshotRequests]
+		}
+	}
 	s.Phases = root.snapshot(now)
 	return s
 }
@@ -169,7 +238,57 @@ func ValidateSnapshot(data []byte) (*Snapshot, error) {
 				name, h.Buckets[n-1].Count, h.Count)
 		}
 	}
+	for name, q := range s.Latencies {
+		if q.SigFigs < 1 || q.SigFigs > 5 {
+			return nil, fmt.Errorf("obs: latency %q has sigfigs %d outside [1,5]", name, q.SigFigs)
+		}
+		var prevLe, prevCount uint64
+		for i, b := range q.Buckets {
+			if i > 0 && (b.Le <= prevLe || b.Count < prevCount) {
+				return nil, fmt.Errorf("obs: latency %q buckets not monotonic at le=%d", name, b.Le)
+			}
+			prevLe, prevCount = b.Le, b.Count
+		}
+		if n := len(q.Buckets); n > 0 && q.Buckets[n-1].Count != q.Count {
+			return nil, fmt.Errorf("obs: latency %q cumulative count %d != count %d",
+				name, q.Buckets[n-1].Count, q.Count)
+		}
+		if q.Count > 0 && (q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.P999) {
+			return nil, fmt.Errorf("obs: latency %q quantiles not monotonic (p50=%d p90=%d p99=%d p999=%d)",
+				name, q.P50, q.P90, q.P99, q.P999)
+		}
+	}
+	for i := range s.Requests {
+		if err := validateRequestTrace(&s.Requests[i]); err != nil {
+			return nil, err
+		}
+	}
 	return &s, nil
+}
+
+// validateRequestTrace checks one request trace's well-formedness: a
+// non-empty ID, sane durations, and a span list in which every parent
+// index refers to an earlier span (or -1 for roots).
+func validateRequestTrace(t *RequestTrace) error {
+	if t.ID == "" {
+		return fmt.Errorf("obs: request trace with empty id")
+	}
+	if t.DurationUS < 0 {
+		return fmt.Errorf("obs: request %q has negative duration", t.ID)
+	}
+	for i, sp := range t.Spans {
+		if sp.Name == "" {
+			return fmt.Errorf("obs: request %q span %d unnamed", t.ID, i)
+		}
+		if sp.Parent < -1 || sp.Parent >= i {
+			return fmt.Errorf("obs: request %q span %q has parent %d (must be -1 or an earlier span)",
+				t.ID, sp.Name, sp.Parent)
+		}
+		if sp.StartUS < 0 || sp.DurationUS < 0 {
+			return fmt.Errorf("obs: request %q span %q has negative time", t.ID, sp.Name)
+		}
+	}
+	return nil
 }
 
 // validatePhase checks one phase subtree: named nodes, sane durations.
@@ -200,15 +319,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names(s.Gauges) {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", promBase(name), promName(name), s.Gauges[name])
 	}
+	// Labeled series of one metric share a base name: emit one TYPE
+	// line per base (names() sorts, so same-base series are adjacent)
+	// and carry the series labels onto every bucket/sum/count line.
+	typed := ""
 	for _, name := range names(s.Histograms) {
 		h := s.Histograms[name]
-		base := promBase(name)
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
-		for _, bk := range h.Buckets {
-			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", base, bk.Le, bk.Count)
+		base, labels := promSplit(name)
+		if base != typed {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			typed = base
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
-		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", base, h.Sum, base, h.Count)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, promLe(labels, strconv.FormatUint(bk.Le, 10)), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, promLe(labels, "+Inf"), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n%s_count%s %d\n", base, promSuffix(labels), h.Sum, base, promSuffix(labels), h.Count)
+	}
+	typed = ""
+	for _, name := range names(s.Latencies) {
+		q := s.Latencies[name]
+		base, labels := promSplit(name)
+		if base != typed {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			typed = base
+		}
+		for _, bk := range q.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, promLe(labels, strconv.FormatUint(bk.Le, 10)), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, promLe(labels, "+Inf"), q.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n%s_count%s %d\n", base, promSuffix(labels), q.Sum, base, promSuffix(labels), q.Count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -216,10 +356,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // promBase strips a label suffix and sanitizes the bare metric name.
 func promBase(name string) string {
+	base, _ := promSplit(name)
+	return base
+}
+
+// promSplit splits a Labeled name into the sanitized base and the
+// label body without braces ("" when unlabeled).
+func promSplit(name string) (base, labels string) {
 	if i := strings.IndexByte(name, '{'); i >= 0 {
-		name = name[:i]
+		return sanitize(name[:i]), strings.TrimSuffix(name[i+1:], "}")
 	}
-	return sanitize(name)
+	return sanitize(name), ""
+}
+
+// promLe renders a bucket label set: the series labels (if any) with
+// le appended.
+func promLe(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+// promSuffix renders the series labels for _sum/_count lines.
+func promSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
 }
 
 // promName sanitizes the name part while preserving a {label="x"}

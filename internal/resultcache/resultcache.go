@@ -312,11 +312,32 @@ func (c *Cache) quarantine(path string, cause error) {
 	obs.Log.Warn("resultcache quarantined entry", "path", path, "cause", cause.Error())
 }
 
+// Tier identifies which cache tier answered a lookup, so callers
+// (the serving path's request traces) can attribute probe cost to
+// the zero-cost memory tier vs. a disk fault-in.
+type Tier int8
+
+const (
+	// TierNone means the lookup missed both tiers.
+	TierNone Tier = iota
+	// TierMem means the memory tier answered (allocation-free path).
+	TierMem
+	// TierDisk means the entry was faulted in from the disk tier.
+	TierDisk
+)
+
 // Get returns the cached results for k, consulting the memory tier
 // first and faulting in from the validated disk tier on a memory
 // miss. The returned slice is shared and must not be mutated. The
 // memory hit path allocates nothing.
 func (c *Cache) Get(k Key) ([]sim.MeasureResult, bool) {
+	results, tier := c.GetTier(k)
+	return results, tier != TierNone
+}
+
+// GetTier is Get with tier attribution: it additionally reports which
+// tier served the hit (TierNone on a miss).
+func (c *Cache) GetTier(k Key) ([]sim.MeasureResult, Tier) {
 	c.mu.Lock()
 	if e := c.mem[k]; e != nil {
 		c.moveFrontLocked(e)
@@ -332,26 +353,26 @@ func (c *Cache) Get(k Key) ([]sim.MeasureResult, bool) {
 		if promote {
 			c.promote(k, results)
 		}
-		return results, true
+		return results, TierMem
 	}
 	de, onDisk := c.disk[k]
 	c.mu.Unlock()
 	if !onDisk || !c.diskUsable() {
 		c.misses.Add(1)
 		cacheMisses.Inc()
-		return nil, false
+		return nil, TierNone
 	}
 	results, ok := c.diskGet(k, de)
 	if !ok {
 		c.misses.Add(1)
 		cacheMisses.Inc()
-		return nil, false
+		return nil, TierNone
 	}
 	c.hits.Add(1)
 	c.diskHits.Add(1)
 	cacheHits.Inc()
 	cacheDiskHits.Inc()
-	return results, true
+	return results, TierDisk
 }
 
 // diskGet reads, validates and re-caches one disk entry. Corruption

@@ -84,6 +84,9 @@ type mrcSummaryWire struct {
 	// CacheHit is true when the curve came from the durable result
 	// cache instead of a fresh analysis pass.
 	CacheHit bool `json:"cache_hit"`
+	// TraceID is the flight's trace ID, shared by every coalesced
+	// member of the singleflight.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // mrcFlight is one in-flight analysis shared by every identical
@@ -93,6 +96,13 @@ type mrcSummaryWire struct {
 type mrcFlight struct {
 	done     chan struct{}
 	requests int
+	// id is the flight's trace ID, echoed in every member's summary.
+	id string
+
+	// Stage timestamps (zero when the stage never ran).
+	started   time.Time
+	probeDone time.Time // durable-cache probe finished
+	passDone  time.Time // analysis pass finished
 
 	res      *fvcache.MRCResult
 	cacheHit bool
@@ -189,6 +199,7 @@ func (s *Server) runMRCFlight(f *mrcFlight, key string, req fvcache.MRCRequest) 
 
 	span := obs.Begin("serve:mrc:" + req.Workload)
 	defer span.Done()
+	f.started = time.Now()
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opt.RequestTimeout)
 	defer cancel()
@@ -199,17 +210,20 @@ func (s *Server) runMRCFlight(f *mrcFlight, key string, req fvcache.MRCRequest) 
 		if rs, ok := cache.Get(ck); ok {
 			if res, ok := decodeMRC(rs, req); ok {
 				mrcCacheHits.Inc()
+				f.probeDone = time.Now()
 				f.res, f.cacheHit = res, true
 				return
 			}
 		}
 	}
+	f.probeDone = time.Now()
 
 	err := harness.Recover(func() error {
 		var execErr error
 		f.res, execErr = s.execMRC(ctx, req)
 		return execErr
 	})
+	f.passDone = time.Now()
 	s.brk.report(req.Workload+"|"+req.Scale.String(), err == nil || errors.Is(err, context.Canceled))
 	if err != nil {
 		f.status = http.StatusInternalServerError
@@ -245,25 +259,28 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 	mrcRequests.Inc()
 	inflightReqs.Set(inflightDelta(1))
 	defer inflightReqs.Set(inflightDelta(-1))
-	start := time.Now()
-	defer func() { requestMS.Observe(uint64(time.Since(start).Milliseconds())) }()
+
+	t := s.track("mrc", w, r)
+	start := t.start
+	parse := t.tr.Begin("parse", -1)
 
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
+		t.fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	var req mrcWire
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		t.fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	t.tr.SetWorkload(req.Workload)
 	if _, err := fvcache.LookupWorkload(req.Workload); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	scale, err := parseScale(req.Scale)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	if req.LineBytes == 0 {
@@ -274,18 +291,20 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 		LineBytes: req.LineBytes, MaxSizeBytes: req.MaxSizeBytes, SetCounts: req.SetCounts,
 	}.Validate()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	deadline, err := requestDeadline(r, req.DeadlineMS, start, s.opt.DefaultDeadline)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
+	t.tr.End(parse)
+	observeStage(stageParseUS, start, time.Now())
 	brkKey := mreq.Workload + "|" + scale.String()
 	if ok, retryAfter := s.brk.allow(brkKey); !ok {
 		breakerOpenTotal.Inc()
-		writeErrorFull(w, http.StatusServiceUnavailable,
+		t.failFull(http.StatusServiceUnavailable,
 			fmt.Errorf("circuit breaker open for %s after repeated failures", brkKey),
 			true, "breaker_open", retryAfter)
 		return
@@ -293,16 +312,19 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 
 	// Singleflight on the normalized request: the first arrival starts
 	// the pass, identical concurrent requests wait on the same flight.
+	wait := t.tr.Begin("flight_wait", -1)
+	joined := false
 	key := fmt.Sprintf("%s|%s|%s", mreq.Workload, scale, mrcCacheKey(mreq).ConfigFP)
 	s.mrcMu.Lock()
 	f := s.mrcFlights[key]
 	if f == nil {
-		f = &mrcFlight{done: make(chan struct{}), requests: 1}
+		f = &mrcFlight{done: make(chan struct{}), requests: 1, id: s.rec.Mint()}
 		s.mrcFlights[key] = f
 		s.mrcMu.Unlock()
 		go s.runMRCFlight(f, key, mreq)
 	} else {
 		f.requests++
+		joined = true
 		s.mrcMu.Unlock()
 		mrcCoalesced.Inc()
 		coalescedTotal.Inc()
@@ -317,30 +339,37 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-f.done:
+		t.tr.Add("cache_probe", wait, f.started, f.probeDone)
+		t.tr.Add("analyze", wait, f.probeDone, f.passDone)
+		t.tr.End(wait)
 	case <-deadlineCh:
 		// This request's own deadline fired; the flight keeps running
 		// for its seat-mates.
+		t.tr.End(wait)
 		deadlineExceeded.Inc()
-		writeErrorFull(w, http.StatusGatewayTimeout,
+		t.failFull(http.StatusGatewayTimeout,
 			fmt.Errorf("deadline of %s exceeded", time.Since(start).Round(time.Millisecond)),
-			true, "deadline_exceeded", 0)
+			true, "deadline_exceeded", time.Second)
 		return
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		t.tr.End(wait)
+		t.fail(http.StatusServiceUnavailable, r.Context().Err())
 		return
 	}
 	if f.err != nil {
 		reqErrors.Inc()
 		if f.status == http.StatusGatewayTimeout {
 			deadlineExceeded.Inc()
-			writeErrorFull(w, f.status, f.err, true, "deadline_exceeded", 0)
+			t.failFull(f.status, f.err, true, "deadline_exceeded", time.Second)
 			return
 		}
-		writeError(w, f.status, f.err)
+		t.fail(f.status, f.err)
 		return
 	}
 
 	// Stream: one NDJSON line per point, then the summary.
+	encodeStart := time.Now()
+	encode := t.tr.Begin("encode", -1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -374,7 +403,18 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 		Requests:      f.requests,
 		Coalesced:     f.requests > 1,
 		CacheHit:      f.cacheHit,
+		TraceID:       f.id,
 	}})
+	t.tr.End(encode)
+	observeStage(stageEncodeUS, encodeStart, time.Now())
+	class := "executed"
+	switch {
+	case f.cacheHit:
+		class = "hit"
+	case joined:
+		class = "coalesced"
+	}
+	t.finish(http.StatusOK, class)
 }
 
 // mrcState carries the endpoint's server fields (declared here to keep

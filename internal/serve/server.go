@@ -45,6 +45,7 @@ import (
 	"fvcache"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
+	"fvcache/internal/obs/reqtrace"
 	"fvcache/internal/resultcache"
 )
 
@@ -109,6 +110,9 @@ type Options struct {
 	// use it when boot work (the cache recovery scan) runs after the
 	// listener is accepting.
 	StartUnready bool
+	// TraceRing bounds the flight-recorder ring served at
+	// /debug/requests (<=0 means 256 recent traces).
+	TraceRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -152,8 +156,11 @@ type call struct {
 type callResult struct {
 	results []fvcache.MeasureResult
 	info    batchInfoWire
-	status  int // HTTP status when err != nil
-	err     error
+	// b is the executed batch, carried back so the request handler can
+	// attach the batch's stage timeline to its own trace.
+	b      *batch
+	status int // HTTP status when err != nil
+	err    error
 }
 
 // batch is one coalescing unit: every request sharing (workload,
@@ -165,11 +172,23 @@ type batch struct {
 	scale    fvcache.Scale
 	opts     fvcache.Options
 	optsFP   string // canonical options JSON, part of the cache key
+	// id is the batch's trace ID, echoed to every coalesced member so
+	// clients can correlate requests fused into one execution.
+	id string
 
 	configs []ConfigWire
 	fps     map[string]int
 	subs    []*call
 	timer   *time.Timer
+
+	// Stage timestamps, stamped as the batch moves through the serving
+	// pipeline; zero values mean the stage never ran (stubbed executor,
+	// early failure) and are skipped by trace/stage accounting.
+	created    time.Time // batch opened (coalescing window armed)
+	dispatched time.Time // window closed, handed to the queue
+	execStart  time.Time // worker picked it up
+	cacheDone  time.Time // result-cache probe finished
+	replayDone time.Time // replay (or cache-only serve) finished
 
 	// deadline is the latest member deadline; the batch context must
 	// outlive every coalesced request. unbounded is set when any member
@@ -179,8 +198,10 @@ type batch struct {
 	unbounded bool
 
 	// cacheHits is filled by the executor: how many configs the result
-	// cache answered.
+	// cache answered; diskHits is the subset faulted in from the disk
+	// tier.
 	cacheHits int
+	diskHits  int
 }
 
 // failAll delivers an error to every coalesced request of the batch.
@@ -209,6 +230,8 @@ type Server struct {
 
 	cache atomic.Pointer[resultcache.Cache]
 	brk   *breaker
+	// rec is the per-request flight recorder behind /debug/requests.
+	rec *reqtrace.Recorder
 
 	// mrcState holds the /v1/mrc singleflight table and exec hook
 	// (see mrc.go).
@@ -238,6 +261,7 @@ func New(opt Options) *Server {
 		stop:     cancel,
 		sweepSem: make(chan struct{}, opt.MaxSweeps),
 		brk:      newBreaker(opt.BreakerThreshold, opt.BreakerCooldown),
+		rec:      reqtrace.NewRecorder(opt.TraceRing),
 	}
 	s.ready.Store(!opt.StartUnready)
 	if opt.ResultCache != nil {
@@ -258,6 +282,11 @@ func New(opt Options) *Server {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		obs.Default.WritePrometheus(w)
 	})
+	s.mux.Handle("/debug/requests", s.rec.Handler())
+	// Export this server's recent traces in the telemetry snapshot
+	// (last server created wins the process-global hook; fvcached runs
+	// exactly one).
+	obs.Default.SetRequestTraces(s.rec.Traces)
 	for i := 0; i < opt.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -403,7 +432,10 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 
 // newBatchLocked opens a batch and arms its coalescing window.
 func (s *Server) newBatchLocked(key, workload string, scale fvcache.Scale, opts fvcache.Options, optsFP string) *batch {
-	b := &batch{key: key, workload: workload, scale: scale, opts: opts, optsFP: optsFP, fps: make(map[string]int)}
+	b := &batch{
+		key: key, workload: workload, scale: scale, opts: opts, optsFP: optsFP,
+		fps: make(map[string]int), id: s.rec.Mint(), created: time.Now(),
+	}
 	s.pending[key] = b
 	b.timer = time.AfterFunc(s.opt.CoalesceWindow, func() { s.dispatch(b) })
 	return b
@@ -439,6 +471,9 @@ func (s *Server) enqueue(b *batch, block bool) {
 }
 
 func (s *Server) enqueueLocked(b *batch, block bool) {
+	if b.dispatched.IsZero() {
+		b.dispatched = time.Now() // covers both timer dispatch and the Shutdown flush
+	}
 	if s.qClosed {
 		b.failAll(http.StatusServiceUnavailable, errDraining)
 		return
@@ -482,6 +517,13 @@ func (s *Server) runBatch(b *batch) {
 	batchConfigs.Observe(uint64(len(b.configs)))
 	span := obs.Begin("serve:batch:" + b.workload)
 	defer span.Done()
+	b.execStart = time.Now()
+
+	// The batch gets its own flight-recorder trace under its shared ID:
+	// a client holding the trace_id from any coalesced member's response
+	// finds the fused execution's stage timeline at /debug/requests.
+	bt := s.rec.StartTrace("batch", b.id, b.created)
+	bt.SetWorkload(b.workload)
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.opt.RequestTimeout)
 	defer cancel()
@@ -493,6 +535,9 @@ func (s *Server) runBatch(b *batch) {
 		ctx, dcancel = context.WithDeadline(ctx, b.deadline)
 		defer dcancel()
 	}
+	// Layers below the executor (profile resolution, cache probes)
+	// attach their spans to the batch trace through the context.
+	ctx = reqtrace.NewContext(ctx, bt)
 
 	// harness.Recover contains executor panics (a poisoned workload or
 	// config must fail its own batch, not the process); the breaker
@@ -503,6 +548,16 @@ func (s *Server) runBatch(b *batch) {
 		results, execErr = s.exec(ctx, b)
 		return execErr
 	})
+	b.replayDone = time.Now()
+	observeBatchStages(b)
+	bt.Add("coalesce_wait", -1, b.created, b.dispatched)
+	bt.Add("queue_wait", -1, b.dispatched, b.execStart)
+	bt.Add("cache_probe", -1, b.execStart, b.cacheDone)
+	if !b.cacheDone.IsZero() {
+		bt.Add("replay", -1, b.cacheDone, b.replayDone)
+	} else {
+		bt.Add("replay", -1, b.execStart, b.replayDone)
+	}
 	s.brk.report(b.workload+"|"+b.scale.String(), err == nil || errors.Is(err, context.Canceled))
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -514,21 +569,32 @@ func (s *Server) runBatch(b *batch) {
 		}
 		reqErrors.Add(uint64(len(b.subs)))
 		obs.Log.Warn("batch failed", "workload", b.workload, "configs", len(b.configs), "err", err.Error())
+		bt.SetError(err.Error())
+		bt.SetOutcome(status, outcomeFor(status, ""))
+		s.rec.Finish(bt)
 		b.failAll(status, err)
 		return
 	}
 	info := batchInfoWire{
-		Requests:  len(b.subs),
-		Configs:   len(b.configs),
-		Coalesced: len(b.subs) > 1,
-		CacheHits: b.cacheHits,
+		Requests:      len(b.subs),
+		Configs:       len(b.configs),
+		Coalesced:     len(b.subs) > 1,
+		CacheHits:     b.cacheHits,
+		CacheDiskHits: b.diskHits,
+		TraceID:       b.id,
 	}
+	class := "executed"
+	if b.cacheHits == len(b.configs) && len(b.configs) > 0 {
+		class = "hit"
+	}
+	bt.SetOutcome(http.StatusOK, class)
+	s.rec.Finish(bt)
 	for _, c := range b.subs {
 		rs := make([]fvcache.MeasureResult, len(c.idx))
 		for j, i := range c.idx {
 			rs[j] = results[i]
 		}
-		c.done <- callResult{results: rs, info: info}
+		c.done <- callResult{results: rs, info: info, b: b}
 	}
 	obs.Log.Debug("batch served", "workload", b.workload, "requests", len(b.subs), "configs", len(b.configs))
 }
@@ -552,8 +618,11 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 				ConfigFP: cw.fingerprint() + "|opts:" + b.optsFP,
 				Engine:   fvcache.EngineVersion,
 			}
-			if rs, ok := cache.Get(keys[i]); ok && len(rs) == 1 {
+			if rs, tier := cache.GetTier(keys[i]); tier != resultcache.TierNone && len(rs) == 1 {
 				results[i] = rs[0]
+				if tier == resultcache.TierDisk {
+					b.diskHits++
+				}
 				continue
 			}
 			missing = append(missing, i)
@@ -563,20 +632,24 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 			missing = append(missing, i)
 		}
 	}
+	b.cacheDone = time.Now()
 	b.cacheHits = len(b.configs) - len(missing)
 	if len(missing) == 0 {
 		return results, nil
 	}
 
+	tr := reqtrace.FromContext(ctx)
 	cfgs := make([]fvcache.Config, len(missing))
 	for j, i := range missing {
 		cw := b.configs[i]
 		var values []uint32
 		if cw.needsProfile() {
+			pspan := tr.Begin("profile", -1)
 			var err error
 			values, err = fvcache.Profile(ctx, fvcache.ProfileRequest{
 				Workload: b.workload, Scale: b.scale, K: fvcache.MaxFVTValues(cw.FVCBits),
 			})
+			tr.End(pspan)
 			if err != nil {
 				return nil, err
 			}
@@ -615,27 +688,30 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	reqTotal.Inc()
 	inflightReqs.Set(inflightDelta(1))
 	defer inflightReqs.Set(inflightDelta(-1))
-	start := time.Now()
-	defer func() { requestMS.Observe(uint64(time.Since(start).Milliseconds())) }()
 	span := obs.Begin("serve:measure")
 	defer span.Done()
 
+	t := s.track("measure", w, r)
+	start := t.start
+	parse := t.tr.Begin("parse", -1)
+
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
+		t.fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	var req measureWire
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		t.fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	t.tr.SetWorkload(req.Workload)
 	if _, err := fvcache.LookupWorkload(req.Workload); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	scale, err := parseScale(req.Scale)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	cfgs := req.Configs
@@ -648,34 +724,37 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	for i := range cfgs {
 		cfgs[i] = cfgs[i].normalized()
 		if err := cfgs[i].validate(); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
+			t.fail(http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
 			return
 		}
 	}
 	deadline, err := requestDeadline(r, req.DeadlineMS, start, s.opt.DefaultDeadline)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
+	t.tr.End(parse)
+	observeStage(stageParseUS, start, time.Now())
 
 	// Keys whose executor keeps failing are shed here, before they can
 	// occupy a batch seat; healthy keys are unaffected.
 	brkKey := req.Workload + "|" + scale.String()
 	if ok, retryAfter := s.brk.allow(brkKey); !ok {
 		breakerOpenTotal.Inc()
-		writeErrorFull(w, http.StatusServiceUnavailable,
+		t.failFull(http.StatusServiceUnavailable,
 			fmt.Errorf("circuit breaker open for %s after repeated failures", brkKey),
 			true, "breaker_open", retryAfter)
 		return
 	}
 
+	wait := t.tr.Begin("batch_wait", -1)
 	c, err := s.submit(req.Workload, scale, req.Options, cfgs, deadline)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errDraining) {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, err)
+		t.fail(status, err)
 		return
 	}
 	var deadlineCh <-chan time.Time
@@ -686,15 +765,19 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case res := <-c.done:
+		t.attachBatchSpans(wait, res.b)
+		t.tr.End(wait)
 		if res.err != nil {
 			if res.status == http.StatusGatewayTimeout {
 				deadlineExceeded.Inc()
-				writeErrorFull(w, res.status, res.err, true, "deadline_exceeded", 0)
+				t.failFull(res.status, res.err, true, "deadline_exceeded", time.Second)
 				return
 			}
-			writeError(w, res.status, res.err)
+			t.fail(res.status, res.err)
 			return
 		}
+		encodeStart := time.Now()
+		encode := t.tr.Begin("encode", -1)
 		out := measureRespWire{
 			Workload: req.Workload,
 			Scale:    scale.String(),
@@ -705,17 +788,29 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			out.Results[i] = toResultWire(mr)
 		}
 		writeJSON(w, http.StatusOK, out)
+		t.tr.End(encode)
+		observeStage(stageEncodeUS, encodeStart, time.Now())
+		class := "executed"
+		switch {
+		case res.info.CacheHits == res.info.Configs && res.info.Configs > 0:
+			class = "hit"
+		case res.info.Coalesced:
+			class = "coalesced"
+		}
+		t.finish(http.StatusOK, class)
 	case <-deadlineCh:
 		// This request's own deadline fired first. The batch keeps
 		// running for its seat-mates (its context outlives us); the
 		// worker's buffered send still completes.
+		t.tr.End(wait)
 		deadlineExceeded.Inc()
-		writeErrorFull(w, http.StatusGatewayTimeout,
+		t.failFull(http.StatusGatewayTimeout,
 			fmt.Errorf("deadline of %s exceeded", time.Since(start).Round(time.Millisecond)),
-			true, "deadline_exceeded", 0)
+			true, "deadline_exceeded", time.Second)
 	case <-r.Context().Done():
 		// Client went away; the worker's buffered send still completes.
-		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		t.tr.End(wait)
+		t.fail(http.StatusServiceUnavailable, r.Context().Err())
 	}
 }
 
@@ -754,29 +849,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	reqTotal.Inc()
 	span := obs.Begin("serve:sweep")
 	defer span.Done()
+	t := s.track("sweep", w, r)
+	parse := t.tr.Begin("parse", -1)
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errDraining)
+		t.fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	var req sweepWire
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		t.fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	scale, err := parseScale(req.Scale)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
+	t.tr.End(parse)
 	select {
 	case s.sweepSem <- struct{}{}:
 		defer func() { <-s.sweepSem }()
 	default:
 		reqRejected.Inc()
-		writeError(w, http.StatusTooManyRequests, errors.New("sweep capacity exhausted, retry later"))
+		t.fail(http.StatusTooManyRequests, errors.New("sweep capacity exhausted, retry later"))
 		return
 	}
 
+	run := t.tr.Begin("sweep_run", -1)
+	defer func() { t.finish(http.StatusOK, "executed") }()
+	defer t.tr.End(run)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -797,7 +898,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Unknown artifact: nothing has streamed yet, a clean 400 is
 		// still possible.
-		writeError(w, http.StatusBadRequest, err)
+		t.fail(http.StatusBadRequest, err)
 		return
 	}
 	enc.Encode(struct {
@@ -867,10 +968,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError renders err with the status's default retry semantics:
-// 429/503/504 are retryable (with a Retry-After for the backpressure
-// statuses), everything else is the request's or the server's fault
-// and retrying verbatim cannot help.
+// 429/503/504 are retryable (each with a Retry-After), everything else
+// is the request's or the server's fault and retrying verbatim cannot
+// help.
 func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorID(w, status, err, "")
+}
+
+// writeErrorID is writeError with the request's trace ID attached to
+// the body, so a client can quote the ID against /debug/requests.
+func writeErrorID(w http.ResponseWriter, status int, err error, traceID string) {
 	var retryAfter time.Duration
 	var reason string
 	switch status {
@@ -878,21 +985,27 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		retryAfter, reason = time.Second, "overloaded"
 	case http.StatusServiceUnavailable:
 		retryAfter, reason = 5*time.Second, "draining"
+	case http.StatusGatewayTimeout:
+		retryAfter, reason = time.Second, "deadline_exceeded"
 	}
 	retryable := status == http.StatusTooManyRequests ||
 		status == http.StatusServiceUnavailable ||
 		status == http.StatusGatewayTimeout
-	writeErrorFull(w, status, err, retryable, reason, retryAfter)
+	writeErrorFullID(w, status, err, retryable, reason, retryAfter, traceID)
 }
 
 // writeErrorFull is the explicit form: callers that know the cause
 // (breaker, deadline) pass their own reason and Retry-After.
 func writeErrorFull(w http.ResponseWriter, status int, err error, retryable bool, reason string, retryAfter time.Duration) {
+	writeErrorFullID(w, status, err, retryable, reason, retryAfter, "")
+}
+
+func writeErrorFullID(w http.ResponseWriter, status int, err error, retryable bool, reason string, retryAfter time.Duration, traceID string) {
 	if retryAfter > 0 {
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, status, errorWire{Error: err.Error(), Retryable: retryable, Reason: reason})
+	writeJSON(w, status, errorWire{Error: err.Error(), Retryable: retryable, Reason: reason, TraceID: traceID})
 }
 
 // inflight tracks the in-flight request gauge without a registry

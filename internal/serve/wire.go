@@ -211,8 +211,14 @@ type batchInfoWire struct {
 	// least one other request.
 	Coalesced bool `json:"coalesced"`
 	// CacheHits is how many of the batch's configs were served from the
-	// durable result cache instead of being re-simulated.
-	CacheHits int `json:"cache_hits,omitempty"`
+	// durable result cache instead of being re-simulated;
+	// CacheDiskHits is the subset faulted in from the disk tier.
+	CacheHits     int `json:"cache_hits,omitempty"`
+	CacheDiskHits int `json:"cache_disk_hits,omitempty"`
+	// TraceID is the fused batch's trace ID, shared by every coalesced
+	// member of the execution — clients correlate batch-mates (and the
+	// batch's stage timeline at /debug/requests) through it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // measureRespWire is the POST /v1/measure response body.
@@ -243,4 +249,7 @@ type errorWire struct {
 	// Reason is a machine-readable cause for retryable rejections:
 	// "overloaded", "draining", "breaker_open" or "deadline_exceeded".
 	Reason string `json:"reason,omitempty"`
+	// TraceID echoes the request's trace ID (also in the X-Request-Id
+	// response header) for correlation with /debug/requests.
+	TraceID string `json:"trace_id,omitempty"`
 }

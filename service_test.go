@@ -109,6 +109,27 @@ func TestServiceSmoke(t *testing.T) {
 		}
 	}
 
+	// The flight recorder must have the measurement's trace.
+	resp, err = http.Get(base + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			ID       string `json:"id"`
+			Endpoint string `json:"endpoint"`
+		} `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/requests: %v", err)
+	}
+	if flight.Count == 0 {
+		t.Error("/debug/requests recorded no traces")
+	}
+
 	// Graceful drain: SIGTERM must exit 0 after completing the drain.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -139,6 +160,21 @@ func TestServiceSmoke(t *testing.T) {
 		if snap.Counters[c] == 0 {
 			t.Errorf("%s is 0 in exported snapshot; counters: %v", c, snap.Counters)
 		}
+	}
+	// The serving-path observability additions ride the same drain:
+	// exact-quantile latency histograms and the flight recorder's
+	// request span trees.
+	foundLatency := false
+	for name := range snap.Latencies {
+		if strings.HasPrefix(name, "serve_latency_us{") {
+			foundLatency = true
+		}
+	}
+	if !foundLatency {
+		t.Errorf("snapshot carries no serve_latency_us histograms: %v", len(snap.Latencies))
+	}
+	if len(snap.Requests) == 0 {
+		t.Error("snapshot carries no request traces from the flight recorder")
 	}
 	found := false
 	for _, ph := range snap.Phases.Children {
