@@ -50,14 +50,21 @@ lint-examples:
 # reqtrace layer, the span hot path's zero-alloc pin with telemetry
 # compiled in, the race-enabled flight-recorder test, a serveload
 # smoke against a booted fvcached (TestServeLoadSmoke), and schema
-# validation of the committed BENCH_serve.json artifact.
+# validation of the committed BENCH_serve.json artifact. The fleet
+# additions gate here as well: a race-enabled fleet smoke (3-node
+# ownership + bit-identity, node-kill fallback + re-join, debug
+# endpoints), an obsoff build + test of the public api and client
+# packages, and the serveload -verify run now also checks the fleet
+# lane (forward ratio vs (n-1)/n, single ownership, fleet hit ratio).
 check: vet lint-examples build
 	$(GO) build -tags obsoff ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run='TestChaos' ./internal/resultcache
 	$(GO) test -race -count=1 -run='TestParallelReplayEquivalence|TestParallelReplayChunkSizeSweep' ./internal/sim
 	$(GO) test -race -count=1 -run='TestRecorderConcurrency' ./internal/obs/reqtrace
-	$(GO) test -tags obsoff ./internal/obs ./internal/obs/reqtrace ./internal/serve ./internal/sim ./internal/core ./internal/mrc
+	$(GO) test -race -count=1 -run='TestFleet' ./internal/serve
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -tags obsoff ./internal/obs ./internal/obs/reqtrace ./internal/serve ./internal/sim ./internal/core ./internal/mrc ./api ./client
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test ./internal/trace -run='^$$' -fuzz=FuzzColumnCodec -fuzztime=5s
 	$(GO) test ./internal/resultcache -run='^$$' -fuzz=FuzzResultEntry -fuzztime=5s

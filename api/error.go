@@ -1,0 +1,80 @@
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reason values carried by the error envelope. Retryable rejections
+// name the backpressure mechanism that shed the request; terminal
+// rejections name whose fault the failure is.
+const (
+	// ReasonOverloaded: the batch queue or sweep capacity is full (429).
+	ReasonOverloaded = "overloaded"
+	// ReasonDraining: the process is shutting down (503).
+	ReasonDraining = "draining"
+	// ReasonBreakerOpen: the (workload, scale) circuit breaker is
+	// shedding traffic after repeated executor failures (503).
+	ReasonBreakerOpen = "breaker_open"
+	// ReasonDeadlineExceeded: the request's deadline expired (504).
+	ReasonDeadlineExceeded = "deadline_exceeded"
+	// ReasonBadRequest: the request itself is malformed or invalid;
+	// retrying verbatim cannot succeed (4xx).
+	ReasonBadRequest = "bad_request"
+	// ReasonMethodNotAllowed: wrong HTTP method for the endpoint (405).
+	ReasonMethodNotAllowed = "method_not_allowed"
+	// ReasonInternal: the server failed executing a valid request (5xx
+	// without a more specific cause).
+	ReasonInternal = "internal"
+)
+
+// Headers used by the fleet's owner-forwarding path and by the client
+// SDK's trace propagation.
+const (
+	// HeaderRequestID carries the request's trace ID, inbound and
+	// echoed on every response.
+	HeaderRequestID = "X-Request-Id"
+	// HeaderForwarded marks a node-to-node forwarded request with the
+	// origin node's URL. A request carrying it is never forwarded
+	// again: one hop, maximum.
+	HeaderForwarded = "X-Fvcache-Forwarded"
+	// HeaderForwardedBy marks a response that was proxied to the
+	// owning node, with the proxying node's URL.
+	HeaderForwardedBy = "X-Fvcache-Forwarded-By"
+)
+
+// Error is the uniform error envelope: every non-2xx response from
+// every endpoint carries exactly this JSON body. Retryable tells
+// clients whether backing off and retrying can succeed (backpressure,
+// drain, open breaker, deadline) or the request itself is at fault;
+// when a retry can succeed the response also carries a Retry-After
+// header. It implements the error interface so the client SDK returns
+// it directly.
+type Error struct {
+	// Message is the human-readable error ("error" on the wire).
+	Message string `json:"error"`
+	// Reason is the machine-readable cause (one of the Reason consts).
+	Reason string `json:"reason"`
+	// Retryable reports whether backing off and retrying can succeed.
+	Retryable bool `json:"retryable"`
+	// TraceID echoes the request's trace ID (also in the X-Request-Id
+	// response header) for correlation with /debug/requests.
+	TraceID string `json:"trace_id"`
+
+	// Status is the HTTP status the envelope arrived with. Set by the
+	// client SDK; not part of the JSON body (the status line carries it).
+	Status int `json:"-"`
+	// RetryAfter is the parsed Retry-After header (0 when absent).
+	RetryAfter time.Duration `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("fvcached: %d %s (%s)", e.Status, e.Message, e.Reason)
+	}
+	return fmt.Sprintf("fvcached: %s (%s)", e.Message, e.Reason)
+}
+
+// Temporary reports whether the failure is worth retrying.
+func (e *Error) Temporary() bool { return e.Retryable }

@@ -1,0 +1,536 @@
+// Package client is the versioned Go SDK for the fvcached service: a
+// thin, retrying HTTP client over the fvcache/api wire contract.
+//
+//	cli, err := client.New("http://127.0.0.1:8080", client.Options{})
+//	resp, err := cli.Measure(ctx, api.MeasureRequest{Workload: "goboard"})
+//
+// Every call takes a context: its deadline bounds the call end to end
+// and, when the request carries no explicit DeadlineMS of its own, is
+// propagated to the server as the request deadline so server-side work
+// is cancelled when the caller stops waiting.
+//
+// Retryable rejections (429 overloaded, 503 draining/breaker-open) are
+// retried with jittered exponential backoff, honoring the server's
+// Retry-After header; terminal errors (4xx, 504, 5xx) surface
+// immediately as *api.Error. Streaming endpoints (/v1/sweep, /v1/mrc)
+// retry only before the first streamed line.
+//
+// The SDK is consumed identically by external callers, by the
+// cmd/serveload load generator, and by the fleet's own node-to-node
+// owner-forwarding path inside fvcached (which sets the one-hop
+// forwarding guard via Options.ForwardedFrom).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fvcache"
+	"fvcache/api"
+)
+
+// Options configures a Client. The zero value is usable.
+type Options struct {
+	// HTTPClient is the transport (nil = a dedicated client with a
+	// 2-minute overall timeout; per-call contexts bound individual
+	// requests tighter).
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try on 429/503
+	// and transport errors (<0 means 0; default 3 when the field is 0
+	// and Retry is not disabled per call).
+	MaxRetries int
+	// NoRetry disables retries entirely (serveload uses it: a load
+	// generator must observe rejections, not paper over them).
+	NoRetry bool
+	// RetryBase is the first backoff delay (default 100ms); RetryMax
+	// caps the exponential growth (default 5s). The actual delay is
+	// jittered uniformly in [d/2, 3d/2) and never below the server's
+	// Retry-After.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// TraceID, when set, is sent as the X-Request-Id header on every
+	// call without a per-call WithTraceID override.
+	TraceID string
+	// ForwardedFrom marks every request as node-to-node forwarded from
+	// the given node URL (the X-Fvcache-Forwarded one-hop guard). Used
+	// by the fleet's forwarding path; external callers leave it empty.
+	ForwardedFrom string
+	// UserAgent overrides the User-Agent header (default
+	// "fvcache-client/<api version>").
+	UserAgent string
+	// RetrySeed seeds the backoff jitter (0 = time-seeded).
+	RetrySeed int64
+}
+
+// Client is a versioned fvcached API client. Safe for concurrent use.
+type Client struct {
+	base string
+	opt  Options
+	hc   *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New validates baseURL and returns a Client for it.
+func New(baseURL string, opt Options) (*Client, error) {
+	u, err := url.Parse(strings.TrimSuffix(baseURL, "/"))
+	if err != nil {
+		return nil, fmt.Errorf("client: base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if opt.MaxRetries == 0 && !opt.NoRetry {
+		opt.MaxRetries = 3
+	}
+	if opt.MaxRetries < 0 || opt.NoRetry {
+		opt.MaxRetries = 0
+	}
+	if opt.RetryBase <= 0 {
+		opt.RetryBase = 100 * time.Millisecond
+	}
+	if opt.RetryMax <= 0 {
+		opt.RetryMax = 5 * time.Second
+	}
+	if opt.UserAgent == "" {
+		opt.UserAgent = "fvcache-client/" + api.Version
+	}
+	seed := opt.RetrySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base: u.String(),
+		opt:  opt,
+		hc:   opt.HTTPClient,
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// BaseURL returns the client's normalized base URL.
+func (c *Client) BaseURL() string { return c.base }
+
+// CallOption adjusts one call.
+type CallOption func(*callCfg)
+
+type callCfg struct {
+	traceID string
+	noRetry bool
+}
+
+// WithTraceID sets the call's X-Request-Id header, propagating the
+// caller's trace ID into the server's flight recorder (and, under
+// forwarding, across nodes).
+func WithTraceID(id string) CallOption { return func(cc *callCfg) { cc.traceID = id } }
+
+// WithNoRetry disables retries for this call only.
+func WithNoRetry() CallOption { return func(cc *callCfg) { cc.noRetry = true } }
+
+// Measure runs POST /v1/measure.
+func (c *Client) Measure(ctx context.Context, req api.MeasureRequest, opts ...CallOption) (*api.MeasureResponse, error) {
+	req.DeadlineMS = c.effectiveDeadlineMS(ctx, req.DeadlineMS)
+	var out api.MeasureResponse
+	hdr, err := c.postJSON(ctx, "/"+api.Version+"/measure", req, &out, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out.ForwardedBy = hdr.Get(api.HeaderForwardedBy)
+	return &out, nil
+}
+
+// MRC runs POST /v1/mrc, invoking onPoint for every streamed curve
+// point as it arrives (nil skips per-point delivery) and returning the
+// trailing summary. A non-nil error from onPoint aborts the stream.
+func (c *Client) MRC(ctx context.Context, req api.MRCRequest, onPoint func(api.MRCPoint) error, opts ...CallOption) (*api.MRCSummary, error) {
+	req.DeadlineMS = c.effectiveDeadlineMS(ctx, req.DeadlineMS)
+	var summary *api.MRCSummary
+	hdr, err := c.postStream(ctx, "/"+api.Version+"/mrc", req, func(line []byte) error {
+		var l api.MRCLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return fmt.Errorf("client: mrc stream line: %w", err)
+		}
+		switch {
+		case l.Error != nil:
+			return l.Error
+		case l.Point != nil:
+			if onPoint != nil {
+				return onPoint(*l.Point)
+			}
+		case l.Summary != nil:
+			summary = l.Summary
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, errors.New("client: mrc stream ended without a summary line")
+	}
+	summary.ForwardedBy = hdr.Get(api.HeaderForwardedBy)
+	return summary, nil
+}
+
+// Sweep runs POST /v1/sweep, invoking onArtifact for every completed
+// artifact as it streams (nil skips per-artifact delivery) and
+// returning the trailing summary.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest, onArtifact func(fvcache.ArtifactResult) error, opts ...CallOption) (*fvcache.SweepResult, error) {
+	var summary *fvcache.SweepResult
+	_, err := c.postStream(ctx, "/"+api.Version+"/sweep", req, func(line []byte) error {
+		var l api.SweepLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return fmt.Errorf("client: sweep stream line: %w", err)
+		}
+		switch {
+		case l.Error != nil:
+			return l.Error
+		case l.Artifact != nil:
+			if onArtifact != nil {
+				return onArtifact(*l.Artifact)
+			}
+		case l.Summary != nil:
+			summary = l.Summary
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if summary == nil {
+		return nil, errors.New("client: sweep stream ended without a summary line")
+	}
+	return summary, nil
+}
+
+// Workloads runs GET /v1/workloads.
+func (c *Client) Workloads(ctx context.Context, opts ...CallOption) ([]fvcache.WorkloadInfo, error) {
+	var out struct {
+		Workloads []fvcache.WorkloadInfo `json:"workloads"`
+	}
+	if _, err := c.getJSON(ctx, "/"+api.Version+"/workloads", &out, opts...); err != nil {
+		return nil, err
+	}
+	return out.Workloads, nil
+}
+
+// Artifacts runs GET /v1/artifacts.
+func (c *Client) Artifacts(ctx context.Context, opts ...CallOption) ([]fvcache.ArtifactInfo, error) {
+	var out struct {
+		Artifacts []fvcache.ArtifactInfo `json:"artifacts"`
+	}
+	if _, err := c.getJSON(ctx, "/"+api.Version+"/artifacts", &out, opts...); err != nil {
+		return nil, err
+	}
+	return out.Artifacts, nil
+}
+
+// Ready runs GET /readyz and returns nil iff the node reports ready.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s not ready: %s", c.base, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// MetricsJSON runs GET /debug/metrics?format=json and returns the raw
+// telemetry snapshot. The fleet's /debug/metrics?fleet=1 aggregation
+// fans out through this call.
+func (c *Client) MetricsJSON(ctx context.Context) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.asError(resp, data)
+	}
+	return data, nil
+}
+
+// effectiveDeadlineMS propagates the context deadline into the wire
+// request when the caller set no explicit one, so the server stops
+// working when the client stops waiting.
+func (c *Client) effectiveDeadlineMS(ctx context.Context, explicit int64) int64 {
+	if explicit != 0 {
+		return explicit
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// prepare builds one attempt's request.
+func (c *Client) prepare(ctx context.Context, method, path string, body []byte, cc callCfg) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("User-Agent", c.opt.UserAgent)
+	id := cc.traceID
+	if id == "" {
+		id = c.opt.TraceID
+	}
+	if id != "" {
+		req.Header.Set(api.HeaderRequestID, id)
+	}
+	if c.opt.ForwardedFrom != "" {
+		req.Header.Set(api.HeaderForwarded, c.opt.ForwardedFrom)
+	}
+	return req, nil
+}
+
+// postJSON posts body and decodes a 2xx JSON response into out,
+// retrying retryable rejections.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any, opts ...CallOption) (http.Header, error) {
+	var cc callCfg
+	for _, o := range opts {
+		o(&cc)
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := c.prepare(ctx, http.MethodPost, path, buf, cc)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode/100 == 2 {
+				if err := json.Unmarshal(data, out); err != nil {
+					return nil, fmt.Errorf("client: decoding response: %w", err)
+				}
+				return resp.Header, nil
+			} else {
+				lastErr = c.asError(resp, data)
+			}
+		}
+		if !c.shouldRetry(lastErr, attempt, cc) {
+			return nil, lastErr
+		}
+		if err := c.backoff(ctx, attempt, lastErr); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// getJSON gets path and decodes a 2xx JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any, opts ...CallOption) (http.Header, error) {
+	var cc callCfg
+	for _, o := range opts {
+		o(&cc)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := c.prepare(ctx, http.MethodGet, path, nil, cc)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode/100 == 2 {
+				if err := json.Unmarshal(data, out); err != nil {
+					return nil, fmt.Errorf("client: decoding response: %w", err)
+				}
+				return resp.Header, nil
+			} else {
+				lastErr = c.asError(resp, data)
+			}
+		}
+		if !c.shouldRetry(lastErr, attempt, cc) {
+			return nil, lastErr
+		}
+		if err := c.backoff(ctx, attempt, lastErr); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// postStream posts body and delivers each NDJSON line of a 2xx
+// response to onLine as it arrives (the per-line flush on the server
+// side is what makes delivery incremental). Retries happen only before
+// the first line: once bytes have streamed, a failure surfaces as-is.
+func (c *Client) postStream(ctx context.Context, path string, body any, onLine func([]byte) error, opts ...CallOption) (http.Header, error) {
+	var cc callCfg
+	for _, o := range opts {
+		o(&cc)
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := c.prepare(ctx, http.MethodPost, path, buf, cc)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+		} else if resp.StatusCode/100 != 2 {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lastErr = c.asError(resp, data)
+		} else {
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 64<<10), 16<<20)
+			for sc.Scan() {
+				line := bytes.TrimSpace(sc.Bytes())
+				if len(line) == 0 {
+					continue
+				}
+				if err := onLine(line); err != nil {
+					resp.Body.Close()
+					return nil, err
+				}
+			}
+			scanErr := sc.Err()
+			resp.Body.Close()
+			if scanErr != nil {
+				return nil, fmt.Errorf("client: reading stream: %w", scanErr)
+			}
+			return resp.Header, nil
+		}
+		if !c.shouldRetry(lastErr, attempt, cc) {
+			return nil, lastErr
+		}
+		if err := c.backoff(ctx, attempt, lastErr); err != nil {
+			return nil, lastErr
+		}
+	}
+}
+
+// asError converts a non-2xx response into an *api.Error, synthesizing
+// an envelope when the body does not carry one (a proxy in the way, a
+// pre-envelope server).
+func (c *Client) asError(resp *http.Response, body []byte) error {
+	e := &api.Error{Status: resp.StatusCode}
+	if err := json.Unmarshal(body, e); err != nil || e.Message == "" {
+		e.Message = strings.TrimSpace(string(body))
+		if e.Message == "" {
+			e.Message = resp.Status
+		}
+		e.Retryable = resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if e.Reason == "" {
+			e.Reason = api.ReasonInternal
+		}
+	}
+	if e.TraceID == "" {
+		e.TraceID = resp.Header.Get(api.HeaderRequestID)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// shouldRetry decides whether attempt+1 is worth trying: transport
+// errors and 429/503 envelopes are, terminal statuses (4xx, 504) and
+// context expiry are not.
+func (c *Client) shouldRetry(err error, attempt int, cc callCfg) bool {
+	if cc.noRetry || attempt >= c.opt.MaxRetries {
+		return false
+	}
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae.Retryable &&
+			(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
+	}
+	return true // transport error: the request may never have arrived
+}
+
+// backoff sleeps the jittered exponential delay for attempt, floored
+// by the server's Retry-After when the error carries one, and bounded
+// by ctx.
+func (c *Client) backoff(ctx context.Context, attempt int, cause error) error {
+	d := c.opt.RetryBase << uint(attempt)
+	if d > c.opt.RetryMax {
+		d = c.opt.RetryMax
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d)))
+	c.mu.Unlock()
+	var ae *api.Error
+	if errors.As(cause, &ae) && ae.RetryAfter > jittered {
+		jittered = ae.RetryAfter
+	}
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,228 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fvcache"
+	"fvcache/api"
+)
+
+func asAPIError(err error, out **api.Error) bool { return errors.As(err, out) }
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "ftp://x", "http://", "not a url"} {
+		if _, err := New(bad, Options{}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	cli, err := New("http://127.0.0.1:8080/", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.BaseURL() != "http://127.0.0.1:8080" {
+		t.Errorf("base %q not normalized", cli.BaseURL())
+	}
+}
+
+// TestStreamingDeliversLinesIncrementally proves the client surfaces
+// each NDJSON line as it is flushed, not after the response completes:
+// the server withholds the second line until the first point has been
+// observed by the caller's callback.
+func TestStreamingDeliversLinesIncrementally(t *testing.T) {
+	firstSeen := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		fmt.Fprintln(w, `{"point":{"line_bytes":32,"cache_bytes":1024,"miss_rate":0.5}}`)
+		fl.Flush()
+		select {
+		case <-firstSeen: // client really did receive line 1 already
+		case <-time.After(10 * time.Second):
+			t.Error("client never observed the first streamed point")
+		}
+		fmt.Fprintln(w, `{"point":{"line_bytes":32,"cache_bytes":2048,"miss_rate":0.25}}`)
+		fmt.Fprintln(w, `{"summary":{"workload":"goboard","points":2}}`)
+		fl.Flush()
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []api.MRCPoint
+	sum, err := cli.MRC(context.Background(), api.MRCRequest{Workload: "goboard"}, func(p api.MRCPoint) error {
+		points = append(points, p)
+		if len(points) == 1 {
+			close(firstSeen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || sum == nil {
+		t.Fatalf("got %d points, summary %v", len(points), sum)
+	}
+}
+
+func TestRetryHonorsRetryAfterThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Message: "overloaded", Reason: api.ReasonOverloaded, Retryable: true, TraceID: "t1"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.MeasureResponse{})
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{RetryBase: time.Millisecond, RetrySeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Measure(context.Background(), api.MeasureRequest{Workload: "goboard"}); err != nil {
+		t.Fatalf("expected success after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (2 rejections + success)", got)
+	}
+}
+
+func TestTerminalErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.Error{Message: "unknown workload", Reason: api.ReasonBadRequest, TraceID: "t2"})
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{RetryBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Measure(context.Background(), api.MeasureRequest{Workload: "no-such"})
+	var ae *api.Error
+	if !asAPIError(err, &ae) {
+		t.Fatalf("error %T is not *api.Error: %v", err, err)
+	}
+	if ae.Status != 400 || ae.Reason != api.ReasonBadRequest || ae.TraceID != "t2" || ae.Temporary() {
+		t.Errorf("bad terminal error: %+v", ae)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("terminal 400 was retried: %d attempts", got)
+	}
+}
+
+func TestNoRetrySurfacesRejectionImmediately(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.Error{Message: "overloaded", Reason: api.ReasonOverloaded, Retryable: true})
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{NoRetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Measure(context.Background(), api.MeasureRequest{Workload: "goboard"})
+	var ae *api.Error
+	if !asAPIError(err, &ae) || ae.Status != 429 || !ae.Temporary() {
+		t.Fatalf("want 429 api error, got %v", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Errorf("Retry-After not parsed: %v", ae.RetryAfter)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("NoRetry client retried: %d attempts", got)
+	}
+}
+
+// TestDeadlineAndHeaderPropagation: the context deadline is restated in
+// the request body, and trace/forwarding headers reach the wire.
+func TestDeadlineAndHeaderPropagation(t *testing.T) {
+	type seen struct {
+		deadlineMS int64
+		traceID    string
+		forwarded  string
+		userAgent  string
+	}
+	got := make(chan seen, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.MeasureRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		got <- seen{
+			deadlineMS: req.DeadlineMS,
+			traceID:    r.Header.Get(api.HeaderRequestID),
+			forwarded:  r.Header.Get(api.HeaderForwarded),
+			userAgent:  r.Header.Get("User-Agent"),
+		}
+		json.NewEncoder(w).Encode(api.MeasureResponse{})
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{ForwardedFrom: "http://origin:9001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Measure(ctx, api.MeasureRequest{Workload: "goboard"}, WithTraceID("trace-42")); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.deadlineMS <= 0 || s.deadlineMS > 5000 {
+		t.Errorf("context deadline not propagated: DeadlineMS=%d", s.deadlineMS)
+	}
+	if s.traceID != "trace-42" {
+		t.Errorf("trace ID %q", s.traceID)
+	}
+	if s.forwarded != "http://origin:9001" {
+		t.Errorf("forwarding guard %q", s.forwarded)
+	}
+	if s.userAgent != "fvcache-client/"+api.Version {
+		t.Errorf("user agent %q", s.userAgent)
+	}
+}
+
+// TestStreamMidlineErrorSurfaces: a terminal error_line in the stream
+// becomes the call's returned error.
+func TestStreamMidlineErrorSurfaces(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"artifact":{"id":"figure-6","status":"done"}}`)
+		fmt.Fprintln(w, `{"error_line":{"error":"disk melted","reason":"internal","retryable":false,"trace_id":"t3"}}`)
+	}))
+	defer ts.Close()
+
+	cli, err := New(ts.URL, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	_, err = cli.Sweep(context.Background(), api.SweepRequest{}, func(ar fvcache.ArtifactResult) error {
+		ids = append(ids, ar.ID)
+		return nil
+	})
+	var ae *api.Error
+	if !asAPIError(err, &ae) || ae.Message != "disk melted" || ae.TraceID != "t3" {
+		t.Fatalf("mid-stream error not surfaced: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "figure-6" {
+		t.Errorf("artifacts before failure lost: %v", ids)
+	}
+}

@@ -12,8 +12,20 @@
 //	GET  /healthz       liveness (200 while the process serves HTTP)
 //	GET  /readyz        readiness (503 during boot recovery and drain)
 //	GET  /debug/metrics telemetry in Prometheus text format
+//	                    (?format=json for the snapshot, ?fleet=1 for the
+//	                    fleet-merged view)
+//	GET  /debug/fleet   ring layout, per-peer health, ownership counters
 //	GET  /debug/requests flight recorder: recent request traces as JSON
 //	                    (?n= count, ?slowest=K, ?errors=1 filters)
+//
+// With -peers the process joins a static consistent-hash fleet:
+//
+//	fvcached -addr 127.0.0.1:9001 \
+//	  -peers http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003
+//
+// Each (workload, scale, config) key is owned by exactly one node;
+// requests landing elsewhere are proxied to the owner (one hop max),
+// and an unreachable owner degrades to local execution.
 //
 // Requests for the same workload and scale arriving within the
 // coalescing window are fused into a single batch replay; the "batch"
@@ -39,8 +51,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
+	"fvcache/internal/fleet"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 	"fvcache/internal/resultcache"
@@ -63,6 +77,8 @@ func run() (code int) {
 		cacheDisk  = flag.Int("cache-disk-mb", 256, "result cache disk tier budget in MiB")
 		deadlineMS = flag.Int64("deadline-ms", 0, "default per-request deadline in ms (0 = none; requests may override with deadline_ms)")
 		traceRing  = flag.Int("trace-ring", 256, "flight-recorder capacity: most recent N request traces kept for /debug/requests")
+		peers      = flag.String("peers", "", "comma-separated peer URLs forming a consistent-hash fleet (empty = single node); self is derived from -addr unless -self is set")
+		selfURL    = flag.String("self", "", "this node's advertised base URL (default http://<resolved -addr>)")
 	)
 	cf := harness.AddCommonFlags(flag.CommandLine, harness.FlagWorkers|harness.FlagTimeout, "")
 	of := obs.AddFlags(flag.CommandLine)
@@ -82,6 +98,35 @@ func run() (code int) {
 	ctx, cancel := cf.Context(context.Background())
 	defer cancel()
 
+	// Listen before building the server: with -addr :0 the fleet self
+	// identity is only known once the port is bound.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvcached:", err)
+		return harness.ExitFailure
+	}
+
+	var fl *fleet.Fleet
+	if *peers != "" {
+		self := *selfURL
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		fl, err = fleet.New(fleet.Options{Self: self, Peers: peerList})
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(os.Stderr, "fvcached:", err)
+			return harness.ExitUsage
+		}
+		obs.Log.Info("fleet membership", "self", fl.SelfURL(), "size", fmt.Sprint(fl.Size()))
+	}
+
 	sv := serve.New(serve.Options{
 		Workers: cf.Workers,
 		// -workers also sets the chunk-parallel replay width of each
@@ -93,14 +138,9 @@ func run() (code int) {
 		DefaultDeadline:   time.Duration(*deadlineMS) * time.Millisecond,
 		TraceRing:         *traceRing,
 		StartUnready:      true, // ready once the cache recovery scan finishes
+		Fleet:             fl,
 	})
 	httpSrv := &http.Server{Handler: sv.Handler()}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fvcached:", err)
-		return harness.ExitFailure
-	}
 	fmt.Printf("fvcached listening on %s\n", ln.Addr())
 	obs.Log.Info("fvcached up", "addr", ln.Addr().String())
 

@@ -1,11 +1,15 @@
 // Command serveload is the serving-path load generator behind
 // BENCH_serve.json: it replays a seeded production-style request mix
 // against a spawned fvcached and reports where the service's time
-// went.
+// went. All traffic flows through the public fvcache/client SDK — the
+// same code path external callers and the fleet's own node-to-node
+// forwarding use — with retries disabled, because a load generator
+// must observe rejections rather than paper over them.
 //
 //	serveload -o BENCH_serve.json            # spawn fvcached, run, report
 //	serveload -addr http://127.0.0.1:8080    # drive an already-running server
 //	serveload -verify BENCH_serve.json       # validate a committed artifact
+//	serveload -cluster 3                     # also bench a 3-node fleet lane
 //
 // The mix is deterministic in structure (request sequence, workload
 // choice, config choice) for a given -seed: workloads are drawn from a
@@ -23,23 +27,33 @@
 //	          and the circuit breaker they open (503s). Runs LAST so
 //	          breaker fallout cannot pollute the steady-state phases.
 //
+// With -cluster n (default 3, 0 disables) the run then boots an n-node
+// consistent-hash fleet (static -peers membership), replays the warm
+// mix round-robin across every node, and emits a "fleet" lane in the
+// artifact: fleet hit ratio, forward ratio, latency quantiles,
+// per-stage attribution including the forward span, and the
+// exactly-one-owner invariant (multi_owner_keys).
+//
 // The artifact records exact (sorted-sample) p50/p90/p99/p999 per
 // endpoint, hit/coalesce ratios, 429/503/504 rates, and per-stage
 // time attribution aggregated from the server's /debug/requests span
 // data. -verify re-reads an artifact and checks every structural
-// invariant (schema, quantile ordering, ratio ranges, stage
-// coverage), plus the telemetry snapshot written next to it on the
-// spawned server's SIGTERM drain; make check uses it to keep the
+// invariant (schema, quantile ordering, ratio ranges, stage coverage,
+// fleet-lane gates), plus the telemetry snapshot written next to it on
+// the spawned server's SIGTERM drain; make check uses it to keep the
 // committed artifact honest.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -47,10 +61,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"fvcache"
+	"fvcache/api"
+	"fvcache/client"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 )
@@ -73,6 +90,48 @@ type stageStat struct {
 	Count   int     `json:"count"`
 	MeanUS  float64 `json:"mean_us"`
 	TotalUS int64   `json:"total_us"`
+}
+
+// fleetReport is the artifact's fleet lane: the same serving metrics
+// measured against an n-node consistent-hash fleet driven uniformly
+// across every node, plus the fleet-specific invariants.
+type fleetReport struct {
+	Nodes    int `json:"nodes"`
+	Requests int `json:"requests"`
+
+	// HitRatio / CoalesceRatio over successful requests, as in the
+	// single-node lane. A healthy fleet keeps owner-cache affinity, so
+	// hit_ratio must be at least the single-node lane's.
+	HitRatio      float64 `json:"hit_ratio"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+
+	// ForwardRatio is the fraction of requests answered through a
+	// proxy hop (X-Fvcache-Forwarded-By present). Uniform arrivals on
+	// n nodes put the owner elsewhere (n-1)/n of the time.
+	ForwardRatio float64 `json:"forward_ratio"`
+
+	// MultiOwnerKeys counts (endpoint, workload, config) keys whose
+	// batches executed on more than one node during the recorded run —
+	// zero when ownership is stable and no fallback fired.
+	MultiOwnerKeys int `json:"multi_owner_keys"`
+
+	Endpoints map[string]endpointStats `json:"endpoints"`
+	Outcomes  map[string]int           `json:"outcomes"`
+	// StagesUS merges /debug/requests span attribution across every
+	// node; the forward stage is the proxy hop itself.
+	StagesUS map[string]stageStat `json:"stages_us"`
+
+	// Counters sums each node's /debug/fleet ownership counters.
+	Counters fleetCounters `json:"counters"`
+}
+
+// fleetCounters mirrors the counter block of /debug/fleet.
+type fleetCounters struct {
+	Forwarded         uint64 `json:"forwarded"`
+	ForwardFallback   uint64 `json:"forward_fallback"`
+	ReceivedForwarded uint64 `json:"received_forwarded"`
+	LocalOwned        uint64 `json:"local_owned"`
+	MixedLocal        uint64 `json:"mixed_local"`
 }
 
 type report struct {
@@ -101,6 +160,9 @@ type report struct {
 	// queue_wait, cache_probe, replay, encode, ...) from the span trees
 	// at /debug/requests.
 	StagesUS map[string]stageStat `json:"stages_us"`
+
+	// Fleet is the n-node fleet lane (-cluster), absent when disabled.
+	Fleet *fleetReport `json:"fleet,omitempty"`
 }
 
 // sample is one completed request.
@@ -108,6 +170,9 @@ type sample struct {
 	endpoint string
 	us       int64
 	outcome  string
+	node     string // executing fleet node (batch/summary .Node)
+	fwd      bool   // answered through a proxy hop
+	key      string // ownership key: endpoint|workload|config identity
 }
 
 // recorder collects samples from concurrent workers.
@@ -135,117 +200,140 @@ func (r *recorder) setDiscard(d bool) {
 // same fingerprints recur so the durable result cache and the
 // coalescing window both see repeats, like production clients
 // re-asking the popular questions.
-var configPool = []string{
-	`{}`,
-	`{"fvc_entries":256}`,
-	`{"fvc_entries":1024}`,
-	`{"assoc":2}`,
-	`{"victim_entries":8}`,
-	`{"main_bytes":8192,"fvc_entries":256}`,
+var configPool = []api.Config{
+	{},
+	{FVCEntries: 256},
+	{FVCEntries: 1024},
+	{Assoc: 2},
+	{VictimEntries: 8},
+	{MainBytes: 8192, FVCEntries: 256},
 }
 
-// gen drives requests against one server.
+// gen drives requests against one server — or, with several clients,
+// round-robin across a fleet's nodes.
 type gen struct {
-	base   string
-	client *http.Client
-	rec    *recorder
-	names  []string // workload names, Zipf-ranked
+	clients []*client.Client
+	next    atomic.Uint64
+	rec     *recorder
+	names   []string // workload names, Zipf-ranked
 }
 
-func newGen(base string) *gen {
+func newGen(bases ...string) (*gen, error) {
 	wls := fvcache.Workloads()
 	names := make([]string, len(wls))
 	for i, w := range wls {
 		names[i] = w.Name
 	}
-	return &gen{
-		base:   base,
-		client: &http.Client{Timeout: 2 * time.Minute},
-		rec:    &recorder{},
-		names:  names,
+	g := &gen{rec: &recorder{}, names: names}
+	for _, base := range bases {
+		cli, err := client.New(base, client.Options{
+			NoRetry:    true,
+			HTTPClient: &http.Client{Timeout: 2 * time.Minute},
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.clients = append(g.clients, cli)
 	}
+	return g, nil
 }
 
-// pick returns the next request's endpoint, workload and config from
-// the worker's deterministic stream.
-func (g *gen) pick(rng *rand.Rand, zipf *rand.Zipf) (endpoint, body string) {
+// pick returns the round-robin next client, so fleet arrivals are
+// uniform across nodes.
+func (g *gen) pickClient() *client.Client {
+	return g.clients[int(g.next.Add(1)-1)%len(g.clients)]
+}
+
+func mrcRequest(wl string) api.MRCRequest {
+	return api.MRCRequest{Workload: wl, Scale: "test", MaxSizeBytes: 65536}
+}
+
+// errOutcome maps an SDK error to an outcome class.
+func errOutcome(err error) string {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusTooManyRequests:
+			return "429"
+		case http.StatusServiceUnavailable:
+			return "503"
+		case http.StatusGatewayTimeout:
+			return "504"
+		}
+	}
+	return "error"
+}
+
+// oneMeasure issues a single measure request and records its sample.
+func (g *gen) oneMeasure(req api.MeasureRequest) {
+	key := "measure|" + req.Workload
+	if req.Config != nil {
+		key += "|" + req.Config.Normalized().Fingerprint()
+	}
+	start := time.Now()
+	resp, err := g.pickClient().Measure(context.Background(), req)
+	us := time.Since(start).Microseconds()
+	if err != nil {
+		g.rec.add(sample{endpoint: "measure", us: us, outcome: errOutcome(err), key: key})
+		return
+	}
+	outcome := "executed"
+	switch {
+	case resp.Batch.Configs > 0 && resp.Batch.CacheHits == resp.Batch.Configs:
+		outcome = "hit"
+	case resp.Batch.Coalesced:
+		outcome = "coalesced"
+	}
+	g.rec.add(sample{
+		endpoint: "measure", us: us, outcome: outcome,
+		node: resp.Batch.Node, fwd: resp.ForwardedBy != "", key: key,
+	})
+}
+
+// oneMRC issues a single streamed MRC request and records its sample.
+func (g *gen) oneMRC(req api.MRCRequest) {
+	key := fmt.Sprintf("mrc|%s|%d|%d", req.Workload, req.LineBytes, req.MaxSizeBytes)
+	start := time.Now()
+	sum, err := g.pickClient().MRC(context.Background(), req, nil)
+	us := time.Since(start).Microseconds()
+	if err != nil {
+		g.rec.add(sample{endpoint: "mrc", us: us, outcome: errOutcome(err), key: key})
+		return
+	}
+	outcome := "executed"
+	switch {
+	case sum.CacheHit:
+		outcome = "hit"
+	case sum.Coalesced:
+		outcome = "coalesced"
+	}
+	g.rec.add(sample{
+		endpoint: "mrc", us: us, outcome: outcome,
+		node: sum.Node, fwd: sum.ForwardedBy != "", key: key,
+	})
+}
+
+// draw picks the next request from the deterministic stream and
+// returns the closure that sends it, so callers may issue it on
+// another goroutine without sharing the rng.
+func (g *gen) draw(rng *rand.Rand, zipf *rand.Zipf) func() {
 	wl := g.names[int(zipf.Uint64())%len(g.names)]
 	if rng.Intn(100) < 15 {
-		return "mrc", fmt.Sprintf(`{"workload":%q,"scale":"test","max_size_bytes":65536}`, wl)
+		return func() { g.oneMRC(mrcRequest(wl)) }
 	}
 	// Favor the head of the config pool so fingerprints repeat.
 	ci := rng.Intn(len(configPool) * 2)
 	if ci >= len(configPool) {
 		ci = 0
 	}
-	return "measure", fmt.Sprintf(`{"workload":%q,"scale":"test","config":%s}`, wl, configPool[ci])
+	cfg := configPool[ci]
+	return func() {
+		g.oneMeasure(api.MeasureRequest{Workload: wl, Scale: "test", Config: &cfg})
+	}
 }
 
-// one issues a single request and records its sample.
-func (g *gen) one(endpoint, body string) {
-	start := time.Now()
-	resp, err := g.client.Post(g.base+"/v1/"+endpoint, "application/json", strings.NewReader(body))
-	if err != nil {
-		g.rec.add(sample{endpoint: endpoint, us: time.Since(start).Microseconds(), outcome: "error"})
-		return
-	}
-	data, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	us := time.Since(start).Microseconds()
-	g.rec.add(sample{endpoint: endpoint, us: us, outcome: classify(endpoint, resp.StatusCode, data)})
-}
-
-// classify mirrors the server's endpoint × outcome labels from the
-// response alone, so the artifact is computable against any server.
-func classify(endpoint string, status int, body []byte) string {
-	switch status {
-	case http.StatusTooManyRequests:
-		return "429"
-	case http.StatusServiceUnavailable:
-		return "503"
-	case http.StatusGatewayTimeout:
-		return "504"
-	}
-	if status >= 400 {
-		return "error"
-	}
-	switch endpoint {
-	case "measure":
-		var out struct {
-			Batch struct {
-				Configs   int  `json:"configs"`
-				CacheHits int  `json:"cache_hits"`
-				Coalesced bool `json:"coalesced"`
-			} `json:"batch"`
-		}
-		if json.Unmarshal(body, &out) == nil {
-			switch {
-			case out.Batch.Configs > 0 && out.Batch.CacheHits == out.Batch.Configs:
-				return "hit"
-			case out.Batch.Coalesced:
-				return "coalesced"
-			}
-		}
-	case "mrc":
-		// The summary is the last NDJSON line.
-		lines := strings.Split(strings.TrimSpace(string(body)), "\n")
-		var sum struct {
-			Summary struct {
-				CacheHit  bool `json:"cache_hit"`
-				Coalesced bool `json:"coalesced"`
-			} `json:"summary"`
-		}
-		if json.Unmarshal([]byte(lines[len(lines)-1]), &sum) == nil {
-			switch {
-			case sum.Summary.CacheHit:
-				return "hit"
-			case sum.Summary.Coalesced:
-				return "coalesced"
-			}
-		}
-	}
-	return "executed"
-}
+// issue draws the next request and sends it inline.
+func (g *gen) issue(rng *rand.Rand, zipf *rand.Zipf) { g.draw(rng, zipf)() }
 
 // closedLoop runs workers back to back until d elapses.
 func (g *gen) closedLoop(workers int, d time.Duration, seed int64) {
@@ -258,7 +346,7 @@ func (g *gen) closedLoop(workers int, d time.Duration, seed int64) {
 			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
 			zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(g.names)-1))
 			for time.Now().Before(stop) {
-				g.one(g.pick(rng, zipf))
+				g.issue(rng, zipf)
 			}
 		}(w)
 	}
@@ -278,26 +366,28 @@ func (g *gen) openLoop(rate int, d time.Duration, seed int64) {
 	var wg sync.WaitGroup
 	for time.Now().Before(stop) {
 		<-tick.C
-		endpoint, body := g.pick(rng, zipf)
+		send := g.draw(rng, zipf) // drawn serially; sent concurrently
 		wg.Add(1)
-		go func() { defer wg.Done(); g.one(endpoint, body) }()
+		go func() { defer wg.Done(); send() }()
 	}
 	wg.Wait()
 }
 
 // burst fires rounds of identical concurrent requests: every member
 // lands inside one coalescing window, so the fused-batch path gets a
-// directed workout.
+// directed workout. Across a fleet the members spread over all nodes
+// and still coalesce at the single owner.
 func (g *gen) burst(rounds, width int, seed int64) {
 	rng := rand.New(rand.NewSource(seed + 7))
 	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(g.names)-1))
 	for r := 0; r < rounds; r++ {
 		wl := g.names[int(zipf.Uint64())%len(g.names)]
-		body := fmt.Sprintf(`{"workload":%q,"scale":"test","config":%s}`, wl, configPool[rng.Intn(len(configPool))])
+		cfg := configPool[rng.Intn(len(configPool))]
+		req := api.MeasureRequest{Workload: wl, Scale: "test", Config: &cfg}
 		var wg sync.WaitGroup
 		for i := 0; i < width; i++ {
 			wg.Add(1)
-			go func() { defer wg.Done(); g.one("measure", body) }()
+			go func() { defer wg.Done(); g.oneMeasure(req) }()
 		}
 		wg.Wait()
 		time.Sleep(20 * time.Millisecond)
@@ -312,27 +402,46 @@ func (g *gen) deadlines(d time.Duration, seed int64) {
 	wl := g.names[rng.Intn(len(g.names))]
 	stop := time.Now().Add(d)
 	for time.Now().Before(stop) {
-		body := fmt.Sprintf(`{"workload":%q,"scale":"test","deadline_ms":1}`, wl)
-		g.one("measure", body)
+		g.oneMeasure(api.MeasureRequest{Workload: wl, Scale: "test", DeadlineMS: 1})
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-// scrapeStages aggregates span durations by name from the server's
-// flight recorder.
-func (g *gen) scrapeStages() (map[string]stageStat, error) {
-	resp, err := g.client.Get(g.base + "/debug/requests?n=100000")
+// warmFleet deterministically covers every (workload, config) pair and
+// every workload's MRC once, so the recorded fleet phase measures the
+// owner-cache steady state, not cold-start misses.
+func (g *gen) warmFleet() {
+	var wg sync.WaitGroup
+	for _, wl := range g.names {
+		wl := wl
+		for _, cfg := range configPool {
+			cfg := cfg
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.oneMeasure(api.MeasureRequest{Workload: wl, Scale: "test", Config: &cfg})
+			}()
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); g.oneMRC(mrcRequest(wl)) }()
+	}
+	wg.Wait()
+}
+
+// scrapeStages aggregates span durations by name from one server's
+// flight recorder into agg.
+func scrapeStages(base string, agg map[string]stageStat) error {
+	resp, err := http.Get(base + "/debug/requests?n=100000")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	var out struct {
 		Traces []obs.RequestTrace `json:"traces"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
+		return err
 	}
-	agg := map[string]stageStat{}
 	for _, tr := range out.Traces {
 		for _, sp := range tr.Spans {
 			s := agg[sp.Name]
@@ -341,11 +450,38 @@ func (g *gen) scrapeStages() (map[string]stageStat, error) {
 			agg[sp.Name] = s
 		}
 	}
+	return nil
+}
+
+func finishStages(agg map[string]stageStat) map[string]stageStat {
 	for name, s := range agg {
-		s.MeanUS = float64(s.TotalUS) / float64(s.Count)
+		if s.Count > 0 {
+			s.MeanUS = float64(s.TotalUS) / float64(s.Count)
+		}
 		agg[name] = s
 	}
-	return agg, nil
+	return agg
+}
+
+// scrapeFleetCounters sums one node's /debug/fleet counters into agg.
+func scrapeFleetCounters(base string, agg *fleetCounters) error {
+	resp, err := http.Get(base + "/debug/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Counters fleetCounters `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	agg.Forwarded += out.Counters.Forwarded
+	agg.ForwardFallback += out.Counters.ForwardFallback
+	agg.ReceivedForwarded += out.Counters.ReceivedForwarded
+	agg.LocalOwned += out.Counters.LocalOwned
+	agg.MixedLocal += out.Counters.MixedLocal
+	return nil
 }
 
 // quantileUS returns the exact q-quantile of sorted microsecond
@@ -364,32 +500,30 @@ func quantileUS(sorted []int64, q float64) int64 {
 	return sorted[rank]
 }
 
-// build assembles the artifact from the recorded samples.
-func (g *gen) build(seed int64, elapsed time.Duration) report {
-	rep := report{
-		Schema:     Schema,
-		Seed:       seed,
-		DurationMS: elapsed.Milliseconds(),
-		Endpoints:  map[string]endpointStats{},
-		Outcomes:   map[string]int{},
-	}
+// tally computes the per-endpoint quantiles and outcome counts shared
+// by both lanes; returns (endpoints, outcomes, ok, hit, coalesced).
+func tally(samples []sample) (map[string]endpointStats, map[string]int, int, int, int) {
+	endpoints := map[string]endpointStats{}
+	outcomes := map[string]int{}
 	byEndpoint := map[string][]int64{}
-	g.rec.mu.Lock()
-	samples := g.rec.samples
-	g.rec.mu.Unlock()
-	rep.Requests = len(samples)
-	ok := 0
+	ok, hit, coalesced := 0, 0, 0
 	for _, s := range samples {
-		rep.Outcomes[s.outcome]++
+		outcomes[s.outcome]++
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.us)
 		switch s.outcome {
-		case "hit", "coalesced", "executed":
+		case "hit":
+			ok++
+			hit++
+		case "coalesced":
+			ok++
+			coalesced++
+		case "executed":
 			ok++
 		}
 	}
 	for ep, lat := range byEndpoint {
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		rep.Endpoints[ep] = endpointStats{
+		endpoints[ep] = endpointStats{
 			Requests: len(lat),
 			P50US:    quantileUS(lat, 0.50),
 			P90US:    quantileUS(lat, 0.90),
@@ -398,17 +532,76 @@ func (g *gen) build(seed int64, elapsed time.Duration) report {
 			MaxUS:    lat[len(lat)-1],
 		}
 	}
+	return endpoints, outcomes, ok, hit, coalesced
+}
+
+// build assembles the single-node lane from the recorded samples.
+func (g *gen) build(seed int64, elapsed time.Duration) report {
+	g.rec.mu.Lock()
+	samples := g.rec.samples
+	g.rec.mu.Unlock()
+	endpoints, outcomes, ok, hit, coalesced := tally(samples)
+	rep := report{
+		Schema:     Schema,
+		Seed:       seed,
+		Requests:   len(samples),
+		DurationMS: elapsed.Milliseconds(),
+		Endpoints:  endpoints,
+		Outcomes:   outcomes,
+	}
 	if ok > 0 {
-		rep.HitRatio = float64(rep.Outcomes["hit"]) / float64(ok)
-		rep.CoalesceRatio = float64(rep.Outcomes["coalesced"]) / float64(ok)
+		rep.HitRatio = float64(hit) / float64(ok)
+		rep.CoalesceRatio = float64(coalesced) / float64(ok)
 	}
 	if rep.Requests > 0 {
 		n := float64(rep.Requests)
-		rep.Rate429 = float64(rep.Outcomes["429"]) / n
-		rep.Rate503 = float64(rep.Outcomes["503"]) / n
-		rep.Rate504 = float64(rep.Outcomes["504"]) / n
+		rep.Rate429 = float64(outcomes["429"]) / n
+		rep.Rate503 = float64(outcomes["503"]) / n
+		rep.Rate504 = float64(outcomes["504"]) / n
 	}
 	return rep
+}
+
+// buildFleet assembles the fleet lane.
+func (g *gen) buildFleet() *fleetReport {
+	g.rec.mu.Lock()
+	samples := g.rec.samples
+	g.rec.mu.Unlock()
+	endpoints, outcomes, ok, hit, coalesced := tally(samples)
+	fr := &fleetReport{
+		Nodes:     len(g.clients),
+		Requests:  len(samples),
+		Endpoints: endpoints,
+		Outcomes:  outcomes,
+	}
+	forwarded := 0
+	ownersByKey := map[string]map[string]bool{}
+	for _, s := range samples {
+		if s.fwd {
+			forwarded++
+		}
+		if s.node != "" {
+			set := ownersByKey[s.key]
+			if set == nil {
+				set = map[string]bool{}
+				ownersByKey[s.key] = set
+			}
+			set[s.node] = true
+		}
+	}
+	for _, set := range ownersByKey {
+		if len(set) > 1 {
+			fr.MultiOwnerKeys++
+		}
+	}
+	if ok > 0 {
+		fr.HitRatio = float64(hit) / float64(ok)
+		fr.CoalesceRatio = float64(coalesced) / float64(ok)
+	}
+	if fr.Requests > 0 {
+		fr.ForwardRatio = float64(forwarded) / float64(fr.Requests)
+	}
+	return fr
 }
 
 // child is a spawned fvcached process.
@@ -418,22 +611,18 @@ type child struct {
 	exited chan error
 }
 
-// spawn builds (when bin is empty) and boots fvcached with a fresh
-// cache directory, waiting until /readyz reports ready.
-func spawn(bin, workDir, telemetryOut string, ring int) (*child, error) {
-	if bin == "" {
-		bin = filepath.Join(workDir, "fvcached")
-		if out, err := exec.Command("go", "build", "-o", bin, "fvcache/cmd/fvcached").CombinedOutput(); err != nil {
-			return nil, fmt.Errorf("building fvcached: %v\n%s", err, out)
-		}
+// buildBinary compiles fvcached once for every spawn of the run.
+func buildBinary(workDir string) (string, error) {
+	bin := filepath.Join(workDir, "fvcached")
+	if out, err := exec.Command("go", "build", "-o", bin, "fvcache/cmd/fvcached").CombinedOutput(); err != nil {
+		return "", fmt.Errorf("building fvcached: %v\n%s", err, out)
 	}
-	args := []string{
-		"-addr", "127.0.0.1:0",
-		"-coalesce", "2ms",
-		"-cache-dir", filepath.Join(workDir, "cache"),
-		"-trace-ring", fmt.Sprint(ring),
-		"-telemetry-out", telemetryOut,
-	}
+	return bin, nil
+}
+
+// spawn boots fvcached with the given arguments, waiting until /readyz
+// reports ready.
+func spawn(bin string, args ...string) (*child, error) {
 	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -494,6 +683,90 @@ func (c *child) stop() error {
 	}
 }
 
+// spawnFleet reserves n ports, then boots n fvcached processes whose
+// -peers lists form one static consistent-hash membership.
+func spawnFleet(bin, workDir string, n, ring int) ([]*child, error) {
+	addrs := make([]string, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+	peers := strings.Join(urls, ",")
+	children := make([]*child, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := spawn(bin,
+			"-addr", addrs[i],
+			"-peers", peers,
+			"-coalesce", "2ms",
+			"-cache-dir", filepath.Join(workDir, fmt.Sprintf("fleet-cache-%d", i)),
+			"-trace-ring", fmt.Sprint(ring),
+			"-telemetry-out", filepath.Join(workDir, fmt.Sprintf("fleet-telemetry-%d.json", i)),
+		)
+		if err != nil {
+			for _, prev := range children {
+				prev.cmd.Process.Kill()
+			}
+			return nil, fmt.Errorf("fleet node %d: %w", i, err)
+		}
+		children = append(children, c)
+	}
+	return children, nil
+}
+
+// runFleetLane boots the fleet, replays the warm mix uniformly across
+// its nodes and assembles the fleet lane.
+func runFleetLane(bin, workDir string, n int, seed int64, workers int, closed time.Duration, bursts, width, ring int) (*fleetReport, error) {
+	children, err := spawnFleet(bin, workDir, n, ring)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range children {
+			c.stop()
+		}
+	}()
+	bases := make([]string, len(children))
+	for i, c := range children {
+		bases[i] = c.base
+	}
+	fmt.Printf("serveload: fleet of %d up (%s)\n", n, strings.Join(bases, ", "))
+
+	g, err := newGen(bases...)
+	if err != nil {
+		return nil, err
+	}
+	g.rec.setDiscard(true)
+	fmt.Println("serveload: fleet warmup (full key coverage)...")
+	g.warmFleet()
+	g.rec.setDiscard(false)
+
+	fmt.Printf("serveload: fleet closed loop, %d workers for %s...\n", workers, closed)
+	g.closedLoop(workers, closed, seed+1000)
+	fmt.Printf("serveload: fleet %d burst rounds of %d...\n", bursts, width)
+	g.burst(bursts, width, seed+1000)
+
+	fr := g.buildFleet()
+	stages := map[string]stageStat{}
+	var counters fleetCounters
+	for _, base := range bases {
+		if err := scrapeStages(base, stages); err != nil {
+			return nil, fmt.Errorf("scraping %s/debug/requests: %w", base, err)
+		}
+		if err := scrapeFleetCounters(base, &counters); err != nil {
+			return nil, fmt.Errorf("scraping %s/debug/fleet: %w", base, err)
+		}
+	}
+	fr.StagesUS = finishStages(stages)
+	fr.Counters = counters
+	return fr, nil
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -513,6 +786,7 @@ func run() int {
 		width    = flag.Int("burst", 24, "concurrent requests per burst round")
 		deadline = flag.Duration("deadline-phase", 1*time.Second, "deadline/breaker phase duration (0 disables)")
 		ring     = flag.Int("trace-ring", 8192, "flight-recorder size for the spawned server")
+		cluster  = flag.Int("cluster", 3, "fleet lane node count (0 disables; requires spawning, not -addr)")
 		verify   = flag.Bool("verify", false, "validate an existing artifact instead of generating one")
 	)
 	flag.Parse()
@@ -530,17 +804,41 @@ func run() int {
 		return harness.ExitOK
 	}
 
+	if *cluster == 1 {
+		fmt.Fprintln(os.Stderr, "serveload: -cluster needs at least 2 nodes (0 disables)")
+		return harness.ExitUsage
+	}
+
 	base := *addr
 	var srv *child
+	var workDir, builtBin string
 	telemetryOut := filepath.Join(filepath.Dir(*out), "telemetry_serve.json")
-	if base == "" {
-		workDir, err := os.MkdirTemp("", "serveload")
+	needSpawn := base == "" || *cluster > 0
+	if needSpawn {
+		var err error
+		workDir, err = os.MkdirTemp("", "serveload")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serveload:", err)
 			return harness.ExitFailure
 		}
 		defer os.RemoveAll(workDir)
-		srv, err = spawn(*bin, workDir, telemetryOut, *ring)
+		builtBin = *bin
+		if builtBin == "" {
+			if builtBin, err = buildBinary(workDir); err != nil {
+				fmt.Fprintln(os.Stderr, "serveload:", err)
+				return harness.ExitFailure
+			}
+		}
+	}
+	if base == "" {
+		var err error
+		srv, err = spawn(builtBin,
+			"-addr", "127.0.0.1:0",
+			"-coalesce", "2ms",
+			"-cache-dir", filepath.Join(workDir, "cache"),
+			"-trace-ring", fmt.Sprint(*ring),
+			"-telemetry-out", telemetryOut,
+		)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serveload:", err)
 			return harness.ExitFailure
@@ -549,7 +847,11 @@ func run() int {
 		fmt.Printf("serveload: fvcached up at %s\n", base)
 	}
 
-	g := newGen(base)
+	g, err := newGen(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		return harness.ExitFailure
+	}
 	start := time.Now()
 
 	g.rec.setDiscard(true)
@@ -569,19 +871,28 @@ func run() int {
 	}
 	elapsed := time.Since(start)
 
-	stages, err := g.scrapeStages()
-	if err != nil {
+	stages := map[string]stageStat{}
+	if err := scrapeStages(base, stages); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload: scraping /debug/requests:", err)
 		return harness.ExitFailure
 	}
 	rep := g.build(*seed, elapsed)
-	rep.StagesUS = stages
+	rep.StagesUS = finishStages(stages)
 
 	if srv != nil {
 		if err := srv.stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "serveload: stopping fvcached:", err)
 			return harness.ExitFailure
 		}
+	}
+
+	if *cluster > 0 {
+		fr, err := runFleetLane(builtBin, workDir, *cluster, *seed, *workers, *closed, *bursts, *width, *ring)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serveload: fleet lane:", err)
+			return harness.ExitFailure
+		}
+		rep.Fleet = fr
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -599,6 +910,10 @@ func run() int {
 	}
 	fmt.Printf("  hit=%.2f coalesce=%.2f 429=%.3f 503=%.3f 504=%.3f\n",
 		rep.HitRatio, rep.CoalesceRatio, rep.Rate429, rep.Rate503, rep.Rate504)
+	if rep.Fleet != nil {
+		fmt.Printf("  fleet(%d): n=%d hit=%.2f forward=%.2f multi_owner=%d\n",
+			rep.Fleet.Nodes, rep.Fleet.Requests, rep.Fleet.HitRatio, rep.Fleet.ForwardRatio, rep.Fleet.MultiOwnerKeys)
+	}
 	return harness.ExitOK
 }
 
@@ -626,21 +941,24 @@ func verifyArtifact(path string) error {
 	if rep.DurationMS <= 0 {
 		fail("duration_ms = %d, want > 0", rep.DurationMS)
 	}
-	if _, ok := rep.Endpoints["measure"]; !ok {
-		fail("endpoints carries no measure entry")
+	checkEndpoints := func(lane string, endpoints map[string]endpointStats) {
+		if _, ok := endpoints["measure"]; !ok {
+			fail("%s: endpoints carries no measure entry", lane)
+		}
+		for ep, s := range endpoints {
+			if s.Requests <= 0 {
+				fail("%s endpoint %s: requests = %d", lane, ep, s.Requests)
+			}
+			if s.P50US <= 0 {
+				fail("%s endpoint %s: p50_us = %d, want > 0", lane, ep, s.P50US)
+			}
+			if !(s.P50US <= s.P90US && s.P90US <= s.P99US && s.P99US <= s.P999US && s.P999US <= s.MaxUS) {
+				fail("%s endpoint %s: quantiles not monotone: p50=%d p90=%d p99=%d p999=%d max=%d",
+					lane, ep, s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
+			}
+		}
 	}
-	for ep, s := range rep.Endpoints {
-		if s.Requests <= 0 {
-			fail("endpoint %s: requests = %d", ep, s.Requests)
-		}
-		if s.P50US <= 0 {
-			fail("endpoint %s: p50_us = %d, want > 0", ep, s.P50US)
-		}
-		if !(s.P50US <= s.P90US && s.P90US <= s.P99US && s.P99US <= s.P999US && s.P999US <= s.MaxUS) {
-			fail("endpoint %s: quantiles not monotone: p50=%d p90=%d p99=%d p999=%d max=%d",
-				ep, s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS)
-		}
-	}
+	checkEndpoints("single", rep.Endpoints)
 	ratio := func(name string, v float64) {
 		if v < 0 || v > 1 {
 			fail("%s = %v outside [0,1]", name, v)
@@ -666,6 +984,40 @@ func verifyArtifact(path string) error {
 			fail("stages_us missing %q (span data absent from /debug/requests scrape)", stage)
 		} else if s.TotalUS < 0 {
 			fail("stages_us[%q].total_us = %d", stage, s.TotalUS)
+		}
+	}
+
+	// Fleet lane gates: exactly-one-owner, the (n-1)/n forward ratio of
+	// uniform arrivals, owner-cache affinity at least as good as the
+	// single node's, and the forward span present in the attribution.
+	if rep.Fleet != nil {
+		fr := rep.Fleet
+		if fr.Nodes < 2 {
+			fail("fleet: nodes = %d, want >= 2", fr.Nodes)
+		}
+		if fr.Requests <= 0 {
+			fail("fleet: requests = %d, want > 0", fr.Requests)
+		}
+		checkEndpoints("fleet", fr.Endpoints)
+		ratio("fleet.hit_ratio", fr.HitRatio)
+		ratio("fleet.forward_ratio", fr.ForwardRatio)
+		if fr.MultiOwnerKeys != 0 {
+			fail("fleet: %d keys executed on more than one owner", fr.MultiOwnerKeys)
+		}
+		if fr.HitRatio < rep.HitRatio {
+			fail("fleet: hit_ratio %.3f below single-node %.3f — sharding lost owner-cache affinity",
+				fr.HitRatio, rep.HitRatio)
+		}
+		expect := float64(fr.Nodes-1) / float64(fr.Nodes)
+		if math.Abs(fr.ForwardRatio-expect) > 0.15 {
+			fail("fleet: forward_ratio %.3f, want %.3f±0.15 for uniform arrivals on %d nodes",
+				fr.ForwardRatio, expect, fr.Nodes)
+		}
+		if s, ok := fr.StagesUS["forward"]; !ok || s.Count <= 0 {
+			fail("fleet: stages_us missing the forward span")
+		}
+		if fr.Counters.Forwarded == 0 {
+			fail("fleet: ownership counters report zero forwards")
 		}
 	}
 

@@ -2,16 +2,36 @@
 // comparison, including the CACTI access-time model that justifies the
 // "equal access time" pairing (a 512-entry direct-mapped FVC is faster
 // than a 4-entry fully-associative victim cache).
+//
+// Unlike the other examples, this one measures through a running
+// fvcached service using the versioned fvcache/client SDK — the same
+// client the fleet's own node-to-node forwarding uses. Start a server
+// (or a fleet; any node of it works equally) and point -addr at it:
+//
+//	go run ./cmd/fvcached -addr 127.0.0.1:8080 &
+//	go run ./examples/victim-vs-fvc -addr http://127.0.0.1:8080
+//
+// Profile-directed FVT selection happens server-side: a config asking
+// for an FVC without explicit frequent_values makes the service derive
+// the table from the workload's profile, so the client stays thin.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"fvcache"
+	"fvcache/api"
+	"fvcache/client"
 )
 
 func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of a running fvcached")
+	flag.Parse()
+
 	m := fvcache.DefaultAccessTimes()
 	fmt.Println("access times (0.8um model):")
 	fmt.Printf("  4KB DMC:           %.1f ns\n",
@@ -22,41 +42,46 @@ func main() {
 	fmt.Printf("  512-entry FVC:     %.1f ns\n", m.FVCAccessNs(fvcache.FVCParams{Entries: 512, LineBytes: 32, Bits: 3}))
 	fmt.Println()
 
-	ctx := context.Background()
-	main4 := fvcache.CacheParams{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
-	scale := fvcache.Train
+	cli, err := client.New(*addr, client.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cli.Ready(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "no fvcached at %s (%v)\nstart one with: go run ./cmd/fvcached -addr 127.0.0.1:8080\n", *addr, err)
+		os.Exit(1)
+	}
+
+	// One batched request per workload: the five interesting systems
+	// measure as a single fused execution on the serving node (under a
+	// fleet, on the configs' owner).
+	const mainBytes = 4 << 10
+	configs := []api.Config{
+		{MainBytes: mainBytes},                    // baseline DMC
+		{MainBytes: mainBytes, VictimEntries: 16}, // equal area
+		{MainBytes: mainBytes, FVCEntries: 128},   // (profile-derived FVT)
+		{MainBytes: mainBytes, VictimEntries: 4},  // equal access time
+		{MainBytes: mainBytes, FVCEntries: 512},
+	}
 	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
 		"workload", "DMC miss%", "VC16", "FVC128", "VC4", "FVC512")
 	for _, name := range []string{"goboard", "cpusim", "ccomp", "strproc"} {
-		values, err := fvcache.Profile(ctx, fvcache.ProfileRequest{Workload: name, Scale: scale, K: 7})
+		resp, err := cli.Measure(ctx, api.MeasureRequest{
+			Workload: name, Scale: "train", Configs: configs,
+		})
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, "measure:", err)
+			os.Exit(1)
 		}
-		missRate := func(cfg fvcache.Config) float64 {
-			res, err := fvcache.Measure(ctx, fvcache.MeasureRequest{Workload: name, Scale: scale, Config: cfg})
-			if err != nil {
-				panic(err)
-			}
-			return res.Stats.MissRate() * 100
-		}
-		withFVC := func(entries int) fvcache.Config {
-			return fvcache.Config{
-				Main:           main4,
-				FVC:            &fvcache.FVCParams{Entries: entries, LineBytes: 32, Bits: 3},
-				FrequentValues: values,
-			}
-		}
-		base := missRate(fvcache.Config{Main: main4})
-		red := func(v float64) string {
-			return fmt.Sprintf("-%.1f%%", (base-v)/base*100)
+		base := resp.Results[0].MissRate * 100
+		red := func(r api.Result) string {
+			return fmt.Sprintf("-%.1f%%", (base-r.MissRate*100)/base*100)
 		}
 		fmt.Printf("%-10s %9.3f%% %12s %12s %12s %12s\n", name, base,
-			// Equal area: 16-entry VC vs 128-entry FVC.
-			red(missRate(fvcache.Config{Main: main4, VictimEntries: 16})),
-			red(missRate(withFVC(128))),
-			// Equal access time: 4-entry VC vs 512-entry FVC.
-			red(missRate(fvcache.Config{Main: main4, VictimEntries: 4})),
-			red(missRate(withFVC(512))))
+			red(resp.Results[1]), red(resp.Results[2]),
+			red(resp.Results[3]), red(resp.Results[4]))
 	}
 	fmt.Println("\npaper: equal-size VC wins; equal-access-time FVC wins; both help small DMCs")
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Snapshot-level merging: the fleet's /debug/metrics?fleet=1 view folds
+// every node's frozen telemetry snapshot into one. Counters and gauges
+// add; histograms merge bucket-wise, which is exact because all nodes
+// freeze the same bucket lattice (log2 buckets for Histogram, the
+// HDR layout for QuantileHist — same sigfigs ⇒ same highestEquivalent
+// bounds), so fleet-wide p99s are computed from true merged counts,
+// never by averaging per-node quantile estimates.
+
+// MergeSnapshots folds src into dst in place: counters and gauges sum,
+// histograms and latency histograms merge bucket-wise, and dst's
+// quantile headlines are recomputed from the merged buckets. dst keeps
+// its own phase tree and request traces (those are node-local
+// narratives, not additive metrics).
+func MergeSnapshots(dst, src *Snapshot) error {
+	if src == nil {
+		return nil
+	}
+	if dst.Counters == nil {
+		dst.Counters = map[string]uint64{}
+	}
+	for k, v := range src.Counters {
+		dst.Counters[k] += v
+	}
+	if dst.Gauges == nil {
+		dst.Gauges = map[string]float64{}
+	}
+	for k, v := range src.Gauges {
+		dst.Gauges[k] += v
+	}
+	if dst.Histograms == nil {
+		dst.Histograms = map[string]HistogramSnapshot{}
+	}
+	for k, v := range src.Histograms {
+		dst.Histograms[k] = MergeHistogramSnapshots(dst.Histograms[k], v)
+	}
+	if len(src.Latencies) > 0 && dst.Latencies == nil {
+		dst.Latencies = map[string]QuantileSnapshot{}
+	}
+	for k, v := range src.Latencies {
+		m, err := MergeQuantileSnapshots(dst.Latencies[k], v)
+		if err != nil {
+			return fmt.Errorf("obs: merging latency %q: %w", k, err)
+		}
+		dst.Latencies[k] = m
+	}
+	if src.UptimeMS > dst.UptimeMS {
+		dst.UptimeMS = src.UptimeMS
+	}
+	return nil
+}
+
+// MergeHistogramSnapshots returns the exact bucket-wise merge of two
+// frozen histograms (both on the shared log2 lattice).
+func MergeHistogramSnapshots(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	out.Buckets = mergeBuckets(a.Buckets, b.Buckets)
+	return out
+}
+
+// MergeQuantileSnapshots returns the exact bucket-wise merge of two
+// frozen quantile histograms and recomputes the headline quantiles
+// from the merged cumulative counts. Errors when the inputs were
+// recorded at different precisions (different sigfigs ⇒ different
+// bucket lattices ⇒ the merge would be lossy).
+func MergeQuantileSnapshots(a, b QuantileSnapshot) (QuantileSnapshot, error) {
+	if a.Count == 0 {
+		return b, nil
+	}
+	if b.Count == 0 {
+		return a, nil
+	}
+	if a.SigFigs != b.SigFigs {
+		return QuantileSnapshot{}, fmt.Errorf("sigfigs mismatch (%d vs %d)", a.SigFigs, b.SigFigs)
+	}
+	out := QuantileSnapshot{SigFigs: a.SigFigs, Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	out.Buckets = mergeBuckets(a.Buckets, b.Buckets)
+
+	// Recompute the headline quantiles exactly as QuantileHist.freeze
+	// does: the ceil(q*n)-th observation's bucket bound.
+	ranks := [4]uint64{
+		uint64(math.Ceil(0.50 * float64(out.Count))),
+		uint64(math.Ceil(0.90 * float64(out.Count))),
+		uint64(math.Ceil(0.99 * float64(out.Count))),
+		uint64(math.Ceil(0.999 * float64(out.Count))),
+	}
+	qs := [4]*uint64{&out.P50, &out.P90, &out.P99, &out.P999}
+	next := 0
+	for _, bk := range out.Buckets {
+		for next < len(ranks) && bk.Count >= max64(ranks[next], 1) {
+			*qs[next] = bk.Le
+			next++
+		}
+	}
+	return out, nil
+}
+
+// mergeBuckets merges two cumulative bucket lists: de-cumulate each
+// into per-bucket deltas, add by bound, re-accumulate in bound order.
+func mergeBuckets(a, b []Bucket) []Bucket {
+	delta := make(map[uint64]uint64, len(a)+len(b))
+	decumulate(a, delta)
+	decumulate(b, delta)
+	les := make([]uint64, 0, len(delta))
+	for le := range delta {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	out := make([]Bucket, 0, len(les))
+	var cum uint64
+	for _, le := range les {
+		cum += delta[le]
+		out = append(out, Bucket{Le: le, Count: cum})
+	}
+	return out
+}
+
+func decumulate(bs []Bucket, into map[uint64]uint64) {
+	var prev uint64
+	for _, b := range bs {
+		into[b.Le] += b.Count - prev
+		prev = b.Count
+	}
+}

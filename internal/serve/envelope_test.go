@@ -1,0 +1,237 @@
+// Pins the public error contract: every non-2xx response body is the
+// versioned envelope {"error","reason","retryable","trace_id"}, with
+// Retry-After set whenever the error is retryable — including errors
+// that strike mid-way through an NDJSON stream.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fvcache"
+	"fvcache/api"
+	"fvcache/internal/obs"
+)
+
+// decodeEnvelope asserts the body is a complete envelope and returns it.
+func decodeEnvelope(t *testing.T, label string, body []byte) api.Error {
+	t.Helper()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("%s: body is not JSON: %v\n%s", label, err, body)
+	}
+	for _, k := range []string{"error", "reason", "retryable", "trace_id"} {
+		if _, ok := raw[k]; !ok {
+			t.Errorf("%s: envelope missing %q key: %s", label, k, body)
+		}
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if e.Message == "" {
+		t.Errorf("%s: empty error message", label)
+	}
+	// Under obsoff no trace IDs are minted; the key is still on the
+	// wire (checked above) but its value is legitimately empty.
+	if obs.Enabled && e.TraceID == "" {
+		t.Errorf("%s: empty trace_id", label)
+	}
+	return e
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	_, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantReason string
+		retryable  bool
+	}{
+		{"measure wrong method", http.MethodGet, "/v1/measure", "", 405, api.ReasonMethodNotAllowed, false},
+		{"mrc wrong method", http.MethodGet, "/v1/mrc", "", 405, api.ReasonMethodNotAllowed, false},
+		{"sweep wrong method", http.MethodGet, "/v1/sweep", "", 405, api.ReasonMethodNotAllowed, false},
+		{"measure bad json", http.MethodPost, "/v1/measure", "{nope", 400, api.ReasonBadRequest, false},
+		{"mrc bad json", http.MethodPost, "/v1/mrc", "{nope", 400, api.ReasonBadRequest, false},
+		{"sweep bad json", http.MethodPost, "/v1/sweep", "{nope", 400, api.ReasonBadRequest, false},
+		{"measure unknown workload", http.MethodPost, "/v1/measure", `{"workload":"no-such"}`, 400, api.ReasonBadRequest, false},
+		{"mrc unknown workload", http.MethodPost, "/v1/mrc", `{"workload":"no-such"}`, 400, api.ReasonBadRequest, false},
+		{"sweep unknown artifact", http.MethodPost, "/v1/sweep", `{"artifacts":["no-such"]}`, 400, api.ReasonBadRequest, false},
+		{"measure bad config", http.MethodPost, "/v1/measure", `{"workload":"goboard","config":{"main_bytes":7}}`, 400, api.ReasonBadRequest, false},
+		{"measure bad scale", http.MethodPost, "/v1/measure", `{"workload":"goboard","scale":"galactic"}`, 400, api.ReasonBadRequest, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var buf [4096]byte
+			n, _ := resp.Body.Read(buf[:])
+			e := decodeEnvelope(t, tc.name, buf[:n])
+			if e.Reason != tc.wantReason {
+				t.Errorf("reason %q, want %q", e.Reason, tc.wantReason)
+			}
+			if e.Retryable != tc.retryable {
+				t.Errorf("retryable %v, want %v", e.Retryable, tc.retryable)
+			}
+			if e.TraceID != resp.Header.Get(api.HeaderRequestID) {
+				t.Errorf("trace_id %q != %s header %q", e.TraceID, api.HeaderRequestID, resp.Header.Get(api.HeaderRequestID))
+			}
+			if tc.retryable && resp.Header.Get("Retry-After") == "" {
+				t.Error("retryable error without Retry-After header")
+			}
+		})
+	}
+}
+
+// TestErrorEnvelopeRetryable covers the retryable statuses: a saturated
+// queue (429 overloaded) and a draining server (503), both of which
+// must advertise Retry-After.
+func TestErrorEnvelopeRetryable(t *testing.T) {
+	sv, ts := newTestService(t, Options{Workers: 1, QueueDepth: 1, CoalesceWindow: time.Millisecond})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	sv.exec = func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error) {
+		started <- b.workload
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return make([]fvcache.MeasureResult, len(b.configs)), nil
+	}
+	post := func(wl string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/measure", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"workload":%q}`, wl)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	go func() { post("goboard").Body.Close() }()
+	<-started
+	go func() { post("ccomp").Body.Close() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sv.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := post("strproc") // queue full -> 429
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	e := decodeEnvelope(t, "429", body)
+	if e.Reason != api.ReasonOverloaded || !e.Retryable {
+		t.Errorf("429 envelope: reason=%q retryable=%v", e.Reason, e.Retryable)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(release)
+
+	// Drain, then verify the 503 envelope.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp = post("goboard")
+	body, _ = readAll(resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	e = decodeEnvelope(t, "503", body)
+	if e.Reason != api.ReasonDraining || !e.Retryable {
+		t.Errorf("503 envelope: reason=%q retryable=%v", e.Reason, e.Retryable)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestSweepMidStreamErrorEnvelope verifies that an error after the
+// first streamed artifact line arrives as a terminal error_line holding
+// the full envelope — the status is already 200 on the wire, so the
+// envelope is the only way a client learns the stream died.
+func TestSweepMidStreamErrorEnvelope(t *testing.T) {
+	sv, ts := newTestService(t, Options{CoalesceWindow: time.Millisecond})
+	sv.execSweep = func(ctx context.Context, req fvcache.SweepRequest) (*fvcache.SweepResult, error) {
+		if req.OnArtifact != nil {
+			req.OnArtifact(fvcache.ArtifactResult{ID: "figure-6"})
+		}
+		return nil, errors.New("disk melted mid-sweep")
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed sweep status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines []api.SweepLine
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var l api.SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d stream lines, want artifact + error_line", len(lines))
+	}
+	if lines[0].Artifact == nil || lines[0].Artifact.ID != "figure-6" {
+		t.Fatalf("first line is not the artifact: %+v", lines[0])
+	}
+	le := lines[1].Error
+	if le == nil {
+		t.Fatalf("terminal line is not an error_line: %+v", lines[1])
+	}
+	if le.Message == "" || le.Reason != api.ReasonInternal || (obs.Enabled && le.TraceID == "") {
+		t.Errorf("mid-stream envelope incomplete: %+v", le)
+	}
+	if le.TraceID != resp.Header.Get(api.HeaderRequestID) {
+		t.Errorf("mid-stream trace_id %q != header %q", le.TraceID, resp.Header.Get(api.HeaderRequestID))
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, err := resp.Body.Read(buf[:])
+	if err != nil && n == 0 {
+		return nil, err
+	}
+	return buf[:n], nil
+}

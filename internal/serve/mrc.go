@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"fvcache"
+	"fvcache/api"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 	"fvcache/internal/resultcache"
@@ -40,54 +41,16 @@ var (
 	mrcCacheHits = obs.Default.Counter("serve_mrc_cache_hits_total")
 )
 
-// mrcWire is the POST /v1/mrc request body.
-type mrcWire struct {
-	Workload string `json:"workload"`
-	// Scale is "test", "train" or "ref" (default "test").
-	Scale string `json:"scale,omitempty"`
-	// LineBytes is the modeled line size (default 32).
-	LineBytes int `json:"line_bytes,omitempty"`
-	// MaxSizeBytes is the top of the size ladder (default 1MiB).
-	MaxSizeBytes int `json:"max_size_bytes,omitempty"`
-	// SetCounts selects the set-indexed LRU families (powers of two,
-	// 1 = fully associative; default [1]).
-	SetCounts []int `json:"set_counts,omitempty"`
-	// DeadlineMS bounds this request in milliseconds (the
-	// ?deadline_ms= query parameter wins when both are present).
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// mrcPointWire is one streamed curve point.
-type mrcPointWire struct {
-	Sets      int     `json:"sets"`
-	SizeBytes int     `json:"size_bytes"`
-	Assoc     int     `json:"assoc"`
-	Misses    uint64  `json:"misses"`
-	MissRatio float64 `json:"miss_ratio"`
-}
-
-// mrcSummaryWire is the trailing NDJSON line.
-type mrcSummaryWire struct {
-	Workload      string `json:"workload"`
-	Scale         string `json:"scale"`
-	LineBytes     int    `json:"line_bytes"`
-	Accesses      uint64 `json:"accesses"`
-	Loads         uint64 `json:"loads"`
-	Stores        uint64 `json:"stores"`
-	DistinctLines uint64 `json:"distinct_lines"`
-	Curves        int    `json:"curves"`
-	Points        int    `json:"points"`
-	// Requests is how many coalesced clients this flight served;
-	// Coalesced is true when it was more than one.
-	Requests  int  `json:"requests"`
-	Coalesced bool `json:"coalesced"`
-	// CacheHit is true when the curve came from the durable result
-	// cache instead of a fresh analysis pass.
-	CacheHit bool `json:"cache_hit"`
-	// TraceID is the flight's trace ID, shared by every coalesced
-	// member of the singleflight.
-	TraceID string `json:"trace_id,omitempty"`
-}
+// The MRC wire types live in the public fvcache/api package; these
+// aliases keep the handler's vocabulary.
+type (
+	// mrcWire is the POST /v1/mrc request body.
+	mrcWire = api.MRCRequest
+	// mrcPointWire is one streamed curve point.
+	mrcPointWire = api.MRCPoint
+	// mrcSummaryWire is the trailing NDJSON line.
+	mrcSummaryWire = api.MRCSummary
+)
 
 // mrcFlight is one in-flight analysis shared by every identical
 // concurrent request (singleflight: no coalescing window — the pass is
@@ -252,7 +215,7 @@ func (s *Server) execMRCPass(ctx context.Context, req fvcache.MRCRequest) (*fvca
 // handleMRC serves POST /v1/mrc.
 func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.track("mrc", w, r).fail(http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	reqTotal.Inc()
@@ -301,6 +264,32 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 	}
 	t.tr.End(parse)
 	observeStage(stageParseUS, start, time.Now())
+
+	// Fleet ownership: the MRC key (workload, scale, geometry) hashes
+	// to one owner whose singleflight and durable cache serve it for
+	// the whole fleet. Forwarded requests (guard header) run locally.
+	if s.fleet != nil {
+		if r.Header.Get(api.HeaderForwarded) != "" {
+			s.nReceived.Add(1)
+			fleetReceivedFwd.Inc()
+		} else {
+			key := ownershipKey(mreq.Workload, scale, mrcCacheKey(mreq).ConfigFP, "")
+			switch p := s.fleet.Owner(key); {
+			case p.Self():
+				s.nOwned.Add(1)
+				fleetLocalOwned.Inc()
+			case !s.fleet.Available(p):
+				s.nFallback.Add(1)
+				fleetForwardFallback.Inc()
+			default:
+				if s.forwardMRC(t, w, req, deadline, p) {
+					return
+				}
+				// Owner unreachable: fall through to the local path.
+			}
+		}
+	}
+
 	brkKey := mreq.Workload + "|" + scale.String()
 	if ok, retryAfter := s.brk.allow(brkKey); !ok {
 		breakerOpenTotal.Inc()
@@ -377,20 +366,17 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 	points := 0
 	for _, c := range res.Curves {
 		for _, p := range c.Points {
-			enc.Encode(struct {
-				Point mrcPointWire `json:"point"`
-			}{mrcPointWire{Sets: c.Sets, SizeBytes: p.SizeBytes, Assoc: p.Assoc, Misses: p.Misses, MissRatio: p.MissRatio}})
+			pw := mrcPointWire{Sets: c.Sets, SizeBytes: p.SizeBytes, Assoc: p.Assoc, Misses: p.Misses, MissRatio: p.MissRatio}
+			enc.Encode(api.MRCLine{Point: &pw})
 			points++
-		}
-		if flusher != nil {
-			flusher.Flush()
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 	}
 	// requests is racy against late joiners only until done closes; by
 	// now the flight is removed from the map, so the count is final.
-	enc.Encode(struct {
-		Summary mrcSummaryWire `json:"summary"`
-	}{mrcSummaryWire{
+	enc.Encode(api.MRCLine{Summary: &mrcSummaryWire{
 		Workload:      mreq.Workload,
 		Scale:         scale.String(),
 		LineBytes:     res.LineBytes,
@@ -404,6 +390,7 @@ func (s *Server) handleMRC(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     f.requests > 1,
 		CacheHit:      f.cacheHit,
 		TraceID:       f.id,
+		Node:          s.nodeURL(),
 	}})
 	t.tr.End(encode)
 	observeStage(stageEncodeUS, encodeStart, time.Now())

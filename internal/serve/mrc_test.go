@@ -91,7 +91,7 @@ func TestMRCBadRequests(t *testing.T) {
 				t.Errorf("status %d, want 400: %s", resp.StatusCode, data)
 			}
 			var e errorWire
-			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			if err := json.Unmarshal(data, &e); err != nil || e.Message == "" {
 				t.Errorf("malformed error body: %s", data)
 			}
 			if e.Retryable {

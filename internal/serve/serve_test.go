@@ -319,7 +319,7 @@ func TestBadRequests(t *testing.T) {
 				t.Errorf("status %d, want %d (%s)", resp.StatusCode, tc.want, data)
 			}
 			var e errorWire
-			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			if err := json.Unmarshal(data, &e); err != nil || e.Message == "" {
 				t.Errorf("error body not wire-shaped: %s", data)
 			}
 		})

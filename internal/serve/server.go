@@ -43,6 +43,8 @@ import (
 	"time"
 
 	"fvcache"
+	"fvcache/api"
+	"fvcache/internal/fleet"
 	"fvcache/internal/harness"
 	"fvcache/internal/obs"
 	"fvcache/internal/obs/reqtrace"
@@ -113,6 +115,12 @@ type Options struct {
 	// TraceRing bounds the flight-recorder ring served at
 	// /debug/requests (<=0 means 256 recent traces).
 	TraceRing int
+
+	// Fleet, when non-nil, turns on consistent-hash owner-forwarding:
+	// requests whose config fingerprint hashes to a peer are proxied to
+	// it (one hop max), so each (workload, scale, config) is computed
+	// and cached on exactly one node. Nil means single-node serving.
+	Fleet *fleet.Fleet
 }
 
 func (o Options) withDefaults() Options {
@@ -237,6 +245,15 @@ type Server struct {
 	// (see mrc.go).
 	mrcState
 
+	// fleetState holds the consistent-hash ring, per-peer forwarding
+	// clients and ownership counters (see fleet.go). Zero when the
+	// server runs single-node.
+	fleetState
+
+	// execSweep runs one sweep; tests stub it to inject mid-stream
+	// failures. Defaults to fvcache.Sweep.
+	execSweep func(ctx context.Context, req fvcache.SweepRequest) (*fvcache.SweepResult, error)
+
 	// exec runs one batch's measurements; tests stub it to control
 	// worker timing. Defaults to execBatch.
 	exec func(ctx context.Context, b *batch) ([]fvcache.MeasureResult, error)
@@ -270,6 +287,10 @@ func New(opt Options) *Server {
 	s.exec = s.execBatch
 	s.mrcFlights = make(map[string]*mrcFlight)
 	s.execMRC = s.execMRCPass
+	s.execSweep = func(ctx context.Context, req fvcache.SweepRequest) (*fvcache.SweepResult, error) {
+		return fvcache.Sweep(ctx, req)
+	}
+	s.initFleet(opt.Fleet)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/measure", s.handleMeasure)
 	s.mux.HandleFunc("/v1/mrc", s.handleMRC)
@@ -278,10 +299,8 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("/v1/artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		obs.Default.WritePrometheus(w)
-	})
+	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/fleet", s.handleFleet)
 	s.mux.Handle("/debug/requests", s.rec.Handler())
 	// Export this server's recent traces in the telemetry snapshot
 	// (last server created wins the process-global hook; fvcached runs
@@ -370,14 +389,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // submit coalesces a parsed request into an open batch (or opens one)
-// and returns the caller's seat. deadline is the request's absolute
-// deadline (zero = none); the batch runs until its latest member
-// deadline so one impatient client cannot cancel its seat-mates.
-func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Options, cfgs []ConfigWire, deadline time.Time) (*call, error) {
-	optsFP, err := json.Marshal(opts)
-	if err != nil {
-		return nil, err
-	}
+// and returns the caller's seat. optsFP is the canonical options JSON
+// (precomputed by the handler, which also uses it for fleet ownership).
+// deadline is the request's absolute deadline (zero = none); the batch
+// runs until its latest member deadline so one impatient client cannot
+// cancel its seat-mates.
+func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Options, optsFP string, cfgs []ConfigWire, deadline time.Time) (*call, error) {
 	key := fmt.Sprintf("%s|%s|%s", workload, scale, optsFP)
 
 	s.mu.Lock()
@@ -387,14 +404,14 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 	}
 	b := s.pending[key]
 	if b == nil {
-		b = s.newBatchLocked(key, workload, scale, opts, string(optsFP))
+		b = s.newBatchLocked(key, workload, scale, opts, optsFP)
 	} else {
 		s.nCoalesced.Add(1)
 		coalescedTotal.Inc()
 	}
 	c := &call{done: make(chan callResult, 1)}
 	for _, cfg := range cfgs {
-		fp := cfg.fingerprint()
+		fp := cfg.Fingerprint()
 		i, ok := b.fps[fp]
 		if !ok {
 			if len(b.configs) >= s.opt.MaxBatchConfigs {
@@ -405,7 +422,7 @@ func (s *Server) submit(workload string, scale fvcache.Scale, opts fvcache.Optio
 				// it alone exceeds the cap, in which case it waits on the
 				// last batch it joined.
 				s.dispatchLocked(b)
-				nb := s.newBatchLocked(key, workload, scale, opts, string(optsFP))
+				nb := s.newBatchLocked(key, workload, scale, opts, optsFP)
 				if len(c.idx) > 0 {
 					// This caller already holds seats in the dispatched
 					// batch; it cannot wait on two. Refuse rather than
@@ -582,6 +599,7 @@ func (s *Server) runBatch(b *batch) {
 		CacheHits:     b.cacheHits,
 		CacheDiskHits: b.diskHits,
 		TraceID:       b.id,
+		Node:          s.nodeURL(),
 	}
 	class := "executed"
 	if b.cacheHits == len(b.configs) && len(b.configs) > 0 {
@@ -615,7 +633,7 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 			keys[i] = resultcache.Key{
 				Workload: b.workload,
 				Scale:    b.scale.String(),
-				ConfigFP: cw.fingerprint() + "|opts:" + b.optsFP,
+				ConfigFP: cw.Fingerprint() + "|opts:" + b.optsFP,
 				Engine:   fvcache.EngineVersion,
 			}
 			if rs, tier := cache.GetTier(keys[i]); tier != resultcache.TierNone && len(rs) == 1 {
@@ -643,7 +661,7 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 	for j, i := range missing {
 		cw := b.configs[i]
 		var values []uint32
-		if cw.needsProfile() {
+		if cw.NeedsProfile() {
 			pspan := tr.Begin("profile", -1)
 			var err error
 			values, err = fvcache.Profile(ctx, fvcache.ProfileRequest{
@@ -654,7 +672,7 @@ func (s *Server) execBatch(ctx context.Context, b *batch) ([]fvcache.MeasureResu
 				return nil, err
 			}
 		}
-		cfgs[j] = cw.toConfig(values)
+		cfgs[j] = cw.Materialize(values)
 	}
 	opts := b.opts
 	if opts.Parallelism == 0 {
@@ -682,7 +700,7 @@ const maxBodyBytes = 1 << 20
 // handleMeasure serves POST /v1/measure.
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.track("measure", w, r).fail(http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	reqTotal.Inc()
@@ -722,8 +740,8 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		cfgs = []ConfigWire{{}} // default geometry
 	}
 	for i := range cfgs {
-		cfgs[i] = cfgs[i].normalized()
-		if err := cfgs[i].validate(); err != nil {
+		cfgs[i] = cfgs[i].Normalized()
+		if err := cfgs[i].Validate(); err != nil {
 			t.fail(http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
 			return
 		}
@@ -733,8 +751,25 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		t.fail(http.StatusBadRequest, err)
 		return
 	}
+	optsJSON, err := json.Marshal(req.Options)
+	if err != nil {
+		t.fail(http.StatusInternalServerError, fmt.Errorf("encoding options: %w", err))
+		return
+	}
+	optsFP := string(optsJSON)
 	t.tr.End(parse)
 	observeStage(stageParseUS, start, time.Now())
+
+	// Fleet ownership: a request whose configs all hash to one peer is
+	// proxied there, so each config is computed and cached on exactly
+	// one node. Forwarded requests (guard header) always run locally.
+	if owner := s.fleetOwner(r, req.Workload, scale, optsFP, cfgs); owner != nil {
+		if s.forwardMeasure(t, w, req, deadline, owner) {
+			return
+		}
+		// The owner was unreachable: degrade to local execution rather
+		// than failing the request (the result just isn't owner-cached).
+	}
 
 	// Keys whose executor keeps failing are shed here, before they can
 	// occupy a batch seat; healthy keys are unaffected.
@@ -748,7 +783,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 
 	wait := t.tr.Begin("batch_wait", -1)
-	c, err := s.submit(req.Workload, scale, req.Options, cfgs, deadline)
+	c, err := s.submit(req.Workload, scale, req.Options, optsFP, cfgs, deadline)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errDraining) {
@@ -843,7 +878,7 @@ func requestDeadline(r *http.Request, bodyMS int64, start time.Time, def time.Du
 // completed artifact followed by a summary line.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		s.track("sweep", w, r).fail(http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	reqTotal.Inc()
@@ -876,40 +911,60 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	run := t.tr.Begin("sweep_run", -1)
-	defer func() { t.finish(http.StatusOK, "executed") }()
 	defer t.tr.End(run)
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	res, err := fvcache.Sweep(r.Context(), fvcache.SweepRequest{
+	streamed := false
+	res, err := s.execSweep(r.Context(), fvcache.SweepRequest{
 		Artifacts: req.Artifacts,
 		Scale:     scale,
 		Workers:   req.Workers,
 		Markdown:  req.Markdown,
 		OnArtifact: func(ar fvcache.ArtifactResult) {
-			enc.Encode(struct {
-				Artifact fvcache.ArtifactResult `json:"artifact"`
-			}{ar})
+			if !streamed {
+				// First line: commit the streaming response now.
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				streamed = true
+			}
+			enc.Encode(api.SweepLine{Artifact: &ar})
 			if flusher != nil {
 				flusher.Flush()
 			}
 		},
 	})
 	if err != nil {
-		// Unknown artifact: nothing has streamed yet, a clean 400 is
-		// still possible.
-		t.fail(http.StatusBadRequest, err)
+		if !streamed {
+			// Nothing on the wire yet: a clean enveloped status is still
+			// possible (unknown artifact and the like are the request's
+			// fault).
+			t.fail(http.StatusBadRequest, err)
+			return
+		}
+		// The 200 and part of the stream are already on the wire; the
+		// failure travels in-band as a terminal NDJSON error line
+		// carrying the same envelope a non-2xx body would.
+		t.tr.SetError(err.Error())
+		enc.Encode(api.SweepLine{Error: &api.Error{
+			Message:   err.Error(),
+			Reason:    api.ReasonInternal,
+			Retryable: false,
+			TraceID:   t.tr.ID(),
+		}})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		t.finish(http.StatusOK, "error")
 		return
 	}
-	enc.Encode(struct {
-		Summary *fvcache.SweepResult `json:"summary"`
-	}{res})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc.Encode(api.SweepLine{Summary: res})
+	t.finish(http.StatusOK, "executed")
 }
 
 // handleWorkloads serves GET /v1/workloads.
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		s.track("workloads", w, r).fail(http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -920,7 +975,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 // handleArtifacts serves GET /v1/artifacts.
 func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		s.track("artifacts", w, r).fail(http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -980,13 +1035,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func writeErrorID(w http.ResponseWriter, status int, err error, traceID string) {
 	var retryAfter time.Duration
 	var reason string
-	switch status {
-	case http.StatusTooManyRequests:
-		retryAfter, reason = time.Second, "overloaded"
-	case http.StatusServiceUnavailable:
-		retryAfter, reason = 5*time.Second, "draining"
-	case http.StatusGatewayTimeout:
-		retryAfter, reason = time.Second, "deadline_exceeded"
+	switch {
+	case status == http.StatusTooManyRequests:
+		retryAfter, reason = time.Second, api.ReasonOverloaded
+	case status == http.StatusServiceUnavailable:
+		retryAfter, reason = 5*time.Second, api.ReasonDraining
+	case status == http.StatusGatewayTimeout:
+		retryAfter, reason = time.Second, api.ReasonDeadlineExceeded
+	case status == http.StatusMethodNotAllowed:
+		reason = api.ReasonMethodNotAllowed
+	case status >= 500:
+		reason = api.ReasonInternal
+	default:
+		reason = api.ReasonBadRequest
 	}
 	retryable := status == http.StatusTooManyRequests ||
 		status == http.StatusServiceUnavailable ||
@@ -1005,7 +1066,7 @@ func writeErrorFullID(w http.ResponseWriter, status int, err error, retryable bo
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, status, errorWire{Error: err.Error(), Retryable: retryable, Reason: reason, TraceID: traceID})
+	writeJSON(w, status, errorWire{Message: err.Error(), Retryable: retryable, Reason: reason, TraceID: traceID})
 }
 
 // inflight tracks the in-flight request gauge without a registry

@@ -32,6 +32,7 @@ var (
 	stageCacheUS    = stageSeries("cache_probe")
 	stageReplayUS   = stageSeries("replay")
 	stageEncodeUS   = stageSeries("encode")
+	stageForwardUS  = stageSeries("forward")
 )
 
 func stageSeries(stage string) *obs.QuantileHist {
@@ -45,7 +46,7 @@ var latencySeries = func() map[string]map[string]*obs.QuantileHist {
 	m := make(map[string]map[string]*obs.QuantileHist)
 	for _, ep := range []string{"measure", "mrc", "sweep"} {
 		byOutcome := make(map[string]*obs.QuantileHist)
-		for _, out := range []string{"hit", "coalesced", "executed", "429", "503", "504", "error"} {
+		for _, out := range []string{"hit", "coalesced", "executed", "forwarded", "429", "503", "504", "error"} {
 			name := fmt.Sprintf(`serve_latency_us{endpoint=%q,outcome=%q}`, ep, out)
 			byOutcome[out] = obs.Default.Quantile(name, latencySigFigs)
 		}
@@ -82,6 +83,7 @@ type reqTrack struct {
 	s        *Server
 	tr       *reqtrace.Trace
 	w        http.ResponseWriter
+	req      *http.Request
 	endpoint string
 	start    time.Time
 	done     bool
@@ -91,7 +93,7 @@ type reqTrack struct {
 // on the response headers (set now, written with the first
 // WriteHeader).
 func (s *Server) track(endpoint string, w http.ResponseWriter, r *http.Request) *reqTrack {
-	t := &reqTrack{s: s, endpoint: endpoint, start: time.Now(), w: w}
+	t := &reqTrack{s: s, endpoint: endpoint, start: time.Now(), w: w, req: r}
 	t.tr = s.rec.Start(endpoint, r.Header)
 	if id := t.tr.ID(); id != "" {
 		w.Header().Set("X-Request-Id", id)

@@ -1,193 +1,30 @@
 package serve
 
 import (
-	"fmt"
-	"strings"
-
 	"fvcache"
+	"fvcache/api"
 )
 
-// ConfigWire is the JSON representation of one cache configuration.
-// Zero-valued geometry fields take the paper's defaults (16KB main
-// cache, 32-byte lines, direct mapped, 3-bit FVC codes), so the
-// minimal useful request body is `{"workload":"goboard"}`.
-type ConfigWire struct {
-	// MainBytes is the main cache size in bytes (default 16384).
-	MainBytes int `json:"main_bytes,omitempty"`
-	// LineBytes is the line size in bytes (default 32).
-	LineBytes int `json:"line_bytes,omitempty"`
-	// Assoc is the main cache associativity (default 1, the DMC).
-	Assoc int `json:"assoc,omitempty"`
-
-	// FVCEntries attaches a frequent value cache (0 = none).
-	FVCEntries int `json:"fvc_entries,omitempty"`
-	// FVCBits is the FVC code width (default 3 when FVCEntries > 0).
-	FVCBits int `json:"fvc_bits,omitempty"`
-	// FrequentValues is an explicit frequent value table. When empty
-	// (and OnlineFVTEvery is 0) the service derives the table from the
-	// workload's profile, the paper's profile-directed selection.
-	FrequentValues []uint32 `json:"frequent_values,omitempty"`
-	// OnlineFVTEvery switches to online FVT identification, re-deriving
-	// the table from a Space-Saving sketch every N accesses.
-	OnlineFVTEvery uint64 `json:"online_fvt_every,omitempty"`
-
-	// VictimEntries attaches a victim cache (mutually exclusive with
-	// the FVC).
-	VictimEntries int `json:"victim_entries,omitempty"`
-
-	// L2Bytes places a unified L2 of this size behind the L1 level.
-	L2Bytes int `json:"l2_bytes,omitempty"`
-	// L2Assoc is the L2 associativity (default 4 when L2Bytes > 0).
-	L2Assoc int `json:"l2_assoc,omitempty"`
-
-	// Ablation knobs (zero values are the paper's design).
-	NoWriteMissAllocate bool `json:"no_write_miss_allocate,omitempty"`
-	SkipEmptyFootprints bool `json:"skip_empty_footprints,omitempty"`
-}
-
-// normalized returns the config with defaults applied.
-func (c ConfigWire) normalized() ConfigWire {
-	if c.MainBytes == 0 {
-		c.MainBytes = 16 << 10
-	}
-	if c.LineBytes == 0 {
-		c.LineBytes = 32
-	}
-	if c.Assoc == 0 {
-		c.Assoc = 1
-	}
-	if c.FVCEntries > 0 && c.FVCBits == 0 {
-		c.FVCBits = 3
-	}
-	if c.L2Bytes > 0 && c.L2Assoc == 0 {
-		c.L2Assoc = 4
-	}
-	return c
-}
-
-// needsProfile reports whether the service must derive the config's
-// frequent value table from the workload's profile.
-func (c ConfigWire) needsProfile() bool {
-	return c.FVCEntries > 0 && len(c.FrequentValues) == 0 && c.OnlineFVTEvery == 0
-}
-
-// validate checks a normalized config's geometry without resolving
-// profile-derived tables (those are materialized at execution time).
-func (c ConfigWire) validate() error {
-	main := fvcache.CacheParams{SizeBytes: c.MainBytes, LineBytes: c.LineBytes, Assoc: c.Assoc}
-	if err := main.Validate(); err != nil {
-		return err
-	}
-	if c.FVCEntries > 0 {
-		if c.VictimEntries > 0 {
-			return fmt.Errorf("fvc and victim cache are mutually exclusive")
-		}
-		p := fvcache.FVCParams{Entries: c.FVCEntries, LineBytes: c.LineBytes, Bits: c.FVCBits}
-		if err := p.Validate(); err != nil {
-			return err
-		}
-		if len(c.FrequentValues) > fvcache.MaxFVTValues(c.FVCBits) {
-			return fmt.Errorf("%d frequent values exceed the %d-bit code space (max %d)",
-				len(c.FrequentValues), c.FVCBits, fvcache.MaxFVTValues(c.FVCBits))
-		}
-	}
-	if c.VictimEntries < 0 {
-		return fmt.Errorf("victim_entries must be >= 0")
-	}
-	if c.L2Bytes > 0 {
-		l2 := fvcache.CacheParams{SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: c.L2Assoc}
-		if err := l2.Validate(); err != nil {
-			return err
-		}
-		if c.L2Bytes < c.MainBytes {
-			return fmt.Errorf("l2_bytes (%d) must be >= main_bytes (%d)", c.L2Bytes, c.MainBytes)
-		}
-	}
-	return nil
-}
-
-// fingerprint is a stable identity for a normalized config, used to
-// deduplicate configurations across coalesced requests: two clients
-// asking for the same geometry (including "profile-derived FVT",
-// before the values are known) share one member system in the fused
-// batch.
-func (c ConfigWire) fingerprint() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "m%d/%d/%d", c.MainBytes, c.LineBytes, c.Assoc)
-	if c.FVCEntries > 0 {
-		fmt.Fprintf(&sb, " f%d/%db o%d", c.FVCEntries, c.FVCBits, c.OnlineFVTEvery)
-		if len(c.FrequentValues) > 0 {
-			fmt.Fprintf(&sb, " v%v", c.FrequentValues)
-		} else if c.OnlineFVTEvery == 0 {
-			sb.WriteString(" vprofile")
-		}
-	}
-	if c.VictimEntries > 0 {
-		fmt.Fprintf(&sb, " vc%d", c.VictimEntries)
-	}
-	if c.L2Bytes > 0 {
-		fmt.Fprintf(&sb, " l2:%d/%d", c.L2Bytes, c.L2Assoc)
-	}
-	if c.NoWriteMissAllocate {
-		sb.WriteString(" nowma")
-	}
-	if c.SkipEmptyFootprints {
-		sb.WriteString(" skipempty")
-	}
-	return sb.String()
-}
-
-// toConfig materializes the core configuration. values is the
-// profile-derived frequent value table when needsProfile, ignored
-// otherwise.
-func (c ConfigWire) toConfig(values []uint32) fvcache.Config {
-	cfg := fvcache.Config{
-		Main:                fvcache.CacheParams{SizeBytes: c.MainBytes, LineBytes: c.LineBytes, Assoc: c.Assoc},
-		VictimEntries:       c.VictimEntries,
-		OnlineFVTEvery:      c.OnlineFVTEvery,
-		NoWriteMissAllocate: c.NoWriteMissAllocate,
-		SkipEmptyFootprints: c.SkipEmptyFootprints,
-	}
-	if c.FVCEntries > 0 {
-		cfg.FVC = &fvcache.FVCParams{Entries: c.FVCEntries, LineBytes: c.LineBytes, Bits: c.FVCBits}
-		switch {
-		case len(c.FrequentValues) > 0:
-			cfg.FrequentValues = c.FrequentValues
-		case c.OnlineFVTEvery == 0:
-			cfg.FrequentValues = values
-		}
-	}
-	if c.L2Bytes > 0 {
-		cfg.L2 = &fvcache.CacheParams{SizeBytes: c.L2Bytes, LineBytes: c.LineBytes, Assoc: c.L2Assoc}
-	}
-	return cfg
-}
-
-// measureWire is the POST /v1/measure request body.
-type measureWire struct {
-	Workload string `json:"workload"`
-	// Scale is "test", "train" or "ref" (default "test").
-	Scale string `json:"scale,omitempty"`
-	// Config carries a single configuration, Configs one or many; a
-	// request may use either (or neither, for the default geometry).
-	Config  *ConfigWire     `json:"config,omitempty"`
-	Configs []ConfigWire    `json:"configs,omitempty"`
-	Options fvcache.Options `json:"options,omitempty"`
-	// DeadlineMS bounds this request in milliseconds (also settable via
-	// the ?deadline_ms= query parameter, which wins when both are
-	// present). 0 means the server default.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-}
-
-// resultWire is one configuration's measurement in a response.
-type resultWire struct {
-	Stats        fvcache.Stats `json:"stats"`
-	Accesses     uint64        `json:"accesses"`
-	MissRate     float64       `json:"miss_rate"`
-	TrafficBytes uint64        `json:"traffic_bytes"`
-	FVCFreqFrac  float64       `json:"fvc_freq_frac,omitempty"`
-	FVCOccupancy float64       `json:"fvc_occupancy,omitempty"`
-}
+// The wire format is owned by the public fvcache/api package — one
+// canonical set of JSON types shared by this server, the client SDK,
+// cmd/serveload, and the fleet's node-to-node forwarding path. The
+// aliases below keep the server-side names the handlers grew up with.
+type (
+	// ConfigWire is the JSON representation of one cache configuration.
+	ConfigWire = api.Config
+	// measureWire is the POST /v1/measure request body.
+	measureWire = api.MeasureRequest
+	// resultWire is one configuration's measurement in a response.
+	resultWire = api.Result
+	// batchInfoWire tells a client how its request was executed.
+	batchInfoWire = api.BatchInfo
+	// measureRespWire is the POST /v1/measure response body.
+	measureRespWire = api.MeasureResponse
+	// sweepWire is the POST /v1/sweep request body.
+	sweepWire = api.SweepRequest
+	// errorWire is every non-2xx JSON body: the uniform error envelope.
+	errorWire = api.Error
+)
 
 func toResultWire(r fvcache.MeasureResult) resultWire {
 	return resultWire{
@@ -198,58 +35,4 @@ func toResultWire(r fvcache.MeasureResult) resultWire {
 		FVCFreqFrac:  r.FVCFreqFrac,
 		FVCOccupancy: r.FVCOccupancy,
 	}
-}
-
-// batchInfoWire tells a client how its request was executed — the
-// coalescing observability the e2e tests assert on.
-type batchInfoWire struct {
-	// Requests is how many client requests this fused execution served.
-	Requests int `json:"requests"`
-	// Configs is how many distinct member systems the batch drove.
-	Configs int `json:"configs"`
-	// Coalesced is true when the request shared its execution with at
-	// least one other request.
-	Coalesced bool `json:"coalesced"`
-	// CacheHits is how many of the batch's configs were served from the
-	// durable result cache instead of being re-simulated;
-	// CacheDiskHits is the subset faulted in from the disk tier.
-	CacheHits     int `json:"cache_hits,omitempty"`
-	CacheDiskHits int `json:"cache_disk_hits,omitempty"`
-	// TraceID is the fused batch's trace ID, shared by every coalesced
-	// member of the execution — clients correlate batch-mates (and the
-	// batch's stage timeline at /debug/requests) through it.
-	TraceID string `json:"trace_id,omitempty"`
-}
-
-// measureRespWire is the POST /v1/measure response body.
-type measureRespWire struct {
-	Workload string        `json:"workload"`
-	Scale    string        `json:"scale"`
-	Results  []resultWire  `json:"results"`
-	Batch    batchInfoWire `json:"batch"`
-}
-
-// sweepWire is the POST /v1/sweep request body.
-type sweepWire struct {
-	// Artifacts lists artifact IDs (empty = the full suite).
-	Artifacts []string `json:"artifacts,omitempty"`
-	Scale     string   `json:"scale,omitempty"`
-	Markdown  bool     `json:"markdown,omitempty"`
-	// Workers bounds per-artifact simulation parallelism.
-	Workers int `json:"workers,omitempty"`
-}
-
-// errorWire is every non-2xx JSON body. Retryable tells clients
-// whether backing off and retrying can succeed (backpressure, drain,
-// open breaker, deadline) or the request itself is at fault; when a
-// retry can succeed, the response also carries a Retry-After header.
-type errorWire struct {
-	Error     string `json:"error"`
-	Retryable bool   `json:"retryable"`
-	// Reason is a machine-readable cause for retryable rejections:
-	// "overloaded", "draining", "breaker_open" or "deadline_exceeded".
-	Reason string `json:"reason,omitempty"`
-	// TraceID echoes the request's trace ID (also in the X-Request-Id
-	// response header) for correlation with /debug/requests.
-	TraceID string `json:"trace_id,omitempty"`
 }
